@@ -1,0 +1,120 @@
+// Command compstor-bench regenerates every table and figure of the
+// CompStor paper's evaluation on the simulated platform.
+//
+// Usage:
+//
+//	compstor-bench [-run all|fig1|fig6|fig7|fig8|tables|ablations]
+//	               [-books N] [-mean BYTES] [-devices 1,2,4,8] [-v]
+//
+// Results are normalised (MB/s, J/GB) so the paper's shapes carry over to
+// the scaled corpus; EXPERIMENTS.md records paper-vs-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"compstor/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all, fig1, fig6, fig7, fig8, tables, ablations")
+	books := flag.Int("books", 0, "number of corpus files (0 = paper-scale default of 348)")
+	mean := flag.Int("mean", 0, "mean book size in bytes (0 = default)")
+	devices := flag.String("devices", "", "comma-separated device counts for the scaling figures")
+	verbose := flag.Bool("v", false, "log progress")
+	flag.Parse()
+
+	opt := experiments.PaperScaleOptions()
+	if *books > 0 {
+		opt.Books = *books
+	}
+	if *mean > 0 {
+		opt.MeanBookBytes = *mean
+	}
+	if *devices != "" {
+		var counts []int
+		for _, s := range strings.Split(*devices, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "bad -devices element %q\n", s)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+		opt.DeviceCounts = counts
+	}
+	if *verbose {
+		opt.Log = os.Stderr
+	}
+
+	w := os.Stdout
+	ran := false
+	sep := func() { fmt.Fprintln(w, strings.Repeat("=", 78)) }
+	want := func(name string) bool {
+		if *run == "all" || *run == name {
+			ran = true
+			return true
+		}
+		return false
+	}
+
+	if want("tables") || *run == "table1" || *run == "table2" || *run == "table3" || *run == "table4" {
+		ran = true
+		if *run != "table2" && *run != "table3" && *run != "table4" {
+			experiments.Table1(w)
+			fmt.Fprintln(w)
+		}
+		if *run == "all" || *run == "tables" || *run == "table2" {
+			experiments.Table2(w)
+			fmt.Fprintln(w)
+		}
+		if *run == "all" || *run == "tables" || *run == "table3" {
+			experiments.Table3(opt, w)
+			fmt.Fprintln(w)
+		}
+		if *run == "all" || *run == "tables" || *run == "table4" {
+			experiments.Table4(w)
+			fmt.Fprintln(w)
+		}
+		sep()
+	}
+	if want("fig1") {
+		experiments.Fig1(opt).Render(w)
+		fmt.Fprintln(w)
+		sep()
+	}
+	if want("fig6") {
+		experiments.RenderFig6(w, experiments.Fig6(opt, nil))
+		fmt.Fprintln(w)
+		sep()
+	}
+	if want("fig7") {
+		experiments.RenderFig7(w, experiments.Fig7(opt))
+		fmt.Fprintln(w)
+		sep()
+	}
+	if want("fig8") {
+		experiments.RenderFig8(w, experiments.Fig8(opt))
+		fmt.Fprintln(w)
+		sep()
+	}
+	if want("ablations") {
+		experiments.AblationInterference(opt).Render(w)
+		fmt.Fprintln(w)
+		experiments.AblationStriping(opt).Render(w)
+		fmt.Fprintln(w)
+		experiments.AblationDirectPath(opt).Render(w)
+		fmt.Fprintln(w)
+		sep()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		os.Exit(2)
+	}
+	_ = io.Discard
+}

@@ -1,0 +1,14 @@
+// Package compstor is a from-scratch Go reproduction of "CompStor: An
+// In-storage Computation Platform for Scalable Distributed Processing"
+// (IPDPS Workshops 2018): a computational-storage SSD platform — NAND
+// array, FTL, NVMe protocol, PCIe fabric, and a Linux-class in-storage
+// processing subsystem running real (re-implemented) gzip, bzip2, grep,
+// gawk, shell and coreutils over an in-SSD filesystem — with a calibrated
+// timing and energy model that regenerates every table and figure of the
+// paper's evaluation.
+//
+// Start with DESIGN.md for the system inventory, README.md for usage, and
+// EXPERIMENTS.md for paper-vs-measured results. The root-level benchmarks
+// in bench_test.go regenerate each evaluation artefact via
+// internal/experiments.
+package compstor

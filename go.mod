@@ -1,0 +1,3 @@
+module compstor
+
+go 1.22

@@ -1,0 +1,247 @@
+// Package apps defines the execution environment for "offloadable
+// executables": the programs that run unmodified on either the host CPU or
+// the CompStor in-storage processing subsystem.
+//
+// A Program is written against plain io.Reader/io.Writer streams and the
+// in-SSD filesystem, exactly like a small Unix tool. Platform cost accrues
+// automatically: every byte a program consumes from any input stream is
+// charged to the executing platform's calibrated throughput for the
+// program's application class, advancing virtual time on the core the task
+// holds. Programs therefore contain no simulation code at all — the same
+// implementation "runs" on the ARM ISPS and on the Xeon host, differing
+// only in the cost model attached to the Context, which is the paper's
+// central porting claim.
+package apps
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"compstor/internal/cpu"
+	"compstor/internal/minfs"
+	"compstor/internal/sim"
+)
+
+// Program is an offloadable executable.
+type Program interface {
+	// Name is the command name used in shell lines and minion commands.
+	Name() string
+	// Class is the cost class used by the platform calibration table.
+	Class() cpu.Class
+	// Run executes the program. A non-nil error is a non-zero exit status.
+	Run(ctx *Context, args []string) error
+}
+
+// ChargeFunc advances virtual time (and energy) for n input bytes of class
+// c work. The executor binds it to a held core.
+type ChargeFunc func(c cpu.Class, n int64)
+
+// Context is everything a running program can see.
+type Context struct {
+	Proc   *sim.Proc
+	FS     *minfs.View // in-SSD namespace; may be nil for pure-stream tools
+	Stdin  io.Reader
+	Stdout io.Writer
+	Stderr io.Writer
+
+	Class  cpu.Class // class used for auto-charging, set by the executor
+	Charge ChargeFunc
+
+	// Lookup resolves program names, enabling the shell to spawn other
+	// registered programs. Nil outside shell contexts.
+	Lookup func(name string) (Program, bool)
+}
+
+// chargeBytes charges n input bytes at the context's class, if a cost model
+// is attached.
+func (c *Context) chargeBytes(n int) {
+	if c.Charge != nil && n > 0 {
+		c.Charge(c.Class, int64(n))
+	}
+}
+
+// ChargeExtra charges additional work beyond the auto-charged input bytes.
+// Decompressors use it to top their cost up from input (compressed) bytes
+// to output (plain) bytes, since their calibrated throughput — like the
+// paper's J/GB normalisation — is per byte of plain data.
+func ChargeExtra(ctx *Context, n int64) {
+	if ctx.Charge != nil && n > 0 {
+		ctx.Charge(ctx.Class, n)
+	}
+}
+
+// In returns the program's stdin wrapped for automatic cost charging.
+func (c *Context) In() io.Reader {
+	if c.Stdin == nil {
+		return bytes.NewReader(nil)
+	}
+	return &chargingReader{ctx: c, r: c.Stdin}
+}
+
+// ErrNoFS is returned when a program needs the filesystem but none is
+// mounted in its context.
+var ErrNoFS = errors.New("apps: no filesystem in context")
+
+// Open opens a named file for reading, wrapped for cost charging.
+func (c *Context) Open(name string) (io.ReadCloser, error) {
+	if c.FS == nil {
+		return nil, ErrNoFS
+	}
+	f, err := c.FS.Open(c.Proc, name)
+	if err != nil {
+		return nil, err
+	}
+	return &chargingFile{chargingReader: chargingReader{ctx: c, r: fsReader{f: f, p: c.Proc}}, f: f, p: c.Proc}, nil
+}
+
+// Create creates (or replaces) a named output file.
+func (c *Context) Create(name string) (io.WriteCloser, error) {
+	if c.FS == nil {
+		return nil, ErrNoFS
+	}
+	if _, err := c.FS.FS().Stat(name); err == nil {
+		if err := c.FS.Delete(c.Proc, name); err != nil {
+			return nil, err
+		}
+	}
+	f, err := c.FS.Create(c.Proc, name)
+	if err != nil {
+		return nil, err
+	}
+	return fsWriter{f: f, p: c.Proc}, nil
+}
+
+// fsReader adapts a minfs file to io.Reader with a pinned proc.
+type fsReader struct {
+	f *minfs.File
+	p *sim.Proc
+}
+
+func (r fsReader) Read(b []byte) (int, error) { return r.f.Read(r.p, b) }
+
+// fsWriter adapts a minfs file to io.WriteCloser with a pinned proc.
+type fsWriter struct {
+	f *minfs.File
+	p *sim.Proc
+}
+
+func (w fsWriter) Write(b []byte) (int, error) { return w.f.Write(w.p, b) }
+func (w fsWriter) Close() error                { return w.f.Close(w.p) }
+
+// chargingReader charges the context for every byte read through it.
+type chargingReader struct {
+	ctx *Context
+	r   io.Reader
+}
+
+func (r *chargingReader) Read(b []byte) (int, error) {
+	n, err := r.r.Read(b)
+	r.ctx.chargeBytes(n)
+	return n, err
+}
+
+type chargingFile struct {
+	chargingReader
+	f *minfs.File
+	p *sim.Proc
+}
+
+func (f *chargingFile) Close() error { return f.f.Close(f.p) }
+
+// ExitError carries a program's non-zero exit code with a message.
+type ExitError struct {
+	Code int
+	Msg  string
+}
+
+func (e *ExitError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("exit status %d", e.Code)
+	}
+	return e.Msg
+}
+
+// Exitf builds an ExitError.
+func Exitf(code int, format string, args ...any) *ExitError {
+	return &ExitError{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ExitCode extracts a conventional exit code from a Run error: 0 for nil,
+// the embedded code for ExitError, 1 otherwise.
+func ExitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ee *ExitError
+	if errors.As(err, &ee) {
+		return ee.Code
+	}
+	return 1
+}
+
+// Registry maps command names to programs. The ISPS agent holds one per
+// device; dynamic task loading adds entries at runtime.
+type Registry struct {
+	m map[string]Program
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]Program)} }
+
+// Register installs a program; re-registering a name replaces it (dynamic
+// task loading semantics) and reports whether a previous entry existed.
+func (r *Registry) Register(p Program) bool {
+	_, existed := r.m[p.Name()]
+	r.m[p.Name()] = p
+	return existed
+}
+
+// Lookup resolves a command name.
+func (r *Registry) Lookup(name string) (Program, bool) {
+	p, ok := r.m[name]
+	return p, ok
+}
+
+// Names returns all registered command names, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.m))
+	for n := range r.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns an independent copy (each device gets its own registry so
+// dynamic loads stay device-local).
+func (r *Registry) Clone() *Registry {
+	c := NewRegistry()
+	for _, p := range r.m {
+		c.Register(p)
+	}
+	return c
+}
+
+// Func adapts a plain function to a Program.
+type Func struct {
+	ProgName  string
+	CostClass cpu.Class
+	Body      func(ctx *Context, args []string) error
+}
+
+// Name implements Program.
+func (f Func) Name() string { return f.ProgName }
+
+// Class implements Program.
+func (f Func) Class() cpu.Class {
+	if f.CostClass == "" {
+		return cpu.ClassDefault
+	}
+	return f.CostClass
+}
+
+// Run implements Program.
+func (f Func) Run(ctx *Context, args []string) error { return f.Body(ctx, args) }

@@ -1,0 +1,120 @@
+package apps
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"compstor/internal/cpu"
+)
+
+func TestChargingReaderChargesInputBytes(t *testing.T) {
+	var charged int64
+	var class cpu.Class
+	ctx := &Context{
+		Stdin: strings.NewReader(strings.Repeat("x", 1000)),
+		Class: cpu.ClassGrep,
+		Charge: func(c cpu.Class, n int64) {
+			class = c
+			charged += n
+		},
+	}
+	n, err := io.Copy(io.Discard, ctx.In())
+	if err != nil || n != 1000 {
+		t.Fatalf("copy: %d, %v", n, err)
+	}
+	if charged != 1000 {
+		t.Fatalf("charged %d bytes, want 1000", charged)
+	}
+	if class != cpu.ClassGrep {
+		t.Fatalf("charged class %q", class)
+	}
+}
+
+func TestNilChargeIsSafe(t *testing.T) {
+	ctx := &Context{Stdin: strings.NewReader("data")}
+	if _, err := io.Copy(io.Discard, ctx.In()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilStdinReadsEmpty(t *testing.T) {
+	ctx := &Context{}
+	data, err := io.ReadAll(ctx.In())
+	if err != nil || len(data) != 0 {
+		t.Fatalf("nil stdin: %q, %v", data, err)
+	}
+}
+
+func TestOpenWithoutFS(t *testing.T) {
+	ctx := &Context{}
+	if _, err := ctx.Open("f"); !errors.Is(err, ErrNoFS) {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := ctx.Create("f"); !errors.Is(err, ErrNoFS) {
+		t.Fatalf("Create: %v", err)
+	}
+}
+
+func TestExitErrors(t *testing.T) {
+	if ExitCode(nil) != 0 {
+		t.Fatal("nil error should be 0")
+	}
+	if ExitCode(Exitf(3, "bad %s", "thing")) != 3 {
+		t.Fatal("ExitError code lost")
+	}
+	if ExitCode(errors.New("generic")) != 1 {
+		t.Fatal("generic error should be 1")
+	}
+	if !strings.Contains(Exitf(3, "bad %s", "thing").Error(), "bad thing") {
+		t.Fatal("message lost")
+	}
+	if (&ExitError{Code: 4}).Error() != "exit status 4" {
+		t.Fatal("default message wrong")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	p1 := Func{ProgName: "tool", CostClass: cpu.ClassWC, Body: func(*Context, []string) error { return nil }}
+	if r.Register(p1) {
+		t.Fatal("fresh registration reported replacement")
+	}
+	if got, ok := r.Lookup("tool"); !ok || got.Name() != "tool" {
+		t.Fatal("lookup failed")
+	}
+	p2 := Func{ProgName: "tool", Body: func(*Context, []string) error { return nil }}
+	if !r.Register(p2) {
+		t.Fatal("replacement not reported")
+	}
+	r.Register(Func{ProgName: "another", Body: func(*Context, []string) error { return nil }})
+	names := r.Names()
+	if len(names) != 2 || names[0] != "another" || names[1] != "tool" {
+		t.Fatalf("names = %v", names)
+	}
+	clone := r.Clone()
+	clone.Register(Func{ProgName: "extra", Body: func(*Context, []string) error { return nil }})
+	if _, ok := r.Lookup("extra"); ok {
+		t.Fatal("clone mutation leaked into original")
+	}
+}
+
+func TestFuncProgramDefaults(t *testing.T) {
+	ran := false
+	f := Func{ProgName: "f", Body: func(ctx *Context, args []string) error {
+		ran = true
+		if len(args) != 1 || args[0] != "a" {
+			t.Errorf("args = %v", args)
+		}
+		return nil
+	}}
+	if f.Class() != cpu.ClassDefault {
+		t.Fatal("empty class should default")
+	}
+	var out bytes.Buffer
+	if err := f.Run(&Context{Stdout: &out}, []string{"a"}); err != nil || !ran {
+		t.Fatal("Func did not run")
+	}
+}

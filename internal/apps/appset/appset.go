@@ -1,0 +1,42 @@
+// Package appset assembles the standard in-storage program set: the
+// evaluation applications (gzip/gunzip, bzip2/bunzip2, grep, gawk), the
+// shell, and the coreutils. The ISPS agent clones this registry per device;
+// dynamic task loading adds to the clone at runtime.
+package appset
+
+import (
+	"compstor/internal/apps"
+	"compstor/internal/apps/awkx"
+	"compstor/internal/apps/bzip2x"
+	"compstor/internal/apps/coreutils"
+	"compstor/internal/apps/grepx"
+	"compstor/internal/apps/gzipx"
+	"compstor/internal/apps/shx"
+)
+
+// Base returns a registry holding every standard program.
+func Base() *apps.Registry {
+	r := apps.NewRegistry()
+	for _, p := range []apps.Program{
+		gzipx.Gzip{},
+		gzipx.Gunzip{},
+		bzip2x.Bzip2{},
+		bzip2x.Bunzip2{},
+		grepx.Grep{},
+		awkx.Gawk{},
+		shx.Shell{},
+		coreutils.Cat{},
+		coreutils.WC{},
+		coreutils.Head{},
+		coreutils.Tail{},
+		coreutils.Sort{},
+		coreutils.Uniq{},
+		coreutils.Cut{},
+		coreutils.Tr{},
+		coreutils.Echo{},
+		coreutils.Cksum{},
+	} {
+		r.Register(p)
+	}
+	return r
+}

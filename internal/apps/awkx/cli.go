@@ -1,0 +1,89 @@
+package awkx
+
+import (
+	"io"
+	"strings"
+
+	"compstor/internal/apps"
+	"compstor/internal/cpu"
+)
+
+// Gawk is the `gawk` offloadable executable.
+//
+// Usage: gawk [-F fs] [-v var=value]... 'program' [FILE...]
+// With no files the program reads stdin.
+type Gawk struct{}
+
+// Name implements apps.Program.
+func (Gawk) Name() string { return "gawk" }
+
+// Class implements apps.Program.
+func (Gawk) Class() cpu.Class { return cpu.ClassGawk }
+
+// Run implements apps.Program.
+func (Gawk) Run(ctx *apps.Context, args []string) error {
+	var fs string
+	var assigns [][2]string
+	i := 0
+	for i < len(args) {
+		switch {
+		case args[i] == "-F" && i+1 < len(args):
+			fs = args[i+1]
+			i += 2
+		case strings.HasPrefix(args[i], "-F") && len(args[i]) > 2:
+			fs = args[i][2:]
+			i++
+		case args[i] == "-v" && i+1 < len(args):
+			kv := strings.SplitN(args[i+1], "=", 2)
+			if len(kv) != 2 {
+				return apps.Exitf(2, "gawk: bad -v assignment %q", args[i+1])
+			}
+			assigns = append(assigns, [2]string{kv[0], kv[1]})
+			i += 2
+		default:
+			goto prog
+		}
+	}
+prog:
+	if i >= len(args) {
+		return apps.Exitf(2, "gawk: missing program text")
+	}
+	progText := args[i]
+	files := args[i+1:]
+
+	prog, err := parse(progText)
+	if err != nil {
+		return apps.Exitf(2, "gawk: %v", err)
+	}
+	interp := newInterp(prog, ctx.Stdout)
+	interp.openFile = func(name string) (io.WriteCloser, error) { return ctx.Create(name) }
+	interp.openRead = func(name string) (io.ReadCloser, error) { return ctx.Open(name) }
+	if fs != "" {
+		interp.globals["FS"] = str(fs)
+	}
+	for _, kv := range assigns {
+		interp.globals[kv[0]] = inputStr(kv[1])
+	}
+
+	var inputs []namedReader
+	if len(files) == 0 {
+		inputs = append(inputs, namedReader{name: "", r: ctx.In()})
+	} else {
+		for _, name := range files {
+			f, err := ctx.Open(name)
+			if err != nil {
+				return apps.Exitf(2, "gawk: %v", err)
+			}
+			defer f.Close()
+			inputs = append(inputs, namedReader{name: name, r: f})
+		}
+	}
+	code, err := interp.Run(inputs)
+	if err != nil {
+		return apps.Exitf(2, "gawk: %v", err)
+	}
+	if code != 0 {
+		return apps.Exitf(code, "")
+	}
+	return nil
+}

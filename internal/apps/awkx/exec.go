@@ -1,0 +1,611 @@
+package awkx
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// execBlock runs a statement block.
+func (in *interp) execBlock(b *stmtBlock) error {
+	for _, s := range b.stmts {
+		if err := in.exec(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *interp) exec(s stmt) error {
+	switch st := s.(type) {
+	case *stmtBlock:
+		return in.execBlock(st)
+	case *exprStmt:
+		_, err := in.eval(st.e)
+		return err
+	case *printStmt:
+		return in.execPrint(st)
+	case *printfStmt:
+		return in.execPrintf(st)
+	case *ifStmt:
+		cond, err := in.eval(st.cond)
+		if err != nil {
+			return err
+		}
+		if cond.Bool() {
+			return in.exec(st.then)
+		}
+		if st.elze != nil {
+			return in.exec(st.elze)
+		}
+		return nil
+	case *whileStmt:
+		return in.execWhile(st)
+	case *forStmt:
+		return in.execFor(st)
+	case *forInStmt:
+		return in.execForIn(st)
+	case *breakStmt:
+		return errBreak
+	case *continueStmt:
+		return errContinue
+	case *nextStmt:
+		return errNext
+	case *exitStmt:
+		code := 0
+		if st.code != nil {
+			v, err := in.eval(st.code)
+			if err != nil {
+				return err
+			}
+			code = int(v.Num())
+		}
+		return exitSignal{code: code}
+	case *returnStmt:
+		var v value
+		if st.val != nil {
+			var err error
+			v, err = in.eval(st.val)
+			if err != nil {
+				return err
+			}
+		}
+		return returnSignal{val: v}
+	case *deleteStmt:
+		arr := in.array(st.arrName)
+		if st.index == nil {
+			for k := range arr {
+				delete(arr, k)
+			}
+			return nil
+		}
+		vals, err := in.evalAll(st.index)
+		if err != nil {
+			return err
+		}
+		delete(arr, in.arrayKey(vals))
+		return nil
+	}
+	return runtimeErr("unknown statement %T", s)
+}
+
+func loopErr(err error) (done bool, rerr error) {
+	switch {
+	case err == nil:
+		return false, nil
+	case errors.Is(err, errBreak):
+		return true, nil
+	case errors.Is(err, errContinue):
+		return false, nil
+	default:
+		return true, err
+	}
+}
+
+func (in *interp) execWhile(st *whileStmt) error {
+	const maxIter = 100_000_000 // runaway-loop guard
+	for i := 0; i < maxIter; i++ {
+		if !st.post {
+			cond, err := in.eval(st.cond)
+			if err != nil {
+				return err
+			}
+			if !cond.Bool() {
+				return nil
+			}
+		}
+		if done, err := loopErr(in.exec(st.body)); done || err != nil {
+			return err
+		}
+		if st.post {
+			cond, err := in.eval(st.cond)
+			if err != nil {
+				return err
+			}
+			if !cond.Bool() {
+				return nil
+			}
+		}
+	}
+	return runtimeErr("loop iteration limit exceeded")
+}
+
+func (in *interp) execFor(st *forStmt) error {
+	if st.init != nil {
+		if err := in.exec(st.init); err != nil {
+			return err
+		}
+	}
+	const maxIter = 100_000_000
+	for i := 0; i < maxIter; i++ {
+		if st.cond != nil {
+			cond, err := in.eval(st.cond)
+			if err != nil {
+				return err
+			}
+			if !cond.Bool() {
+				return nil
+			}
+		}
+		if done, err := loopErr(in.exec(st.body)); done || err != nil {
+			return err
+		}
+		if st.post != nil {
+			if err := in.exec(st.post); err != nil {
+				return err
+			}
+		}
+	}
+	return runtimeErr("loop iteration limit exceeded")
+}
+
+func (in *interp) execForIn(st *forInStmt) error {
+	arr := in.array(st.arrName)
+	keys := make([]string, 0, len(arr))
+	for k := range arr {
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		in.setVar(st.varName, inputStr(k))
+		if done, err := loopErr(in.exec(st.body)); done || err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printDest resolves the output writer for print/printf redirection.
+func (in *interp) printDest(dest expr) (io.Writer, error) {
+	if dest == nil {
+		return in.out, nil
+	}
+	v, err := in.eval(dest)
+	if err != nil {
+		return nil, err
+	}
+	name := v.Str()
+	if f, ok := in.files[name]; ok {
+		return f, nil
+	}
+	if in.openFile == nil {
+		return nil, runtimeErr("print redirection unavailable in this context")
+	}
+	f, err := in.openFile(name)
+	if err != nil {
+		return nil, runtimeErr("cannot open %q: %v", name, err)
+	}
+	in.files[name] = f
+	return f, nil
+}
+
+func (in *interp) execPrint(st *printStmt) error {
+	w, err := in.printDest(st.dest)
+	if err != nil {
+		return err
+	}
+	if len(st.args) == 0 {
+		in.ensureRecord()
+		_, err := fmt.Fprintf(w, "%s%s", in.record, in.ors())
+		return err
+	}
+	parts := make([]string, len(st.args))
+	for i, a := range st.args {
+		v, err := in.eval(a)
+		if err != nil {
+			return err
+		}
+		parts[i] = v.Str()
+	}
+	_, err = fmt.Fprintf(w, "%s%s", strings.Join(parts, in.ofs()), in.ors())
+	return err
+}
+
+func (in *interp) execPrintf(st *printfStmt) error {
+	w, err := in.printDest(st.dest)
+	if err != nil {
+		return err
+	}
+	vals, err := in.evalAll(st.args)
+	if err != nil {
+		return err
+	}
+	s, err := in.sprintf(vals[0].Str(), vals[1:])
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, s)
+	return err
+}
+
+// Expression evaluation -------------------------------------------------------
+
+func (in *interp) evalAll(es []expr) ([]value, error) {
+	out := make([]value, len(es))
+	for i, e := range es {
+		v, err := in.eval(e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (in *interp) eval(e expr) (value, error) {
+	switch ex := e.(type) {
+	case *numLit:
+		return num(ex.v), nil
+	case *strLit:
+		return str(ex.v), nil
+	case *regexLit:
+		// A bare /re/ matches against $0, yielding 0/1.
+		in.ensureRecord()
+		if ex.re.re.MatchLine([]byte(in.record)) {
+			return num(1), nil
+		}
+		return num(0), nil
+	case *groupExpr:
+		return in.eval(ex.e)
+	case *varRef:
+		return in.getVar(ex.name), nil
+	case *fieldRef:
+		idx, err := in.eval(ex.idx)
+		if err != nil {
+			return uninitialized, err
+		}
+		return in.getField(int(idx.Num())), nil
+	case *indexRef:
+		vals, err := in.evalAll(ex.index)
+		if err != nil {
+			return uninitialized, err
+		}
+		return in.array(ex.arrName)[in.arrayKey(vals)], nil
+	case *assign:
+		return in.evalAssign(ex)
+	case *incDec:
+		return in.evalIncDec(ex)
+	case *binary:
+		return in.evalBinary(ex)
+	case *unary:
+		v, err := in.eval(ex.e)
+		if err != nil {
+			return uninitialized, err
+		}
+		switch ex.op {
+		case "!":
+			if v.Bool() {
+				return num(0), nil
+			}
+			return num(1), nil
+		case "-":
+			return num(-v.Num()), nil
+		default:
+			return num(v.Num()), nil
+		}
+	case *ternary:
+		cond, err := in.eval(ex.cond)
+		if err != nil {
+			return uninitialized, err
+		}
+		if cond.Bool() {
+			return in.eval(ex.a)
+		}
+		return in.eval(ex.b)
+	case *matchExpr:
+		return in.evalMatch(ex)
+	case *inExpr:
+		vals, err := in.evalAll(ex.index)
+		if err != nil {
+			return uninitialized, err
+		}
+		if _, ok := in.array(ex.arrName)[in.arrayKey(vals)]; ok {
+			return num(1), nil
+		}
+		return num(0), nil
+	case *call:
+		return in.evalCall(ex)
+	case *builtinCall:
+		return in.evalBuiltin(ex)
+	case *getlineExpr:
+		return in.evalGetline(ex)
+	}
+	return uninitialized, runtimeErr("unknown expression %T", e)
+}
+
+// assignTo writes v to an lvalue.
+func (in *interp) assignTo(target expr, v value) error {
+	switch t := target.(type) {
+	case *varRef:
+		in.setVar(t.name, v)
+		return nil
+	case *fieldRef:
+		idx, err := in.eval(t.idx)
+		if err != nil {
+			return err
+		}
+		in.setField(int(idx.Num()), v)
+		return nil
+	case *indexRef:
+		vals, err := in.evalAll(t.index)
+		if err != nil {
+			return err
+		}
+		in.array(t.arrName)[in.arrayKey(vals)] = v
+		return nil
+	}
+	return runtimeErr("assignment to non-lvalue %T", target)
+}
+
+// lvalueGet reads an lvalue's current value.
+func (in *interp) lvalueGet(target expr) (value, error) { return in.eval(target) }
+
+func (in *interp) evalAssign(ex *assign) (value, error) {
+	rhs, err := in.eval(ex.val)
+	if err != nil {
+		return uninitialized, err
+	}
+	if ex.op != "=" {
+		cur, err := in.lvalueGet(ex.target)
+		if err != nil {
+			return uninitialized, err
+		}
+		rhs = num(arith(strings.TrimSuffix(ex.op, "="), cur.Num(), rhs.Num()))
+	}
+	if err := in.assignTo(ex.target, rhs); err != nil {
+		return uninitialized, err
+	}
+	return rhs, nil
+}
+
+func (in *interp) evalIncDec(ex *incDec) (value, error) {
+	cur, err := in.lvalueGet(ex.target)
+	if err != nil {
+		return uninitialized, err
+	}
+	old := cur.Num()
+	delta := 1.0
+	if ex.op == "--" {
+		delta = -1
+	}
+	if err := in.assignTo(ex.target, num(old+delta)); err != nil {
+		return uninitialized, err
+	}
+	if ex.pre {
+		return num(old + delta), nil
+	}
+	return num(old), nil
+}
+
+func arith(op string, a, b float64) float64 {
+	switch op {
+	case "+":
+		return a + b
+	case "-":
+		return a - b
+	case "*":
+		return a * b
+	case "/":
+		return a / b
+	case "%":
+		return math.Mod(a, b)
+	case "^":
+		return math.Pow(a, b)
+	}
+	panic("awk: unknown arithmetic op " + op)
+}
+
+func (in *interp) evalBinary(ex *binary) (value, error) {
+	switch ex.op {
+	case "&&":
+		l, err := in.eval(ex.l)
+		if err != nil {
+			return uninitialized, err
+		}
+		if !l.Bool() {
+			return num(0), nil
+		}
+		r, err := in.eval(ex.r)
+		if err != nil {
+			return uninitialized, err
+		}
+		if r.Bool() {
+			return num(1), nil
+		}
+		return num(0), nil
+	case "||":
+		l, err := in.eval(ex.l)
+		if err != nil {
+			return uninitialized, err
+		}
+		if l.Bool() {
+			return num(1), nil
+		}
+		r, err := in.eval(ex.r)
+		if err != nil {
+			return uninitialized, err
+		}
+		if r.Bool() {
+			return num(1), nil
+		}
+		return num(0), nil
+	}
+	l, err := in.eval(ex.l)
+	if err != nil {
+		return uninitialized, err
+	}
+	r, err := in.eval(ex.r)
+	if err != nil {
+		return uninitialized, err
+	}
+	switch ex.op {
+	case "concat":
+		return str(l.Str() + r.Str()), nil
+	case "+", "-", "*", "/", "%", "^":
+		return num(arith(ex.op, l.Num(), r.Num())), nil
+	case "<", "<=", ">", ">=", "==", "!=":
+		c := compare(l, r)
+		ok := false
+		switch ex.op {
+		case "<":
+			ok = c < 0
+		case "<=":
+			ok = c <= 0
+		case ">":
+			ok = c > 0
+		case ">=":
+			ok = c >= 0
+		case "==":
+			ok = c == 0
+		case "!=":
+			ok = c != 0
+		}
+		if ok {
+			return num(1), nil
+		}
+		return num(0), nil
+	}
+	return uninitialized, runtimeErr("unknown operator %q", ex.op)
+}
+
+func (in *interp) evalMatch(ex *matchExpr) (value, error) {
+	l, err := in.eval(ex.l)
+	if err != nil {
+		return uninitialized, err
+	}
+	var re *compiledRegex
+	if rl, ok := ex.re.(*regexLit); ok {
+		re = rl.re
+	} else {
+		rv, err := in.eval(ex.re)
+		if err != nil {
+			return uninitialized, err
+		}
+		re, err = in.regex(rv.Str())
+		if err != nil {
+			return uninitialized, err
+		}
+	}
+	m := re.re.MatchLine([]byte(l.Str()))
+	if m != ex.neg {
+		return num(1), nil
+	}
+	return num(0), nil
+}
+
+func (in *interp) evalCall(ex *call) (value, error) {
+	fd, ok := in.prog.funcs[ex.name]
+	if !ok {
+		return uninitialized, runtimeErr("call to undefined function %s", ex.name)
+	}
+	if len(ex.args) > len(fd.params) {
+		return uninitialized, runtimeErr("%s called with %d args, defined with %d", ex.name, len(ex.args), len(fd.params))
+	}
+	fr := &frame{
+		scalars: make(map[string]value),
+		arrays:  make(map[string]map[string]value),
+		params:  make(map[string]bool),
+	}
+	for _, p := range fd.params {
+		fr.params[p] = true
+	}
+	// Bind arguments in the caller's scope before pushing the frame.
+	for i, arg := range ex.args {
+		pname := fd.params[i]
+		if vr, ok := arg.(*varRef); ok && in.isArrayName(vr.name) {
+			fr.arrays[pname] = in.array(vr.name)
+			continue
+		}
+		v, err := in.eval(arg)
+		if err != nil {
+			return uninitialized, err
+		}
+		fr.scalars[pname] = v
+	}
+	if len(in.frames) > 200 {
+		return uninitialized, runtimeErr("call stack overflow in %s", ex.name)
+	}
+	in.frames = append(in.frames, fr)
+	err := in.execBlock(fd.body)
+	in.frames = in.frames[:len(in.frames)-1]
+	if err != nil {
+		var rs returnSignal
+		if errors.As(err, &rs) {
+			return rs.val, nil
+		}
+		return uninitialized, err
+	}
+	return uninitialized, nil
+}
+
+// isArrayName reports whether name currently denotes an array (in the
+// innermost scope that binds it).
+func (in *interp) isArrayName(name string) bool {
+	if f := in.topFrame(); f != nil && f.params[name] {
+		_, ok := f.arrays[name]
+		return ok
+	}
+	_, ok := in.arrays[name]
+	return ok
+}
+
+// evalGetline implements `getline [lvalue] < file`: 1 on a line read, 0 at
+// EOF, -1 when the file cannot be opened.
+func (in *interp) evalGetline(ex *getlineExpr) (value, error) {
+	sv, err := in.eval(ex.src)
+	if err != nil {
+		return uninitialized, err
+	}
+	name := sv.Str()
+	r, ok := in.readers[name]
+	if !ok {
+		if in.openRead == nil {
+			return uninitialized, runtimeErr("getline unavailable in this context")
+		}
+		f, err := in.openRead(name)
+		if err != nil {
+			return num(-1), nil
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+		r = &getlineReader{c: f, sc: sc}
+		in.readers[name] = r
+	}
+	if !r.sc.Scan() {
+		if err := r.sc.Err(); err != nil {
+			return num(-1), nil
+		}
+		return num(0), nil
+	}
+	line := r.sc.Text()
+	if ex.target == nil {
+		in.setRecord(line)
+		return num(1), nil
+	}
+	if err := in.assignTo(ex.target, inputStr(line)); err != nil {
+		return uninitialized, err
+	}
+	return num(1), nil
+}

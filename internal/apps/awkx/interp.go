@@ -1,0 +1,415 @@
+package awkx
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+)
+
+// Control-flow signals, carried as errors through the tree walk.
+var (
+	errBreak    = errors.New("awk: break outside loop")
+	errContinue = errors.New("awk: continue outside loop")
+	errNext     = errors.New("awk: next")
+)
+
+type returnSignal struct{ val value }
+
+func (returnSignal) Error() string { return "awk: return outside function" }
+
+type exitSignal struct{ code int }
+
+func (exitSignal) Error() string { return "awk: exit" }
+
+// frame is a function activation record. Params not passed are local
+// scalars; array params alias the caller's array.
+type frame struct {
+	scalars map[string]value
+	arrays  map[string]map[string]value
+	params  map[string]bool
+}
+
+// interp executes a parsed program.
+type interp struct {
+	prog    *program
+	globals map[string]value
+	arrays  map[string]map[string]value
+	frames  []*frame
+
+	record      string
+	fields      []string
+	fieldsValid bool
+	recordValid bool
+
+	nr int
+
+	out      io.Writer
+	openFile func(name string) (io.WriteCloser, error) // print > "file"
+	files    map[string]io.WriteCloser
+	openRead func(name string) (io.ReadCloser, error) // getline < "file"
+	readers  map[string]*getlineReader
+
+	rng     *rand.Rand
+	rngSeed int64
+
+	reCache map[string]*compiledRegex
+}
+
+func newInterp(prog *program, out io.Writer) *interp {
+	return &interp{
+		prog:    prog,
+		globals: make(map[string]value),
+		arrays:  make(map[string]map[string]value),
+		out:     out,
+		files:   make(map[string]io.WriteCloser),
+		readers: make(map[string]*getlineReader),
+		rng:     rand.New(rand.NewSource(0)),
+		reCache: make(map[string]*compiledRegex),
+	}
+}
+
+// getlineReader is one open `getline < file` source.
+type getlineReader struct {
+	c  io.Closer
+	sc *bufio.Scanner
+}
+
+func (in *interp) closeFiles() {
+	for _, f := range in.files {
+		f.Close()
+	}
+	for _, r := range in.readers {
+		r.c.Close()
+	}
+}
+
+// Special variable handling -------------------------------------------------
+
+func (in *interp) getVar(name string) value {
+	switch name {
+	case "NR":
+		return num(float64(in.nr))
+	case "NF":
+		in.ensureFields()
+		return num(float64(len(in.fields)))
+	}
+	if f := in.topFrame(); f != nil && f.params[name] {
+		return f.scalars[name]
+	}
+	if v, ok := in.globals[name]; ok {
+		return v
+	}
+	return uninitialized
+}
+
+func (in *interp) setVar(name string, v value) {
+	switch name {
+	case "NR":
+		in.nr = int(v.Num())
+		return
+	case "NF":
+		in.ensureFields()
+		n := int(v.Num())
+		if n < 0 {
+			n = 0
+		}
+		for len(in.fields) > n {
+			in.fields = in.fields[:len(in.fields)-1]
+		}
+		for len(in.fields) < n {
+			in.fields = append(in.fields, "")
+		}
+		in.recordValid = false
+		return
+	}
+	if f := in.topFrame(); f != nil && f.params[name] {
+		f.scalars[name] = v
+		return
+	}
+	in.globals[name] = v
+}
+
+func (in *interp) topFrame() *frame {
+	if len(in.frames) == 0 {
+		return nil
+	}
+	return in.frames[len(in.frames)-1]
+}
+
+// array returns the named associative array, resolving param aliases and
+// creating it on demand.
+func (in *interp) array(name string) map[string]value {
+	if f := in.topFrame(); f != nil && f.params[name] {
+		if a, ok := f.arrays[name]; ok {
+			return a
+		}
+		a := make(map[string]value)
+		f.arrays[name] = a
+		return a
+	}
+	if a, ok := in.arrays[name]; ok {
+		return a
+	}
+	a := make(map[string]value)
+	in.arrays[name] = a
+	return a
+}
+
+func (in *interp) subsep() string {
+	if v, ok := in.globals["SUBSEP"]; ok {
+		return v.Str()
+	}
+	return "\x1c"
+}
+
+func (in *interp) arrayKey(index []value) string {
+	parts := make([]string, len(index))
+	for i, v := range index {
+		parts[i] = v.Str()
+	}
+	return strings.Join(parts, in.subsep())
+}
+
+// Record and field handling --------------------------------------------------
+
+func (in *interp) setRecord(line string) {
+	in.record = line
+	in.recordValid = true
+	in.fieldsValid = false
+}
+
+func (in *interp) fs() string {
+	if v, ok := in.globals["FS"]; ok {
+		return v.Str()
+	}
+	return " "
+}
+
+func (in *interp) ofs() string {
+	if v, ok := in.globals["OFS"]; ok {
+		return v.Str()
+	}
+	return " "
+}
+
+func (in *interp) ors() string {
+	if v, ok := in.globals["ORS"]; ok {
+		return v.Str()
+	}
+	return "\n"
+}
+
+func (in *interp) ensureFields() {
+	if in.fieldsValid {
+		return
+	}
+	in.ensureRecord()
+	in.fields = in.splitFields(in.record, in.fs())
+	in.fieldsValid = true
+}
+
+// splitFields splits a record by the current FS semantics.
+func (in *interp) splitFields(s, fs string) []string {
+	switch {
+	case fs == " ":
+		return strings.Fields(s)
+	case len(fs) == 1:
+		if s == "" {
+			return nil
+		}
+		return strings.Split(s, fs)
+	default:
+		re, err := in.regex(fs)
+		if err != nil {
+			return strings.Split(s, fs)
+		}
+		if s == "" {
+			return nil
+		}
+		var out []string
+		rest := []byte(s)
+		for {
+			st, en, ok := re.re.FindIndex(rest)
+			if !ok || en == st {
+				out = append(out, string(rest))
+				return out
+			}
+			out = append(out, string(rest[:st]))
+			rest = rest[en:]
+		}
+	}
+}
+
+func (in *interp) ensureRecord() {
+	if in.recordValid {
+		return
+	}
+	in.record = strings.Join(in.fields, in.ofs())
+	in.recordValid = true
+}
+
+func (in *interp) getField(i int) value {
+	if i == 0 {
+		in.ensureRecord()
+		return inputStr(in.record)
+	}
+	in.ensureFields()
+	if i < 1 || i > len(in.fields) {
+		return uninitialized
+	}
+	return inputStr(in.fields[i-1])
+}
+
+func (in *interp) setField(i int, v value) {
+	if i == 0 {
+		in.setRecord(v.Str())
+		return
+	}
+	in.ensureFields()
+	for len(in.fields) < i {
+		in.fields = append(in.fields, "")
+	}
+	in.fields[i-1] = v.Str()
+	in.recordValid = false
+}
+
+// regex compiles (with caching) a dynamic regex source.
+func (in *interp) regex(src string) (*compiledRegex, error) {
+	if re, ok := in.reCache[src]; ok {
+		return re, nil
+	}
+	re, err := compileRegex(src)
+	if err != nil {
+		return nil, err
+	}
+	in.reCache[src] = re
+	return re, nil
+}
+
+// Program driver --------------------------------------------------------------
+
+// runError distinguishes runtime errors from control signals.
+func runtimeErr(format string, args ...any) error {
+	return fmt.Errorf("awk: %s", fmt.Sprintf(format, args...))
+}
+
+// Run executes BEGIN rules, the main loop over input records, and END
+// rules, returning the exit code.
+func (in *interp) Run(inputs []namedReader) (int, error) {
+	defer in.closeFiles()
+	exitCode := 0
+	exited := false
+
+	handle := func(err error) (stop bool, rerr error) {
+		if err == nil {
+			return false, nil
+		}
+		var ex exitSignal
+		if errors.As(err, &ex) {
+			exitCode = ex.code
+			exited = true
+			return true, nil
+		}
+		if errors.Is(err, errNext) {
+			return false, nil
+		}
+		return true, err
+	}
+
+	for _, blk := range in.prog.begins {
+		if stop, err := handle(in.execBlock(blk)); stop || err != nil {
+			if err != nil {
+				return 1, err
+			}
+			goto ends
+		}
+	}
+
+	// Main loop (only when there are main rules or END blocks).
+	if len(in.prog.rules) > 0 || len(in.prog.ends) > 0 {
+		for _, input := range inputs {
+			in.globals["FILENAME"] = str(input.name)
+			sc := bufio.NewScanner(input.r)
+			sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+			for sc.Scan() {
+				in.nr++
+				in.setRecord(sc.Text())
+				stop := false
+				var err error
+				for _, r := range in.prog.rules {
+					matched, merr := in.matchPattern(r.pattern)
+					if merr != nil {
+						return 1, merr
+					}
+					if !matched {
+						continue
+					}
+					aerr := in.execBlock(r.action)
+					if errors.Is(aerr, errNext) {
+						break // skip remaining rules for this record
+					}
+					if s, e := handle(aerr); s || e != nil {
+						stop, err = s, e
+						break
+					}
+					if exited {
+						stop = true
+						break
+					}
+				}
+				if err != nil {
+					return 1, err
+				}
+				if stop || exited {
+					goto ends
+				}
+			}
+			if err := sc.Err(); err != nil {
+				return 1, runtimeErr("reading %s: %v", input.name, err)
+			}
+		}
+	}
+
+ends:
+	// POSIX: exit in BEGIN or a main rule still runs END rules; exit inside
+	// END terminates immediately.
+	_ = exited
+	for _, blk := range in.prog.ends {
+		if err := in.execBlock(blk); err != nil {
+			var ex exitSignal
+			if errors.As(err, &ex) {
+				return ex.code, nil
+			}
+			if errors.Is(err, errNext) {
+				return 1, runtimeErr("next inside END")
+			}
+			return 1, err
+		}
+	}
+	return exitCode, nil
+}
+
+// namedReader pairs an input stream with its FILENAME.
+type namedReader struct {
+	name string
+	r    io.Reader
+}
+
+// matchPattern evaluates a rule pattern against the current record.
+func (in *interp) matchPattern(pat expr) (bool, error) {
+	if pat == nil {
+		return true, nil
+	}
+	if re, ok := pat.(*regexLit); ok {
+		in.ensureRecord()
+		return re.re.re.MatchLine([]byte(in.record)), nil
+	}
+	v, err := in.eval(pat)
+	if err != nil {
+		return false, err
+	}
+	return v.Bool(), nil
+}

@@ -1,0 +1,120 @@
+package awkx
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// value is an AWK scalar: dynamically string, number, or "strnum" (a string
+// that came from input and compares numerically when it looks like a
+// number).
+type value struct {
+	s      string
+	n      float64
+	isNum  bool
+	strnum bool
+}
+
+func num(f float64) value { return value{n: f, isNum: true} }
+func str(s string) value  { return value{s: s} }
+func inputStr(s string) value {
+	return value{s: s, strnum: looksNumeric(s)}
+}
+
+var uninitialized = value{}
+
+// looksNumeric reports whether s is a valid numeric constant with optional
+// surrounding blanks.
+func looksNumeric(s string) bool {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return false
+	}
+	_, err := strconv.ParseFloat(t, 64)
+	return err == nil
+}
+
+// Num converts following awk semantics: numeric prefix of the string, else 0.
+func (v value) Num() float64 {
+	if v.isNum {
+		return v.n
+	}
+	return numPrefix(v.s)
+}
+
+// numPrefix parses the longest numeric prefix of s (awk's string→number
+// rule: "3.5kg" is 3.5, "abc" is 0).
+func numPrefix(s string) float64 {
+	t := strings.TrimLeft(s, " \t\n\r")
+	// Numbers are short; cap the prefix scan.
+	if len(t) > 64 {
+		t = t[:64]
+	}
+	end := 0
+	for i := 1; i <= len(t); i++ {
+		v, err := strconv.ParseFloat(t[:i], 64)
+		// Go accepts "inf"/"nan" spellings; awk's number syntax does not.
+		if err == nil && !math.IsInf(v, 0) && !math.IsNaN(v) {
+			end = i
+		}
+	}
+	if end == 0 {
+		return 0
+	}
+	f, _ := strconv.ParseFloat(t[:end], 64)
+	return f
+}
+
+// Str renders the value as awk would: integral numbers without decimals,
+// others via CONVFMT (%.6g).
+func (v value) Str() string {
+	if !v.isNum {
+		return v.s
+	}
+	return numToStr(v.n)
+}
+
+func numToStr(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e16 {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return fmt.Sprintf("%.6g", f)
+}
+
+// Bool follows awk truthiness: numbers by non-zero, strings by non-empty
+// (strnums by numeric value).
+func (v value) Bool() bool {
+	if v.isNum {
+		return v.n != 0
+	}
+	if v.strnum {
+		return v.Num() != 0
+	}
+	return v.s != ""
+}
+
+// numericish reports whether a value participates in numeric comparison:
+// true numbers, input strnums, and uninitialised values.
+func numericish(v value) bool {
+	return v.isNum || v.strnum || (v.s == "" && !v.isNum)
+}
+
+// numericCompare reports whether two values should compare numerically.
+func numericCompare(a, b value) bool { return numericish(a) && numericish(b) }
+
+// compare returns -1, 0, or 1.
+func compare(a, b value) int {
+	if numericCompare(a, b) {
+		x, y := a.Num(), b.Num()
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(a.Str(), b.Str())
+}

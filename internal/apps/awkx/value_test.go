@@ -1,0 +1,162 @@
+package awkx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNumPrefix(t *testing.T) {
+	cases := map[string]float64{
+		"":          0,
+		"abc":       0,
+		"42":        42,
+		"  42":      42,
+		"3.5kg":     3.5,
+		"-7end":     -7,
+		"+2.5e3x":   2500,
+		"1e":        1,
+		".5":        0.5,
+		"0x10":      0, // awk numbers are decimal
+		"2e3":       2000,
+		"12.34.56":  12.34,
+		"infinity?": 0,
+	}
+	for in, want := range cases {
+		if got := numPrefix(in); got != want {
+			t.Errorf("numPrefix(%q) = %g, want %g", in, got, want)
+		}
+	}
+}
+
+func TestValueStr(t *testing.T) {
+	cases := []struct {
+		v    value
+		want string
+	}{
+		{num(42), "42"},
+		{num(-3), "-3"},
+		{num(3.5), "3.5"},
+		{num(1.0 / 3.0), "0.333333"},
+		{num(1e15), "1000000000000000"},
+		{str("hi"), "hi"},
+		{uninitialized, ""},
+	}
+	for _, c := range cases {
+		if got := c.v.Str(); got != c.want {
+			t.Errorf("Str(%+v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueBool(t *testing.T) {
+	cases := []struct {
+		v    value
+		want bool
+	}{
+		{num(0), false},
+		{num(0.001), true},
+		{str(""), false},
+		{str("0"), true},       // string literal "0" is truthy in awk
+		{inputStr("0"), false}, // strnum "0" is falsy
+		{inputStr("x"), true},
+		{uninitialized, false},
+	}
+	for _, c := range cases {
+		if got := c.v.Bool(); got != c.want {
+			t.Errorf("Bool(%+v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompareSemantics(t *testing.T) {
+	cases := []struct {
+		a, b value
+		want int
+	}{
+		{num(2), num(10), -1},
+		{str("2"), str("10"), 1},            // string compare
+		{inputStr("2"), inputStr("10"), -1}, // strnum compare numerically
+		{inputStr("2"), num(10), -1},
+		{str("abc"), str("abc"), 0},
+		{uninitialized, num(0), 0}, // uninitialised compares as 0
+		{uninitialized, str(""), 0},
+	}
+	for _, c := range cases {
+		if got := compare(c.a, c.b); got != c.want {
+			t.Errorf("compare(%+v, %+v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(x, y float64) bool {
+		return compare(num(x), num(y)) == -compare(num(y), num(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := lex(`x += 1.5 # comment
+"str\n" ~ /re/ && foo(`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokKind{tIdent, tOp, tNumber, tNewline, tString, tOp, tRegex, tOp, tFuncName, tOp, tEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("%d tokens: %+v", len(toks), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("token %d = %+v, want kind %d", i, toks[i], k)
+		}
+	}
+	if toks[4].text != "str\n" {
+		t.Errorf("string escape: %q", toks[4].text)
+	}
+	if toks[6].text != "re" {
+		t.Errorf("regex text: %q", toks[6].text)
+	}
+}
+
+func TestLexerRegexVsDivision(t *testing.T) {
+	// After a value, '/' is division; after an operator it starts a regex.
+	toks, err := lex(`a / b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].kind != tOp || toks[1].text != "/" {
+		t.Fatalf("division lexed as %+v", toks[1])
+	}
+	toks, err = lex(`~ /pat/`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].kind != tRegex {
+		t.Fatalf("regex lexed as %+v", toks[1])
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{
+		`"unterminated`,
+		`/unterminated`,
+		"\"newline\nin string\"",
+		"`backtick`",
+	} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) succeeded", src)
+		}
+	}
+}
+
+func TestLexerEscapedRegexSlash(t *testing.T) {
+	toks, err := lex(`~ /a\/b/`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].text != "a/b" {
+		t.Fatalf("escaped slash: %q", toks[1].text)
+	}
+}

@@ -1,0 +1,96 @@
+// Package bzip2x is a from-scratch implementation of the bzip2 format:
+// RLE1 run packing, the Burrows-Wheeler transform (cyclic-rotation sort via
+// prefix doubling), move-to-front, RUNA/RUNB zero-run coding, multi-table
+// canonical Huffman coding, and the exact .bz2 bitstream — plus the bzip2
+// and bunzip2 command-line programs of the CompStor evaluation.
+//
+// Compressed output is verified in the tests against the Go standard
+// library's compress/bzip2 reader, so the encoder is wire-compatible with
+// real bunzip2.
+package bzip2x
+
+import (
+	"bytes"
+	"io"
+)
+
+// bzip2 bitstreams are MSB-first.
+
+type msbWriter struct {
+	out *bytes.Buffer
+	acc uint64
+	n   uint
+}
+
+func newMSBWriter(out *bytes.Buffer) *msbWriter { return &msbWriter{out: out} }
+
+// writeBits emits the low `width` bits of v, MSB of that field first.
+func (w *msbWriter) writeBits(v uint64, width uint) {
+	w.acc = w.acc<<width | (v & (1<<width - 1))
+	w.n += width
+	for w.n >= 8 {
+		w.out.WriteByte(byte(w.acc >> (w.n - 8)))
+		w.n -= 8
+	}
+}
+
+// flush pads the final byte with zero bits.
+func (w *msbWriter) flush() {
+	if w.n > 0 {
+		w.out.WriteByte(byte(w.acc << (8 - w.n)))
+		w.n = 0
+	}
+	w.acc = 0
+}
+
+type msbReader struct {
+	r   io.ByteReader
+	acc uint64
+	n   uint
+}
+
+func newMSBReader(r io.ByteReader) *msbReader { return &msbReader{r: r} }
+
+// readBits returns the next `width` bits, MSB-first.
+func (r *msbReader) readBits(width uint) (uint64, error) {
+	for r.n < width {
+		c, err := r.r.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		r.acc = r.acc<<8 | uint64(c)
+		r.n += 8
+	}
+	v := (r.acc >> (r.n - width)) & (1<<width - 1)
+	r.n -= width
+	return v, nil
+}
+
+func (r *msbReader) readBit() (int, error) {
+	v, err := r.readBits(1)
+	return int(v), err
+}
+
+// alignByte discards sub-byte padding bits (whole unread bytes are kept).
+func (r *msbReader) alignByte() {
+	drop := r.n % 8
+	r.n -= drop
+	r.acc &= 1<<r.n - 1
+}
+
+// more reports whether at least one more byte is available.
+func (r *msbReader) more() bool {
+	if r.n >= 8 {
+		return true
+	}
+	c, err := r.r.ReadByte()
+	if err != nil {
+		return false
+	}
+	r.acc = r.acc<<8 | uint64(c)
+	r.n += 8
+	return true
+}

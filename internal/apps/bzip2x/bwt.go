@@ -1,0 +1,124 @@
+package bzip2x
+
+// bwt computes the Burrows-Wheeler transform of block: the last column of
+// the sorted cyclic-rotation matrix, plus the row index of the original
+// string. Rotations are sorted by Manber-Myers prefix doubling with
+// counting-sort passes — O(n log n) and independent of input pathology,
+// which matters because bzip2's classic pointer sort is quadratic on
+// repetitive inputs.
+func bwt(block []byte) (last []byte, origPtr int) {
+	n := len(block)
+	if n == 0 {
+		return nil, 0
+	}
+	sa := make([]int, n)
+	rank := make([]int, n)
+	tmp := make([]int, n)
+	bound := n + 1
+	if bound < 257 {
+		bound = 257
+	}
+	cnt := make([]int, bound)
+
+	// radixPass stably sorts sa by key values in [0, width).
+	radixPass := func(key []int, width int) {
+		for i := 0; i < width; i++ {
+			cnt[i] = 0
+		}
+		for _, s := range sa {
+			cnt[key[s]]++
+		}
+		sum := 0
+		for i := 0; i < width; i++ {
+			c := cnt[i]
+			cnt[i] = sum
+			sum += c
+		}
+		for _, s := range sa {
+			tmp[cnt[key[s]]] = s
+			cnt[key[s]]++
+		}
+		copy(sa, tmp)
+	}
+
+	for i := 0; i < n; i++ {
+		sa[i] = i
+		rank[i] = int(block[i])
+	}
+	radixPass(rank, 257)
+
+	// Re-rank after the first character sort.
+	newRank := make([]int, n)
+	reRank := func(k int) int {
+		newRank[sa[0]] = 0
+		maxR := 0
+		for i := 1; i < n; i++ {
+			a, b := sa[i-1], sa[i]
+			same := rank[a] == rank[b]
+			if same && k > 0 {
+				same = rank[(a+k)%n] == rank[(b+k)%n]
+			}
+			if same {
+				newRank[b] = newRank[a]
+			} else {
+				maxR++
+				newRank[b] = maxR
+			}
+		}
+		copy(rank, newRank)
+		return maxR
+	}
+	maxR := reRank(0)
+
+	secondKey := make([]int, n)
+	for k := 1; maxR < n-1 && k <= n; k <<= 1 {
+		for i := 0; i < n; i++ {
+			secondKey[i] = rank[(i+k)%n]
+		}
+		radixPass(secondKey, maxR+2)
+		radixPass(rank, maxR+2)
+		maxR = reRank(k)
+	}
+
+	last = make([]byte, n)
+	for i, s := range sa {
+		last[i] = block[(s+n-1)%n]
+		if s == 0 {
+			origPtr = i
+		}
+	}
+	return last, origPtr
+}
+
+// inverseBWT reconstructs the original block from the last column and the
+// original row pointer, using the standard T-vector walk.
+func inverseBWT(last []byte, origPtr int) []byte {
+	n := len(last)
+	if n == 0 {
+		return nil
+	}
+	var counts [256]int
+	for _, b := range last {
+		counts[b]++
+	}
+	var base [256]int
+	sum := 0
+	for v := 0; v < 256; v++ {
+		base[v] = sum
+		sum += counts[v]
+	}
+	// next[i]: index in `last` of the row that follows row i's rotation.
+	next := make([]int, n)
+	var seen [256]int
+	for i, b := range last {
+		next[base[b]+seen[b]] = i
+		seen[b]++
+	}
+	out := make([]byte, n)
+	p := next[origPtr]
+	for i := 0; i < n; i++ {
+		out[i] = last[p]
+		p = next[p]
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package bzip2x
+
+import (
+	"io"
+	"strings"
+
+	"compstor/internal/apps"
+	"compstor/internal/cpu"
+)
+
+// Bzip2 is the `bzip2` offloadable executable: it compresses each named
+// file to <name>.bz2, or filters stdin with no arguments. Inputs are kept.
+type Bzip2 struct {
+	// Level is the block-size level (1..9); 0 selects the package default.
+	Level int
+}
+
+// Name implements apps.Program.
+func (Bzip2) Name() string { return "bzip2" }
+
+// Class implements apps.Program.
+func (Bzip2) Class() cpu.Class { return cpu.ClassBzip2 }
+
+// Run implements apps.Program.
+func (b Bzip2) Run(ctx *apps.Context, args []string) error {
+	opt := Options{Level: b.Level}
+	if len(args) == 0 {
+		data, err := io.ReadAll(ctx.In())
+		if err != nil {
+			return err
+		}
+		_, err = ctx.Stdout.Write(Compress(data, opt))
+		return err
+	}
+	for _, name := range args {
+		data, err := readFileCharged(ctx, name)
+		if err != nil {
+			return apps.Exitf(1, "bzip2: %v", err)
+		}
+		if err := writeFile(ctx, name+".bz2", Compress(data, opt)); err != nil {
+			return apps.Exitf(1, "bzip2: %v", err)
+		}
+	}
+	return nil
+}
+
+// Bunzip2 is the `bunzip2` offloadable executable.
+type Bunzip2 struct{}
+
+// Name implements apps.Program.
+func (Bunzip2) Name() string { return "bunzip2" }
+
+// Class implements apps.Program.
+func (Bunzip2) Class() cpu.Class { return cpu.ClassBunzip2 }
+
+// Run implements apps.Program.
+func (Bunzip2) Run(ctx *apps.Context, args []string) error {
+	if len(args) == 0 {
+		data, err := io.ReadAll(ctx.In())
+		if err != nil {
+			return err
+		}
+		out, err := Decompress(data)
+		if err != nil {
+			return err
+		}
+		apps.ChargeExtra(ctx, int64(len(out)-len(data)))
+		_, err = ctx.Stdout.Write(out)
+		return err
+	}
+	for _, name := range args {
+		data, err := readFileCharged(ctx, name)
+		if err != nil {
+			return apps.Exitf(1, "bunzip2: %v", err)
+		}
+		out, err := Decompress(data)
+		if err != nil {
+			return apps.Exitf(1, "bunzip2: %s: %v", name, err)
+		}
+		// Decompression cost is calibrated per plain byte; top up from the
+		// auto-charged compressed input to the plain output size.
+		apps.ChargeExtra(ctx, int64(len(out)-len(data)))
+		if err := writeFile(ctx, strings.TrimSuffix(name, ".bz2"), out); err != nil {
+			return apps.Exitf(1, "bunzip2: %v", err)
+		}
+	}
+	return nil
+}
+
+func readFileCharged(ctx *apps.Context, name string) ([]byte, error) {
+	f, err := ctx.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+func writeFile(ctx *apps.Context, name string, data []byte) error {
+	f, err := ctx.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,36 @@
+package bzip2x
+
+// bzip2 uses CRC-32 with the polynomial 0x04C11DB7 in MSB-first (non-
+// reflected) bit order — unlike the reflected IEEE CRC in hash/crc32 — with
+// initial value 0xFFFFFFFF and a final complement.
+
+var crcTable [256]uint32
+
+func init() {
+	const poly = 0x04C11DB7
+	for i := 0; i < 256; i++ {
+		c := uint32(i) << 24
+		for b := 0; b < 8; b++ {
+			if c&0x80000000 != 0 {
+				c = c<<1 ^ poly
+			} else {
+				c <<= 1
+			}
+		}
+		crcTable[i] = c
+	}
+}
+
+// blockCRC computes the bzip2 block CRC of data.
+func blockCRC(data []byte) uint32 {
+	c := uint32(0xFFFFFFFF)
+	for _, b := range data {
+		c = c<<8 ^ crcTable[byte(c>>24)^b]
+	}
+	return ^c
+}
+
+// combineCRC folds a block CRC into the stream CRC.
+func combineCRC(stream, block uint32) uint32 {
+	return (stream<<1 | stream>>31) ^ block
+}

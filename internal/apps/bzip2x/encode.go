@@ -1,0 +1,288 @@
+package bzip2x
+
+import (
+	"bytes"
+	"sort"
+)
+
+const (
+	blockMagicHi = 0x314159 // π
+	blockMagicLo = 0x265359
+	eosMagicHi   = 0x177245 // √π
+	eosMagicLo   = 0x385090
+	groupSize    = 50 // symbols per selector group
+	maxCodeLen   = 17 // ≤ 20 per the format; 17 keeps package-merge cheap
+)
+
+// Options controls the encoder.
+type Options struct {
+	// Level selects the block size (Level × 100 kB), 1..9. The default (0)
+	// means level 1: the rotation sort dominates encode time, and the
+	// simulation datasets use files around that scale anyway.
+	Level int
+}
+
+func (o Options) blockLimit() int {
+	l := o.Level
+	if l <= 0 {
+		l = 1
+	}
+	if l > 9 {
+		l = 9
+	}
+	return l * 100_000
+}
+
+// Compress produces a complete .bz2 stream containing src.
+func Compress(src []byte, opt Options) []byte {
+	var out bytes.Buffer
+	w := newMSBWriter(&out)
+	level := opt.blockLimit() / 100_000
+	w.writeBits(uint64('B'), 8)
+	w.writeBits(uint64('Z'), 8)
+	w.writeBits(uint64('h'), 8)
+	w.writeBits(uint64('0'+level), 8)
+	var streamCRC uint32
+	limit := opt.blockLimit()
+	for len(src) > 0 {
+		// RLE1-encode greedily until the block limit.
+		rle, consumed := rle1Encode(src, limit)
+		crc := blockCRC(src[:consumed])
+		streamCRC = combineCRC(streamCRC, crc)
+		writeBlock(w, rle, crc)
+		src = src[consumed:]
+	}
+	w.writeBits(eosMagicHi, 24)
+	w.writeBits(eosMagicLo, 24)
+	w.writeBits(uint64(streamCRC), 32)
+	w.flush()
+	return out.Bytes()
+}
+
+// rle1Encode applies bzip2's initial run-length encoding (runs of 4-259
+// become 4 literals plus a count byte), stopping before the output exceeds
+// limit. It returns the encoded bytes and how much input was consumed.
+func rle1Encode(src []byte, limit int) (out []byte, consumed int) {
+	out = make([]byte, 0, limit)
+	i := 0
+	for i < len(src) && len(out)+5 <= limit {
+		b := src[i]
+		run := 1
+		for i+run < len(src) && run < 259 && src[i+run] == b {
+			run++
+		}
+		if run >= 4 {
+			out = append(out, b, b, b, b, byte(run-4))
+			i += run
+		} else {
+			out = append(out, src[i:i+run]...)
+			i += run
+		}
+	}
+	return out, i
+}
+
+// writeBlock emits one compressed block for RLE1 data.
+func writeBlock(w *msbWriter, rle []byte, crc uint32) {
+	last, origPtr := bwt(rle)
+	syms, used := mtfRLE2(last)
+	nUsed := len(used)
+	alpha := nUsed + 2
+	eob := alpha - 1
+
+	w.writeBits(blockMagicHi, 24)
+	w.writeBits(blockMagicLo, 24)
+	w.writeBits(uint64(crc), 32)
+	w.writeBits(0, 1) // not randomised
+	w.writeBits(uint64(origPtr), 24)
+
+	// Symbol map.
+	var groups uint16
+	var rows [16]uint16
+	for _, b := range used {
+		groups |= 1 << (15 - b/16)
+		rows[b/16] |= 1 << (15 - b%16)
+	}
+	w.writeBits(uint64(groups), 16)
+	for g := 0; g < 16; g++ {
+		if groups&(1<<(15-g)) != 0 {
+			w.writeBits(uint64(rows[g]), 16)
+		}
+	}
+
+	// Huffman coding: two identical tables (the format minimum), selector 0
+	// everywhere. This sacrifices a little ratio for simplicity; the
+	// bitstream stays fully conformant.
+	freq := make([]int, alpha)
+	for _, s := range syms {
+		freq[s]++
+	}
+	lengths := buildCodeLengths(freq, maxCodeLen)
+	codes := canonicalCodes(lengths)
+	nGroups := 2
+	nSel := (len(syms) + groupSize - 1) / groupSize
+	w.writeBits(uint64(nGroups), 3)
+	w.writeBits(uint64(nSel), 15)
+	for i := 0; i < nSel; i++ {
+		w.writeBits(0, 1) // selector 0, MTF-coded as a bare terminator bit
+	}
+	for g := 0; g < nGroups; g++ {
+		cur := lengths[0]
+		w.writeBits(uint64(cur), 5)
+		for _, l := range lengths {
+			for cur < l {
+				w.writeBits(0b10, 2)
+				cur++
+			}
+			for cur > l {
+				w.writeBits(0b11, 2)
+				cur--
+			}
+			w.writeBits(0, 1)
+		}
+	}
+	for _, s := range syms {
+		w.writeBits(uint64(codes[s]), uint(lengths[s]))
+	}
+	_ = eob
+}
+
+// mtfRLE2 converts the BWT last column into the MTF + RUNA/RUNB symbol
+// stream, terminated by the EOB symbol. It returns the symbols and the
+// sorted list of byte values in use.
+func mtfRLE2(last []byte) (syms []uint16, used []byte) {
+	var present [256]bool
+	for _, b := range last {
+		present[b] = true
+	}
+	for v := 0; v < 256; v++ {
+		if present[v] {
+			used = append(used, byte(v))
+		}
+	}
+	idxOf := make([]int, 256)
+	for i, b := range used {
+		idxOf[b] = i
+	}
+	mtf := make([]int, len(used))
+	for i := range mtf {
+		mtf[i] = i
+	}
+	eob := uint16(len(used) + 1)
+	run := 0
+	flushRun := func() {
+		// Bijective base-2 with digits RUNA(=1) and RUNB(=2).
+		for run > 0 {
+			if run&1 == 1 {
+				syms = append(syms, 0) // RUNA
+				run = (run - 1) / 2
+			} else {
+				syms = append(syms, 1) // RUNB
+				run = (run - 2) / 2
+			}
+		}
+	}
+	for _, b := range last {
+		want := idxOf[b]
+		pos := 0
+		for mtf[pos] != want {
+			pos++
+		}
+		if pos == 0 {
+			run++
+			continue
+		}
+		flushRun()
+		copy(mtf[1:pos+1], mtf[:pos])
+		mtf[0] = want
+		syms = append(syms, uint16(pos+1))
+	}
+	flushRun()
+	syms = append(syms, eob)
+	return syms, used
+}
+
+// buildCodeLengths computes length-limited Huffman code lengths via
+// package-merge. Every symbol is assigned a non-zero length (bzip2 tables
+// must cover the whole block alphabet; zero-frequency symbols get the
+// maximum length).
+func buildCodeLengths(freq []int, maxBits int) []int {
+	adj := make([]int, len(freq))
+	for i, f := range freq {
+		if f == 0 {
+			adj[i] = 1 // present with minimal weight
+		} else {
+			adj[i] = f + 1
+		}
+	}
+	type item struct {
+		w    int
+		syms []int
+	}
+	level := make([]item, len(adj))
+	for i, f := range adj {
+		level[i] = item{w: f, syms: []int{i}}
+	}
+	sortItems := func(xs []item) {
+		sort.SliceStable(xs, func(a, b int) bool { return xs[a].w < xs[b].w })
+	}
+	sortItems(level)
+	prev := append([]item(nil), level...)
+	for bit := 1; bit < maxBits; bit++ {
+		var pkgs []item
+		for i := 0; i+1 < len(prev); i += 2 {
+			m := item{w: prev[i].w + prev[i+1].w}
+			m.syms = append(append([]int(nil), prev[i].syms...), prev[i+1].syms...)
+			pkgs = append(pkgs, m)
+		}
+		next := make([]item, 0, len(adj)+len(pkgs))
+		for i, f := range adj {
+			next = append(next, item{w: f, syms: []int{i}})
+		}
+		next = append(next, pkgs...)
+		sortItems(next)
+		prev = next
+	}
+	take := 2*len(adj) - 2
+	lengths := make([]int, len(freq))
+	for i := 0; i < take && i < len(prev); i++ {
+		for _, s := range prev[i].syms {
+			lengths[s]++
+		}
+	}
+	if len(adj) == 1 {
+		lengths[0] = 1
+	}
+	return lengths
+}
+
+// canonicalCodes assigns canonical codes from lengths (MSB-first natural
+// order, as bzip2 stores them).
+func canonicalCodes(lengths []int) []uint64 {
+	maxLen := 0
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	blCount := make([]int, maxLen+1)
+	for _, l := range lengths {
+		if l > 0 {
+			blCount[l]++
+		}
+	}
+	nextCode := make([]uint64, maxLen+2)
+	var code uint64
+	for bits := 1; bits <= maxLen; bits++ {
+		code = (code + uint64(blCount[bits-1])) << 1
+		nextCode[bits] = code
+	}
+	codes := make([]uint64, len(lengths))
+	for i, l := range lengths {
+		if l > 0 {
+			codes[i] = nextCode[l]
+			nextCode[l]++
+		}
+	}
+	return codes
+}

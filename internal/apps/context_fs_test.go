@@ -1,0 +1,128 @@
+package apps_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"compstor/internal/apps"
+	"compstor/internal/cpu"
+	"compstor/internal/minfs"
+	"compstor/internal/sim"
+)
+
+// memDevice is a zero-cost BlockDevice for context tests.
+type memDevice struct {
+	pageSize int
+	pages    int64
+	store    map[int64][]byte
+}
+
+func (d *memDevice) PageSize() int { return d.pageSize }
+func (d *memDevice) Pages() int64  { return d.pages }
+func (d *memDevice) ReadPages(p *sim.Proc, lpn, count int64) ([]byte, error) {
+	out := make([]byte, 0, count*int64(d.pageSize))
+	for i := int64(0); i < count; i++ {
+		if pg, ok := d.store[lpn+i]; ok {
+			out = append(out, pg...)
+		} else {
+			out = append(out, make([]byte, d.pageSize)...)
+		}
+	}
+	return out, nil
+}
+func (d *memDevice) WritePages(p *sim.Proc, lpn int64, data []byte) error {
+	for i := 0; i*d.pageSize < len(data); i++ {
+		pg := make([]byte, d.pageSize)
+		copy(pg, data[i*d.pageSize:])
+		d.store[lpn+int64(i)] = pg
+	}
+	return nil
+}
+func (d *memDevice) TrimPages(p *sim.Proc, lpn, count int64) error {
+	for i := int64(0); i < count; i++ {
+		delete(d.store, lpn+i)
+	}
+	return nil
+}
+
+func withFSContext(t *testing.T, body func(p *sim.Proc, ctx *apps.Context, charged *int64)) {
+	t.Helper()
+	eng := sim.NewEngine()
+	dev := &memDevice{pageSize: 512, pages: 4096, store: make(map[int64][]byte)}
+	view := minfs.NewView(minfs.NewFS(512, 4096), dev)
+	var charged int64
+	eng.Go("t", func(p *sim.Proc) {
+		ctx := &apps.Context{
+			Proc:   p,
+			FS:     view,
+			Stdout: &bytes.Buffer{},
+			Stderr: &bytes.Buffer{},
+			Class:  cpu.ClassGrep,
+			Charge: func(c cpu.Class, n int64) { charged += n },
+		}
+		body(p, ctx, &charged)
+	})
+	eng.Run()
+}
+
+func TestContextCreateOpenRoundTrip(t *testing.T) {
+	withFSContext(t, func(p *sim.Proc, ctx *apps.Context, charged *int64) {
+		w, err := ctx.Create("out.txt")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		payload := bytes.Repeat([]byte("fs context "), 100)
+		if _, err := w.Write(payload); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := w.Close(); err != nil {
+			t.Error(err)
+			return
+		}
+		r, err := ctx.Open("out.txt")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer r.Close()
+		got, err := io.ReadAll(r)
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Errorf("round trip failed: %v", err)
+		}
+		// Reading through ctx.Open must auto-charge the input bytes.
+		if *charged != int64(len(payload)) {
+			t.Errorf("charged %d bytes, want %d", *charged, len(payload))
+		}
+	})
+}
+
+func TestContextCreateReplacesExisting(t *testing.T) {
+	withFSContext(t, func(p *sim.Proc, ctx *apps.Context, _ *int64) {
+		for round, content := range []string{"first version", "second"} {
+			w, err := ctx.Create("f")
+			if err != nil {
+				t.Errorf("round %d: %v", round, err)
+				return
+			}
+			w.Write([]byte(content))
+			w.Close()
+		}
+		r, _ := ctx.Open("f")
+		defer r.Close()
+		got, _ := io.ReadAll(r)
+		if string(got) != "second" {
+			t.Errorf("got %q", got)
+		}
+	})
+}
+
+func TestContextOpenMissing(t *testing.T) {
+	withFSContext(t, func(p *sim.Proc, ctx *apps.Context, _ *int64) {
+		if _, err := ctx.Open("missing"); err == nil {
+			t.Error("open of missing file succeeded")
+		}
+	})
+}

@@ -1,0 +1,515 @@
+// Package coreutils provides the small Unix tools available inside the
+// CompStor in-storage Linux environment: cat, wc, head, tail, sort, uniq,
+// cut, tr, echo, and cksum. Together with the shell (shx) they back the
+// paper's claim that arbitrary shell command lines run in-place.
+package coreutils
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"compstor/internal/apps"
+	"compstor/internal/cpu"
+)
+
+// openAll opens the named files, or yields stdin when none are given.
+func openAll(ctx *apps.Context, names []string) ([]io.Reader, func(), error) {
+	if len(names) == 0 {
+		return []io.Reader{ctx.In()}, func() {}, nil
+	}
+	var readers []io.Reader
+	var closers []io.Closer
+	for _, n := range names {
+		f, err := ctx.Open(n)
+		if err != nil {
+			for _, c := range closers {
+				c.Close()
+			}
+			return nil, nil, err
+		}
+		readers = append(readers, f)
+		closers = append(closers, f)
+	}
+	return readers, func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}, nil
+}
+
+// Cat concatenates files (or stdin) to stdout.
+type Cat struct{}
+
+// Name implements apps.Program.
+func (Cat) Name() string { return "cat" }
+
+// Class implements apps.Program.
+func (Cat) Class() cpu.Class { return cpu.ClassCat }
+
+// Run implements apps.Program.
+func (Cat) Run(ctx *apps.Context, args []string) error {
+	rs, done, err := openAll(ctx, args)
+	if err != nil {
+		return apps.Exitf(1, "cat: %v", err)
+	}
+	defer done()
+	for _, r := range rs {
+		if _, err := io.Copy(ctx.Stdout, r); err != nil {
+			return apps.Exitf(1, "cat: %v", err)
+		}
+	}
+	return nil
+}
+
+// WC counts lines, words and bytes.
+type WC struct{}
+
+// Name implements apps.Program.
+func (WC) Name() string { return "wc" }
+
+// Class implements apps.Program.
+func (WC) Class() cpu.Class { return cpu.ClassWC }
+
+// Run implements apps.Program.
+func (WC) Run(ctx *apps.Context, args []string) error {
+	var onlyLines, onlyWords, onlyBytes bool
+	var files []string
+	for _, a := range args {
+		switch a {
+		case "-l":
+			onlyLines = true
+		case "-w":
+			onlyWords = true
+		case "-c":
+			onlyBytes = true
+		default:
+			if strings.HasPrefix(a, "-") {
+				return apps.Exitf(1, "wc: unknown flag %s", a)
+			}
+			files = append(files, a)
+		}
+	}
+	rs, done, err := openAll(ctx, files)
+	if err != nil {
+		return apps.Exitf(1, "wc: %v", err)
+	}
+	defer done()
+	var tl, tw, tb int64
+	emit := func(l, w, b int64, name string) {
+		switch {
+		case onlyLines && !onlyWords && !onlyBytes:
+			fmt.Fprintf(ctx.Stdout, "%d", l)
+		case onlyWords && !onlyLines && !onlyBytes:
+			fmt.Fprintf(ctx.Stdout, "%d", w)
+		case onlyBytes && !onlyLines && !onlyWords:
+			fmt.Fprintf(ctx.Stdout, "%d", b)
+		default:
+			fmt.Fprintf(ctx.Stdout, "%7d %7d %7d", l, w, b)
+		}
+		if name != "" {
+			fmt.Fprintf(ctx.Stdout, " %s", name)
+		}
+		fmt.Fprintln(ctx.Stdout)
+	}
+	for i, r := range rs {
+		var l, w, b int64
+		br := bufio.NewReader(r)
+		inWord := false
+		for {
+			c, err := br.ReadByte()
+			if err != nil {
+				break
+			}
+			b++
+			if c == '\n' {
+				l++
+			}
+			space := c == ' ' || c == '\t' || c == '\n' || c == '\r'
+			if !space && !inWord {
+				w++
+			}
+			inWord = !space
+		}
+		name := ""
+		if len(files) > 0 {
+			name = files[i]
+		}
+		emit(l, w, b, name)
+		tl, tw, tb = tl+l, tw+w, tb+b
+	}
+	if len(rs) > 1 {
+		emit(tl, tw, tb, "total")
+	}
+	return nil
+}
+
+// Head prints the first N lines (default 10).
+type Head struct{}
+
+// Name implements apps.Program.
+func (Head) Name() string { return "head" }
+
+// Class implements apps.Program.
+func (Head) Class() cpu.Class { return cpu.ClassCat }
+
+// Run implements apps.Program.
+func (Head) Run(ctx *apps.Context, args []string) error {
+	n, files, err := headTailArgs(args)
+	if err != nil {
+		return apps.Exitf(1, "head: %v", err)
+	}
+	rs, done, oerr := openAll(ctx, files)
+	if oerr != nil {
+		return apps.Exitf(1, "head: %v", oerr)
+	}
+	defer done()
+	for _, r := range rs {
+		sc := newScanner(r)
+		for i := 0; i < n && sc.Scan(); i++ {
+			fmt.Fprintln(ctx.Stdout, sc.Text())
+		}
+	}
+	return nil
+}
+
+// Tail prints the last N lines (default 10).
+type Tail struct{}
+
+// Name implements apps.Program.
+func (Tail) Name() string { return "tail" }
+
+// Class implements apps.Program.
+func (Tail) Class() cpu.Class { return cpu.ClassCat }
+
+// Run implements apps.Program.
+func (Tail) Run(ctx *apps.Context, args []string) error {
+	n, files, err := headTailArgs(args)
+	if err != nil {
+		return apps.Exitf(1, "tail: %v", err)
+	}
+	rs, done, oerr := openAll(ctx, files)
+	if oerr != nil {
+		return apps.Exitf(1, "tail: %v", oerr)
+	}
+	defer done()
+	for _, r := range rs {
+		ring := make([]string, 0, n)
+		sc := newScanner(r)
+		for sc.Scan() {
+			if len(ring) == n {
+				copy(ring, ring[1:])
+				ring = ring[:n-1]
+			}
+			ring = append(ring, sc.Text())
+		}
+		for _, l := range ring {
+			fmt.Fprintln(ctx.Stdout, l)
+		}
+	}
+	return nil
+}
+
+func headTailArgs(args []string) (int, []string, error) {
+	n := 10
+	var files []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-n" && i+1 < len(args):
+			v, err := strconv.Atoi(args[i+1])
+			if err != nil || v < 0 {
+				return 0, nil, fmt.Errorf("bad count %q", args[i+1])
+			}
+			n = v
+			i++
+		case strings.HasPrefix(a, "-n"):
+			v, err := strconv.Atoi(a[2:])
+			if err != nil || v < 0 {
+				return 0, nil, fmt.Errorf("bad count %q", a)
+			}
+			n = v
+		case strings.HasPrefix(a, "-"):
+			return 0, nil, fmt.Errorf("unknown flag %s", a)
+		default:
+			files = append(files, a)
+		}
+	}
+	return n, files, nil
+}
+
+func newScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	return sc
+}
+
+// Sort sorts lines (-r reverse, -n numeric, -u unique).
+type Sort struct{}
+
+// Name implements apps.Program.
+func (Sort) Name() string { return "sort" }
+
+// Class implements apps.Program.
+func (Sort) Class() cpu.Class { return cpu.ClassSort }
+
+// Run implements apps.Program.
+func (Sort) Run(ctx *apps.Context, args []string) error {
+	var rev, numeric, uniq bool
+	var files []string
+	for _, a := range args {
+		switch a {
+		case "-r":
+			rev = true
+		case "-n":
+			numeric = true
+		case "-u":
+			uniq = true
+		case "-rn", "-nr":
+			rev, numeric = true, true
+		default:
+			if strings.HasPrefix(a, "-") {
+				return apps.Exitf(1, "sort: unknown flag %s", a)
+			}
+			files = append(files, a)
+		}
+	}
+	rs, done, err := openAll(ctx, files)
+	if err != nil {
+		return apps.Exitf(1, "sort: %v", err)
+	}
+	defer done()
+	var lines []string
+	for _, r := range rs {
+		sc := newScanner(r)
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+	}
+	less := func(a, b string) bool { return a < b }
+	if numeric {
+		less = func(a, b string) bool {
+			fa, _ := strconv.ParseFloat(strings.TrimSpace(leadingNum(a)), 64)
+			fb, _ := strconv.ParseFloat(strings.TrimSpace(leadingNum(b)), 64)
+			if fa != fb {
+				return fa < fb
+			}
+			return a < b
+		}
+	}
+	sort.SliceStable(lines, func(i, j int) bool {
+		if rev {
+			return less(lines[j], lines[i])
+		}
+		return less(lines[i], lines[j])
+	})
+	var prev string
+	first := true
+	for _, l := range lines {
+		if uniq && !first && l == prev {
+			continue
+		}
+		fmt.Fprintln(ctx.Stdout, l)
+		prev, first = l, false
+	}
+	return nil
+}
+
+func leadingNum(s string) string {
+	t := strings.TrimSpace(s)
+	end := 0
+	for end < len(t) && (t[end] == '-' || t[end] == '+' || t[end] == '.' || (t[end] >= '0' && t[end] <= '9')) {
+		end++
+	}
+	return t[:end]
+}
+
+// Uniq collapses adjacent duplicate lines (-c prefixes counts).
+type Uniq struct{}
+
+// Name implements apps.Program.
+func (Uniq) Name() string { return "uniq" }
+
+// Class implements apps.Program.
+func (Uniq) Class() cpu.Class { return cpu.ClassWC }
+
+// Run implements apps.Program.
+func (Uniq) Run(ctx *apps.Context, args []string) error {
+	var counts bool
+	var files []string
+	for _, a := range args {
+		switch {
+		case a == "-c":
+			counts = true
+		case strings.HasPrefix(a, "-"):
+			return apps.Exitf(1, "uniq: unknown flag %s", a)
+		default:
+			files = append(files, a)
+		}
+	}
+	rs, done, err := openAll(ctx, files)
+	if err != nil {
+		return apps.Exitf(1, "uniq: %v", err)
+	}
+	defer done()
+	var prev string
+	run := 0
+	flush := func() {
+		if run == 0 {
+			return
+		}
+		if counts {
+			fmt.Fprintf(ctx.Stdout, "%7d %s\n", run, prev)
+		} else {
+			fmt.Fprintln(ctx.Stdout, prev)
+		}
+	}
+	for _, r := range rs {
+		sc := newScanner(r)
+		for sc.Scan() {
+			l := sc.Text()
+			if run > 0 && l == prev {
+				run++
+				continue
+			}
+			flush()
+			prev, run = l, 1
+		}
+	}
+	flush()
+	return nil
+}
+
+// Cut extracts fields (-d delim -f list) or byte ranges (-c n-m).
+type Cut struct{}
+
+// Name implements apps.Program.
+func (Cut) Name() string { return "cut" }
+
+// Class implements apps.Program.
+func (Cut) Class() cpu.Class { return cpu.ClassWC }
+
+// Run implements apps.Program.
+func (Cut) Run(ctx *apps.Context, args []string) error {
+	delim := "\t"
+	var fieldSpec string
+	var files []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-d" && i+1 < len(args):
+			delim = args[i+1]
+			i++
+		case strings.HasPrefix(a, "-d"):
+			delim = a[2:]
+		case a == "-f" && i+1 < len(args):
+			fieldSpec = args[i+1]
+			i++
+		case strings.HasPrefix(a, "-f"):
+			fieldSpec = a[2:]
+		case strings.HasPrefix(a, "-"):
+			return apps.Exitf(1, "cut: unknown flag %s", a)
+		default:
+			files = append(files, a)
+		}
+	}
+	if fieldSpec == "" {
+		return apps.Exitf(1, "cut: -f required")
+	}
+	wanted, err := parseFieldList(fieldSpec)
+	if err != nil {
+		return apps.Exitf(1, "cut: %v", err)
+	}
+	rs, done, oerr := openAll(ctx, files)
+	if oerr != nil {
+		return apps.Exitf(1, "cut: %v", oerr)
+	}
+	defer done()
+	for _, r := range rs {
+		sc := newScanner(r)
+		for sc.Scan() {
+			parts := strings.Split(sc.Text(), delim)
+			var out []string
+			for _, f := range wanted {
+				if f-1 < len(parts) {
+					out = append(out, parts[f-1])
+				}
+			}
+			fmt.Fprintln(ctx.Stdout, strings.Join(out, delim))
+		}
+	}
+	return nil
+}
+
+func parseFieldList(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.Atoi(lo)
+			b, err2 := strconv.Atoi(hi)
+			if err1 != nil || err2 != nil || a < 1 || b < a {
+				return nil, fmt.Errorf("bad range %q", part)
+			}
+			for f := a; f <= b; f++ {
+				out = append(out, f)
+			}
+			continue
+		}
+		f, err := strconv.Atoi(part)
+		if err != nil || f < 1 {
+			return nil, fmt.Errorf("bad field %q", part)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Echo prints its arguments.
+type Echo struct{}
+
+// Name implements apps.Program.
+func (Echo) Name() string { return "echo" }
+
+// Class implements apps.Program.
+func (Echo) Class() cpu.Class { return cpu.ClassCat }
+
+// Run implements apps.Program.
+func (Echo) Run(ctx *apps.Context, args []string) error {
+	fmt.Fprintln(ctx.Stdout, strings.Join(args, " "))
+	return nil
+}
+
+// Cksum prints an FNV-1a checksum and byte count per input.
+type Cksum struct{}
+
+// Name implements apps.Program.
+func (Cksum) Name() string { return "cksum" }
+
+// Class implements apps.Program.
+func (Cksum) Class() cpu.Class { return cpu.ClassWC }
+
+// Run implements apps.Program.
+func (Cksum) Run(ctx *apps.Context, args []string) error {
+	rs, done, err := openAll(ctx, args)
+	if err != nil {
+		return apps.Exitf(1, "cksum: %v", err)
+	}
+	defer done()
+	for i, r := range rs {
+		h := fnv.New64a()
+		n, err := io.Copy(h, r)
+		if err != nil {
+			return apps.Exitf(1, "cksum: %v", err)
+		}
+		name := ""
+		if len(args) > 0 {
+			name = " " + args[i]
+		}
+		fmt.Fprintf(ctx.Stdout, "%016x %d%s\n", h.Sum64(), n, name)
+	}
+	return nil
+}

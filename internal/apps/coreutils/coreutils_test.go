@@ -1,0 +1,169 @@
+package coreutils
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"compstor/internal/apps"
+)
+
+func runTool(t *testing.T, p apps.Program, stdin string, args ...string) (string, int) {
+	t.Helper()
+	var out bytes.Buffer
+	ctx := &apps.Context{
+		Stdin:  strings.NewReader(stdin),
+		Stdout: &out,
+		Stderr: &bytes.Buffer{},
+	}
+	err := p.Run(ctx, args)
+	return out.String(), apps.ExitCode(err)
+}
+
+func TestCatStdin(t *testing.T) {
+	out, code := runTool(t, Cat{}, "line1\nline2\n")
+	if code != 0 || out != "line1\nline2\n" {
+		t.Fatalf("out=%q code=%d", out, code)
+	}
+}
+
+func TestWCCounts(t *testing.T) {
+	out, _ := runTool(t, WC{}, "one two\nthree\n")
+	if !strings.Contains(out, "2") || !strings.Contains(out, "3") || !strings.Contains(out, "14") {
+		t.Fatalf("wc output %q", out)
+	}
+}
+
+func TestWCLinesOnly(t *testing.T) {
+	out, _ := runTool(t, WC{}, "a\nb\nc\n", "-l")
+	if strings.TrimSpace(out) != "3" {
+		t.Fatalf("wc -l = %q", out)
+	}
+}
+
+func TestWCWordsOnly(t *testing.T) {
+	out, _ := runTool(t, WC{}, "a b  c\nd\n", "-w")
+	if strings.TrimSpace(out) != "4" {
+		t.Fatalf("wc -w = %q", out)
+	}
+}
+
+func TestHead(t *testing.T) {
+	input := "1\n2\n3\n4\n5\n"
+	out, _ := runTool(t, Head{}, input, "-n", "2")
+	if out != "1\n2\n" {
+		t.Fatalf("head = %q", out)
+	}
+	out, _ = runTool(t, Head{}, input, "-n3")
+	if out != "1\n2\n3\n" {
+		t.Fatalf("head -n3 = %q", out)
+	}
+}
+
+func TestTail(t *testing.T) {
+	out, _ := runTool(t, Tail{}, "1\n2\n3\n4\n5\n", "-n", "2")
+	if out != "4\n5\n" {
+		t.Fatalf("tail = %q", out)
+	}
+}
+
+func TestSortLexAndNumeric(t *testing.T) {
+	out, _ := runTool(t, Sort{}, "b\na\nc\n")
+	if out != "a\nb\nc\n" {
+		t.Fatalf("sort = %q", out)
+	}
+	out, _ = runTool(t, Sort{}, "10\n9\n2\n")
+	if out != "10\n2\n9\n" {
+		t.Fatalf("lex sort of numbers = %q", out)
+	}
+	out, _ = runTool(t, Sort{}, "10\n9\n2\n", "-n")
+	if out != "2\n9\n10\n" {
+		t.Fatalf("sort -n = %q", out)
+	}
+	out, _ = runTool(t, Sort{}, "1\n3\n2\n", "-rn")
+	if out != "3\n2\n1\n" {
+		t.Fatalf("sort -rn = %q", out)
+	}
+	out, _ = runTool(t, Sort{}, "b\na\nb\n", "-u")
+	if out != "a\nb\n" {
+		t.Fatalf("sort -u = %q", out)
+	}
+}
+
+func TestUniq(t *testing.T) {
+	out, _ := runTool(t, Uniq{}, "a\na\nb\na\n")
+	if out != "a\nb\na\n" {
+		t.Fatalf("uniq = %q", out)
+	}
+	out, _ = runTool(t, Uniq{}, "a\na\nb\n", "-c")
+	if !strings.Contains(out, "2 a") || !strings.Contains(out, "1 b") {
+		t.Fatalf("uniq -c = %q", out)
+	}
+}
+
+func TestCut(t *testing.T) {
+	out, _ := runTool(t, Cut{}, "a:b:c\nd:e:f\n", "-d", ":", "-f", "2")
+	if out != "b\ne\n" {
+		t.Fatalf("cut = %q", out)
+	}
+	out, _ = runTool(t, Cut{}, "a:b:c\n", "-d:", "-f1,3")
+	if out != "a:c\n" {
+		t.Fatalf("cut multi = %q", out)
+	}
+	out, _ = runTool(t, Cut{}, "a:b:c:d\n", "-d:", "-f2-3")
+	if out != "b:c\n" {
+		t.Fatalf("cut range = %q", out)
+	}
+}
+
+func TestCutRequiresFields(t *testing.T) {
+	_, code := runTool(t, Cut{}, "x\n")
+	if code == 0 {
+		t.Fatal("cut without -f should fail")
+	}
+}
+
+func TestEcho(t *testing.T) {
+	out, _ := runTool(t, Echo{}, "", "hello", "world")
+	if out != "hello world\n" {
+		t.Fatalf("echo = %q", out)
+	}
+}
+
+func TestCksumDeterministic(t *testing.T) {
+	a, _ := runTool(t, Cksum{}, "payload")
+	b, _ := runTool(t, Cksum{}, "payload")
+	if a != b {
+		t.Fatal("cksum not deterministic")
+	}
+	c, _ := runTool(t, Cksum{}, "different")
+	if a == c {
+		t.Fatal("cksum collision on different input")
+	}
+}
+
+func TestUnknownFlagsRejected(t *testing.T) {
+	for _, tc := range []struct {
+		p    apps.Program
+		args []string
+	}{
+		{WC{}, []string{"-z"}},
+		{Sort{}, []string{"-z"}},
+		{Uniq{}, []string{"-z"}},
+		{Cut{}, []string{"-z"}},
+		{Head{}, []string{"-z"}},
+	} {
+		if _, code := runTool(t, tc.p, "", tc.args...); code == 0 {
+			t.Errorf("%s accepted bad flag", tc.p.Name())
+		}
+	}
+}
+
+func TestMissingFileFails(t *testing.T) {
+	// No FS in context: file args must error, not panic.
+	for _, p := range []apps.Program{Cat{}, WC{}, Head{}, Tail{}, Sort{}, Uniq{}, Cksum{}} {
+		if _, code := runTool(t, p, "", "no-such-file"); code == 0 {
+			t.Errorf("%s with missing file succeeded", p.Name())
+		}
+	}
+}

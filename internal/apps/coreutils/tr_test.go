@@ -1,0 +1,56 @@
+package coreutils
+
+import "testing"
+
+func TestTrTranslate(t *testing.T) {
+	out, code := runTool(t, Tr{}, "hello world", "a-z", "A-Z")
+	if code != 0 || out != "HELLO WORLD" {
+		t.Fatalf("out=%q code=%d", out, code)
+	}
+}
+
+func TestTrDelete(t *testing.T) {
+	out, _ := runTool(t, Tr{}, "a1b2c3", "-d", "0-9")
+	if out != "abc" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestTrEscapes(t *testing.T) {
+	out, _ := runTool(t, Tr{}, "a b c", " ", `\n`)
+	if out != "a\nb\nc" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestTrSet2Padding(t *testing.T) {
+	// SET2 shorter than SET1: padded with its last character.
+	out, _ := runTool(t, Tr{}, "abcde", "a-e", "xy")
+	if out != "xyyyy" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestTrErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"a"},
+		{"z-a", "b"},
+		{"a", "b", "c"},
+		{"-d"},
+	} {
+		if _, code := runTool(t, Tr{}, "x", args...); code == 0 {
+			t.Errorf("tr %v succeeded", args)
+		}
+	}
+}
+
+func TestTrIdentityProperty(t *testing.T) {
+	in := "The Quick Brown Fox 123!"
+	up, _ := runTool(t, Tr{}, in, "a-z", "A-Z")
+	down, _ := runTool(t, Tr{}, up, "A-Z", "a-z")
+	again, _ := runTool(t, Tr{}, down, "a-z", "A-Z")
+	if up != again {
+		t.Fatalf("tr round trip unstable: %q vs %q", up, again)
+	}
+}

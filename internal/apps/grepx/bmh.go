@@ -1,0 +1,61 @@
+package grepx
+
+// bmhSearcher is a Boyer-Moore-Horspool literal searcher, optionally ASCII
+// case-folding. It is the fast path for plain-literal grep patterns, which
+// dominate the paper's IO-intensive search workloads.
+type bmhSearcher struct {
+	pat  []byte
+	skip [256]int
+	fold bool
+}
+
+func newBMH(pattern []byte, fold bool) *bmhSearcher {
+	s := &bmhSearcher{fold: fold}
+	s.pat = make([]byte, len(pattern))
+	for i, c := range pattern {
+		if fold {
+			c = lower(c)
+		}
+		s.pat[i] = c
+	}
+	m := len(s.pat)
+	for i := range s.skip {
+		s.skip[i] = m
+	}
+	for i := 0; i < m-1; i++ {
+		s.skip[s.pat[i]] = m - 1 - i
+		if fold {
+			s.skip[upper(s.pat[i])] = m - 1 - i
+		}
+	}
+	return s
+}
+
+// find returns the index of the first occurrence of the pattern in text,
+// or -1.
+func (s *bmhSearcher) find(text []byte) int {
+	m := len(s.pat)
+	if m == 0 {
+		return 0
+	}
+	n := len(text)
+	i := 0
+	for i+m <= n {
+		j := m - 1
+		for j >= 0 {
+			c := text[i+j]
+			if s.fold {
+				c = lower(c)
+			}
+			if c != s.pat[j] {
+				break
+			}
+			j--
+		}
+		if j < 0 {
+			return i
+		}
+		i += s.skip[text[i+m-1]]
+	}
+	return -1
+}

@@ -1,0 +1,110 @@
+package grepx
+
+import (
+	"regexp"
+	"testing"
+	"testing/quick"
+)
+
+func TestFindIndexAgainstStdlib(t *testing.T) {
+	patterns := []string{
+		"abc", "a+", "a.c", "[0-9]+", "colou?r", "(ab)+", "x|yz", "a.*z",
+	}
+	lines := []string{
+		"", "abc", "xxabcxx", "aaa", "a-c", "phone 555 1234", "color colour",
+		"ababab", "x", "yz", "a trip to the zoo", "zzz",
+	}
+	for _, pat := range patterns {
+		mine := mustCompile(t, pat, false)
+		std := regexp.MustCompile(pat)
+		for _, line := range lines {
+			want := std.FindStringIndex(line)
+			s, e, ok := mine.FindIndex([]byte(line))
+			if (want == nil) != !ok {
+				t.Errorf("pattern %q line %q: ok=%v, stdlib %v", pat, line, ok, want)
+				continue
+			}
+			if want != nil && (s != want[0] || e != want[1]) {
+				t.Errorf("pattern %q line %q: [%d,%d), stdlib %v", pat, line, s, e, want)
+			}
+		}
+	}
+}
+
+func TestFindIndexLeftmostLongest(t *testing.T) {
+	// POSIX semantics: leftmost match, extended as far as possible.
+	re := mustCompile(t, "ab*", false)
+	s, e, ok := re.FindIndex([]byte("xxabbbyab"))
+	if !ok || s != 2 || e != 6 {
+		t.Fatalf("got [%d,%d) ok=%v, want [2,6)", s, e, ok)
+	}
+	// Note: Go's regexp is leftmost-first (PCRE-ish); for alternations our
+	// leftmost-longest can differ, which is the POSIX grep behaviour.
+	re2 := mustCompile(t, "a|ab", false)
+	_, e2, _ := re2.FindIndex([]byte("ab"))
+	if e2 != 2 {
+		t.Fatalf("leftmost-longest alternation end = %d, want 2", e2)
+	}
+}
+
+func TestFindIndexAnchored(t *testing.T) {
+	re := mustCompile(t, "^ab", false)
+	if _, _, ok := re.FindIndex([]byte("xab")); ok {
+		t.Fatal("head-anchored matched mid-line")
+	}
+	if s, e, ok := re.FindIndex([]byte("abx")); !ok || s != 0 || e != 2 {
+		t.Fatalf("head-anchored: [%d,%d) ok=%v", s, e, ok)
+	}
+	re2 := mustCompile(t, "ab$", false)
+	if _, _, ok := re2.FindIndex([]byte("abx")); ok {
+		t.Fatal("tail-anchored matched mid-line")
+	}
+	if s, e, ok := re2.FindIndex([]byte("xab")); !ok || s != 1 || e != 3 {
+		t.Fatalf("tail-anchored: [%d,%d) ok=%v", s, e, ok)
+	}
+}
+
+func TestFindIndexLiteralFastPath(t *testing.T) {
+	re := mustCompile(t, "needle", false)
+	s, e, ok := re.FindIndex([]byte("hay needle hay"))
+	if !ok || s != 4 || e != 10 {
+		t.Fatalf("[%d,%d) ok=%v", s, e, ok)
+	}
+	if _, _, ok := re.FindIndex([]byte("no match")); ok {
+		t.Fatal("false positive")
+	}
+}
+
+// Property: FindIndex agrees with MatchLine on match existence, and the
+// reported range actually matches.
+func TestFindIndexConsistencyProperty(t *testing.T) {
+	pats := []string{"ab", "a+b", "[xyz]+", "m.n"}
+	f := func(input []byte) bool {
+		line := make([]byte, 0, len(input))
+		for _, b := range input {
+			line = append(line, 'a'+b%26)
+		}
+		for _, pat := range pats {
+			re, err := Compile(pat, false)
+			if err != nil {
+				return false
+			}
+			s, e, ok := re.FindIndex(line)
+			if ok != re.MatchLine(line) {
+				return false
+			}
+			if ok {
+				if s < 0 || e > len(line) || s > e {
+					return false
+				}
+				if !re.MatchLine(line[s:e]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package grepx
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"compstor/internal/apps"
+	"compstor/internal/cpu"
+)
+
+// Grep is the `grep` offloadable executable.
+//
+// Usage: grep [-i] [-v] [-c] [-n] [-l] PATTERN [FILE...]
+// With no files it reads stdin. Exit status 1 (via ExitError) when nothing
+// matched, as with real grep.
+type Grep struct{}
+
+// Name implements apps.Program.
+func (Grep) Name() string { return "grep" }
+
+// Class implements apps.Program.
+func (Grep) Class() cpu.Class { return cpu.ClassGrep }
+
+type grepOpts struct {
+	invert    bool
+	countOnly bool
+	numbered  bool
+	listFiles bool
+	fold      bool
+}
+
+// Run implements apps.Program.
+func (Grep) Run(ctx *apps.Context, args []string) error {
+	var opts grepOpts
+	i := 0
+	for ; i < len(args); i++ {
+		a := args[i]
+		if len(a) < 2 || a[0] != '-' {
+			break
+		}
+		for _, f := range a[1:] {
+			switch f {
+			case 'i':
+				opts.fold = true
+			case 'v':
+				opts.invert = true
+			case 'c':
+				opts.countOnly = true
+			case 'n':
+				opts.numbered = true
+			case 'l':
+				opts.listFiles = true
+			default:
+				return apps.Exitf(2, "grep: unknown flag -%c", f)
+			}
+		}
+	}
+	if i >= len(args) {
+		return apps.Exitf(2, "grep: missing pattern")
+	}
+	re, err := Compile(args[i], opts.fold)
+	if err != nil {
+		return apps.Exitf(2, "grep: %v", err)
+	}
+	files := args[i+1:]
+	totalMatches := 0
+	if len(files) == 0 {
+		n, err := grepStream(ctx, re, opts, ctx.In(), "", false)
+		if err != nil {
+			return err
+		}
+		totalMatches += n
+	}
+	showName := len(files) > 1
+	for _, name := range files {
+		f, err := ctx.Open(name)
+		if err != nil {
+			return apps.Exitf(2, "grep: %v", err)
+		}
+		n, err := grepStream(ctx, re, opts, f, name, showName)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		totalMatches += n
+	}
+	if totalMatches == 0 {
+		return apps.Exitf(1, "")
+	}
+	return nil
+}
+
+// grepStream scans one input and reports its match count.
+func grepStream(ctx *apps.Context, re *Regexp, opts grepOpts, r io.Reader, name string, showName bool) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	matches := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		m := re.MatchLine(line)
+		if m == opts.invert {
+			continue
+		}
+		matches++
+		if opts.countOnly || opts.listFiles {
+			continue
+		}
+		prefix := ""
+		if showName {
+			prefix = name + ":"
+		}
+		if opts.numbered {
+			fmt.Fprintf(ctx.Stdout, "%s%d:%s\n", prefix, lineNo, line)
+		} else {
+			fmt.Fprintf(ctx.Stdout, "%s%s\n", prefix, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return matches, apps.Exitf(2, "grep: %s: %v", name, err)
+	}
+	if opts.countOnly {
+		if showName {
+			fmt.Fprintf(ctx.Stdout, "%s:%d\n", name, matches)
+		} else {
+			fmt.Fprintf(ctx.Stdout, "%d\n", matches)
+		}
+	}
+	if opts.listFiles && matches > 0 && name != "" {
+		fmt.Fprintln(ctx.Stdout, name)
+	}
+	return matches, nil
+}

@@ -1,0 +1,194 @@
+package grepx
+
+// Thompson NFA construction and simulation.
+
+type opcode int
+
+const (
+	opChar opcode = iota
+	opAny
+	opClass
+	opSplit
+	opMatch
+)
+
+type inst struct {
+	op   opcode
+	ch   byte
+	cls  *class
+	x, y int // successors (x primary, y for split)
+}
+
+// outRef identifies a dangling successor slot: instruction pc, field 'x' or
+// 'y'. Indices stay valid across program growth (unlike raw pointers into
+// the instruction slice, which reallocation would invalidate).
+type outRef struct {
+	pc    int
+	field byte
+}
+
+// frag is a partial program with dangling out-slots to patch.
+type frag struct {
+	start int
+	outs  []outRef
+}
+
+type builder struct {
+	prog []inst
+}
+
+func (b *builder) emit(i inst) int {
+	b.prog = append(b.prog, i)
+	return len(b.prog) - 1
+}
+
+func (b *builder) patch(outs []outRef, target int) {
+	for _, o := range outs {
+		if o.field == 'x' {
+			b.prog[o.pc].x = target
+		} else {
+			b.prog[o.pc].y = target
+		}
+	}
+}
+
+func (b *builder) compile(n *node) frag {
+	switch n.kind {
+	case nEmpty:
+		// An epsilon: a split whose both arms dangle to the same target.
+		pc := b.emit(inst{op: opSplit})
+		return frag{start: pc, outs: []outRef{{pc, 'x'}, {pc, 'y'}}}
+	case nChar:
+		pc := b.emit(inst{op: opChar, ch: n.ch})
+		return frag{start: pc, outs: []outRef{{pc, 'x'}}}
+	case nAny:
+		pc := b.emit(inst{op: opAny})
+		return frag{start: pc, outs: []outRef{{pc, 'x'}}}
+	case nClass:
+		pc := b.emit(inst{op: opClass, cls: n.cls})
+		return frag{start: pc, outs: []outRef{{pc, 'x'}}}
+	case nConcat:
+		f := b.compile(n.subs[0])
+		for _, sub := range n.subs[1:] {
+			g := b.compile(sub)
+			b.patch(f.outs, g.start)
+			f = frag{start: f.start, outs: g.outs}
+		}
+		return f
+	case nAlt:
+		fs := make([]frag, len(n.subs))
+		for i, sub := range n.subs {
+			fs[i] = b.compile(sub)
+		}
+		start := fs[len(fs)-1].start
+		outs := append([]outRef{}, fs[len(fs)-1].outs...)
+		for i := len(n.subs) - 2; i >= 0; i-- {
+			pc := b.emit(inst{op: opSplit, x: fs[i].start, y: start})
+			start = pc
+			outs = append(outs, fs[i].outs...)
+		}
+		return frag{start: start, outs: outs}
+	case nStar:
+		f := b.compile(n.subs[0])
+		pc := b.emit(inst{op: opSplit, x: f.start})
+		b.patch(f.outs, pc)
+		return frag{start: pc, outs: []outRef{{pc, 'y'}}}
+	case nPlus:
+		f := b.compile(n.subs[0])
+		pc := b.emit(inst{op: opSplit, x: f.start})
+		b.patch(f.outs, pc)
+		return frag{start: f.start, outs: []outRef{{pc, 'y'}}}
+	case nQuest:
+		f := b.compile(n.subs[0])
+		pc := b.emit(inst{op: opSplit, x: f.start})
+		return frag{start: pc, outs: append(f.outs, outRef{pc, 'y'})}
+	}
+	panic("grepx: unknown node kind")
+}
+
+// compileNFA lowers the AST to a program ending in opMatch, returning the
+// program and its entry point.
+func compileNFA(ast *node) ([]inst, int) {
+	b := &builder{}
+	f := b.compile(ast)
+	match := b.emit(inst{op: opMatch})
+	b.patch(f.outs, match)
+	return b.prog, f.start
+}
+
+// matchNFA runs the parallel-state simulation over the line.
+func (re *Regexp) matchNFA(line []byte) bool {
+	prog := re.prog
+	n := len(prog)
+	cur := make([]bool, n)
+	next := make([]bool, n)
+	gen := make([]int, n) // de-dup marker per position
+	genID := 0
+
+	var addState func(set []bool, pc int)
+	addState = func(set []bool, pc int) {
+		if gen[pc] == genID {
+			return
+		}
+		gen[pc] = genID
+		if prog[pc].op == opSplit {
+			addState(set, prog[pc].x)
+			addState(set, prog[pc].y)
+			return
+		}
+		set[pc] = true
+	}
+	clearSet := func(set []bool) {
+		for i := range set {
+			set[i] = false
+		}
+	}
+	matched := func(set []bool) bool {
+		for pc, on := range set {
+			if on && prog[pc].op == opMatch {
+				return true
+			}
+		}
+		return false
+	}
+
+	genID++
+	addState(cur, re.startPC)
+	if matched(cur) && (!re.anchorTail || len(line) == 0) {
+		return true
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		genID++
+		clearSet(next)
+		for pc, on := range cur {
+			if !on {
+				continue
+			}
+			in := prog[pc]
+			ok := false
+			switch in.op {
+			case opChar:
+				ok = in.ch == c
+			case opAny:
+				ok = true
+			case opClass:
+				ok = in.cls.has(c)
+			}
+			if ok {
+				addState(next, in.x)
+			}
+		}
+		if !re.anchorHead {
+			// Unanchored search: a match may start at the next position.
+			addState(next, re.startPC)
+		}
+		cur, next = next, cur
+		if matched(cur) {
+			if !re.anchorTail || i == len(line)-1 {
+				return true
+			}
+		}
+	}
+	return matched(cur) // tail-anchored: a match state alive at end of line
+}

@@ -1,0 +1,109 @@
+// Package gzipx is a from-scratch implementation of DEFLATE (RFC 1951) and
+// the gzip framing (RFC 1952): an LZ77 hash-chain compressor with
+// length-limited canonical Huffman coding, a full inflater, and the
+// gzip/gunzip command-line programs used by the CompStor evaluation.
+//
+// The bitstreams produced here are verified in the tests against the Go
+// standard library's decoder (and vice versa), so the codec is wire-
+// compatible with real gzip.
+package gzipx
+
+import "io"
+
+// bitWriter packs bits LSB-first, as DEFLATE requires.
+type bitWriter struct {
+	w    io.Writer
+	acc  uint64
+	n    uint // bits in acc
+	err  error
+	outb [8]byte
+}
+
+func newBitWriter(w io.Writer) *bitWriter { return &bitWriter{w: w} }
+
+// writeBits emits the low `width` bits of v, LSB-first.
+func (b *bitWriter) writeBits(v uint32, width uint) {
+	if b.err != nil {
+		return
+	}
+	b.acc |= uint64(v) << b.n
+	b.n += width
+	for b.n >= 8 {
+		b.outb[0] = byte(b.acc)
+		if _, err := b.w.Write(b.outb[:1]); err != nil {
+			b.err = err
+			return
+		}
+		b.acc >>= 8
+		b.n -= 8
+	}
+}
+
+// writeCode emits a Huffman code, which DEFLATE stores MSB-first within the
+// LSB-first stream, so the code's bits must be reversed.
+func (b *bitWriter) writeCode(code uint32, width uint) {
+	b.writeBits(reverseBits(code, width), width)
+}
+
+// flush pads to a byte boundary with zero bits.
+func (b *bitWriter) flush() error {
+	if b.err != nil {
+		return b.err
+	}
+	if b.n > 0 {
+		b.outb[0] = byte(b.acc)
+		if _, err := b.w.Write(b.outb[:1]); err != nil {
+			b.err = err
+		}
+		b.acc = 0
+		b.n = 0
+	}
+	return b.err
+}
+
+// reverseBits reverses the low `width` bits of v.
+func reverseBits(v uint32, width uint) uint32 {
+	var r uint32
+	for i := uint(0); i < width; i++ {
+		r = r<<1 | (v & 1)
+		v >>= 1
+	}
+	return r
+}
+
+// bitReader consumes bits LSB-first from a byte stream.
+type bitReader struct {
+	r   io.ByteReader
+	acc uint32
+	n   uint
+}
+
+func newBitReader(r io.ByteReader) *bitReader { return &bitReader{r: r} }
+
+// readBits returns the next `width` bits, LSB-first.
+func (b *bitReader) readBits(width uint) (uint32, error) {
+	for b.n < width {
+		c, err := b.r.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		b.acc |= uint32(c) << b.n
+		b.n += 8
+	}
+	v := b.acc & (1<<width - 1)
+	b.acc >>= width
+	b.n -= width
+	return v, nil
+}
+
+// readBit returns a single bit.
+func (b *bitReader) readBit() (uint32, error) { return b.readBits(1) }
+
+// alignByte discards bits up to the next byte boundary.
+func (b *bitReader) alignByte() {
+	b.acc = 0
+	b.n = 0
+}

@@ -1,0 +1,116 @@
+package gzipx
+
+import (
+	"io"
+	"strings"
+
+	"compstor/internal/apps"
+	"compstor/internal/cpu"
+)
+
+// Gzip is the `gzip` offloadable executable: it compresses each named file
+// to <name>.gz. With no file arguments it filters stdin to stdout. Inputs
+// are kept (the simulation datasets are reused across runs).
+type Gzip struct{}
+
+// Name implements apps.Program.
+func (Gzip) Name() string { return "gzip" }
+
+// Class implements apps.Program.
+func (Gzip) Class() cpu.Class { return cpu.ClassGzip }
+
+// Run implements apps.Program.
+func (Gzip) Run(ctx *apps.Context, args []string) error {
+	if len(args) == 0 {
+		data, err := io.ReadAll(ctx.In())
+		if err != nil {
+			return err
+		}
+		out, err := Compress(data)
+		if err != nil {
+			return err
+		}
+		_, err = ctx.Stdout.Write(out)
+		return err
+	}
+	for _, name := range args {
+		data, err := readFileCharged(ctx, name)
+		if err != nil {
+			return apps.Exitf(1, "gzip: %v", err)
+		}
+		out, err := Compress(data)
+		if err != nil {
+			return apps.Exitf(1, "gzip: %s: %v", name, err)
+		}
+		if err := writeFile(ctx, name+".gz", out); err != nil {
+			return apps.Exitf(1, "gzip: %v", err)
+		}
+	}
+	return nil
+}
+
+// Gunzip is the `gunzip` offloadable executable: it expands each named
+// <name>.gz to <name>, or filters stdin with no arguments.
+type Gunzip struct{}
+
+// Name implements apps.Program.
+func (Gunzip) Name() string { return "gunzip" }
+
+// Class implements apps.Program.
+func (Gunzip) Class() cpu.Class { return cpu.ClassGunzip }
+
+// Run implements apps.Program.
+func (Gunzip) Run(ctx *apps.Context, args []string) error {
+	if len(args) == 0 {
+		data, err := io.ReadAll(ctx.In())
+		if err != nil {
+			return err
+		}
+		out, err := Decompress(data)
+		if err != nil {
+			return err
+		}
+		apps.ChargeExtra(ctx, int64(len(out)-len(data)))
+		_, err = ctx.Stdout.Write(out)
+		return err
+	}
+	for _, name := range args {
+		data, err := readFileCharged(ctx, name)
+		if err != nil {
+			return apps.Exitf(1, "gunzip: %v", err)
+		}
+		out, err := Decompress(data)
+		if err != nil {
+			return apps.Exitf(1, "gunzip: %s: %v", name, err)
+		}
+		// Decompression cost is calibrated per plain byte; top up from the
+		// auto-charged compressed input to the plain output size.
+		apps.ChargeExtra(ctx, int64(len(out)-len(data)))
+		if err := writeFile(ctx, strings.TrimSuffix(name, ".gz"), out); err != nil {
+			return apps.Exitf(1, "gunzip: %v", err)
+		}
+	}
+	return nil
+}
+
+// readFileCharged reads a whole file through the charging path.
+func readFileCharged(ctx *apps.Context, name string) ([]byte, error) {
+	f, err := ctx.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+func writeFile(ctx *apps.Context, name string, data []byte) error {
+	f, err := ctx.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

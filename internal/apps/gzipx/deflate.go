@@ -1,0 +1,347 @@
+package gzipx
+
+import "io"
+
+// DEFLATE symbol tables (RFC 1951 §3.2.5).
+
+var lengthBase = [29]int{
+	3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
+	35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258,
+}
+
+var lengthExtra = [29]uint{
+	0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+	3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+}
+
+var distBase = [30]int{
+	1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193,
+	257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+}
+
+var distExtra = [30]uint{
+	0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6,
+	7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13,
+}
+
+// clOrder is the storage order of code-length-code lengths.
+var clOrder = [19]int{16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15}
+
+// lengthCode maps a match length (3..258) to its litlen symbol.
+func lengthCode(l int) int {
+	for i := len(lengthBase) - 1; i >= 0; i-- {
+		if l >= lengthBase[i] {
+			return 257 + i
+		}
+	}
+	return 257
+}
+
+// distCode maps a distance (1..32768) to its distance symbol.
+func distCode(d int) int {
+	for i := len(distBase) - 1; i >= 0; i-- {
+		if d >= distBase[i] {
+			return i
+		}
+	}
+	return 0
+}
+
+// token encodes a literal (high bit clear) or a match (length<<16 | dist).
+type token uint32
+
+func litToken(b byte) token         { return token(b) }
+func matchToken(l, d int) token     { return token(1<<31 | uint32(l)<<16 | uint32(d)) }
+func (t token) isMatch() bool       { return t&(1<<31) != 0 }
+func (t token) lit() byte           { return byte(t) }
+func (t token) lenDist() (int, int) { return int(t >> 16 & 0x7FFF), int(t & 0xFFFF) }
+
+const (
+	maxMatch   = 258
+	minMatch   = 3
+	windowSize = 32 * 1024
+	hashBits   = 15
+	maxChain   = 64
+	blockSize  = 1 << 16 // tokens per emitted block
+)
+
+// Deflate compresses src into w as a raw DEFLATE stream.
+func Deflate(w io.Writer, src []byte) error {
+	bw := newBitWriter(w)
+	c := &compressor{
+		src:  src,
+		head: make([]int32, 1<<hashBits),
+		prev: make([]int32, len(src)+1),
+	}
+	for i := range c.head {
+		c.head[i] = -1
+	}
+	c.run(bw)
+	return bw.flush()
+}
+
+type compressor struct {
+	src    []byte
+	head   []int32
+	prev   []int32
+	tokens []token
+}
+
+func hash3(b []byte) uint32 {
+	v := uint32(b[0])<<16 | uint32(b[1])<<8 | uint32(b[2])
+	return (v * 0x9E3779B1) >> (32 - hashBits)
+}
+
+func (c *compressor) insert(pos int) {
+	if pos+minMatch > len(c.src) {
+		return
+	}
+	h := hash3(c.src[pos:])
+	c.prev[pos] = c.head[h]
+	c.head[h] = int32(pos)
+}
+
+// findMatch searches the hash chain for the longest match at pos.
+func (c *compressor) findMatch(pos int) (length, dist int) {
+	if pos+minMatch > len(c.src) {
+		return 0, 0
+	}
+	limit := pos - windowSize
+	if limit < 0 {
+		limit = 0
+	}
+	maxLen := len(c.src) - pos
+	if maxLen > maxMatch {
+		maxLen = maxMatch
+	}
+	h := hash3(c.src[pos:])
+	cand := c.head[h]
+	chain := maxChain
+	best := 0
+	for cand >= int32(limit) && chain > 0 {
+		cp := int(cand)
+		// Quick reject: a longer match must improve on the byte at `best`.
+		if best == 0 || c.src[cp+best] == c.src[pos+best] {
+			l := matchLen(c.src[cp:], c.src[pos:pos+maxLen])
+			if l > best {
+				best = l
+				dist = pos - cp
+				if l >= maxLen {
+					break
+				}
+			}
+		}
+		cand = c.prev[cp]
+		chain--
+	}
+	if best < minMatch {
+		return 0, 0
+	}
+	return best, dist
+}
+
+func matchLen(a, b []byte) int {
+	n := 0
+	for n < len(b) && n < len(a) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// run tokenizes the source and emits blocks.
+func (c *compressor) run(bw *bitWriter) {
+	pos := 0
+	for pos < len(c.src) {
+		l, d := c.findMatch(pos)
+		if l >= minMatch {
+			c.tokens = append(c.tokens, matchToken(l, d))
+			for i := 0; i < l; i++ {
+				c.insert(pos + i)
+			}
+			pos += l
+		} else {
+			c.tokens = append(c.tokens, litToken(c.src[pos]))
+			c.insert(pos)
+			pos++
+		}
+		// Flush full blocks, but keep at least one token for the final
+		// block so its Huffman alphabets are never degenerate.
+		if len(c.tokens) >= blockSize && pos < len(c.src) {
+			writeBlock(bw, c.tokens, false)
+			c.tokens = c.tokens[:0]
+		}
+	}
+	if len(c.tokens) > 0 {
+		writeBlock(bw, c.tokens, true)
+	} else {
+		writeStoredEmpty(bw) // empty input: final stored block of length 0
+	}
+}
+
+// writeStoredEmpty emits a final zero-length stored block (the simplest
+// valid encoding of an empty stream).
+func writeStoredEmpty(bw *bitWriter) {
+	bw.writeBits(1, 1) // BFINAL
+	bw.writeBits(0, 2) // stored
+	bw.flush()         // align
+	bw.writeBits(0, 16)
+	bw.writeBits(0xFFFF, 16)
+}
+
+// writeBlock emits one dynamic-Huffman block for the tokens.
+func writeBlock(bw *bitWriter, tokens []token, final bool) {
+	litFreq := make([]int, 286)
+	distFreq := make([]int, 30)
+	for _, t := range tokens {
+		if t.isMatch() {
+			l, d := t.lenDist()
+			litFreq[lengthCode(l)]++
+			distFreq[distCode(d)]++
+		} else {
+			litFreq[t.lit()]++
+		}
+	}
+	litFreq[256]++ // end of block
+	litLen := buildCodeLengths(litFreq, 15)
+	distLen := buildCodeLengths(distFreq, 15)
+	// All-literal blocks still must declare a distance alphabet; a single
+	// one-bit code is the conventional (and spec-sanctioned) encoding.
+	empty := true
+	for _, l := range distLen {
+		if l != 0 {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		distLen[0] = 1
+	}
+	litCodes := canonicalCodes(litLen)
+	distCodes := canonicalCodes(distLen)
+
+	// Trim trailing zero lengths but keep the spec minimums.
+	hlit := 286
+	for hlit > 257 && litLen[hlit-1] == 0 {
+		hlit--
+	}
+	hdist := 30
+	for hdist > 1 && distLen[hdist-1] == 0 {
+		hdist--
+	}
+
+	// RLE-encode the combined length sequence with symbols 16/17/18.
+	seq := make([]int, 0, hlit+hdist)
+	seq = append(seq, litLen[:hlit]...)
+	seq = append(seq, distLen[:hdist]...)
+	type clTok struct {
+		sym   int
+		extra uint32
+	}
+	var cl []clTok
+	for i := 0; i < len(seq); {
+		v := seq[i]
+		run := 1
+		for i+run < len(seq) && seq[i+run] == v {
+			run++
+		}
+		switch {
+		case v == 0 && run >= 3:
+			for run >= 3 {
+				n := run
+				if n > 138 {
+					n = 138
+				}
+				if n <= 10 {
+					cl = append(cl, clTok{17, uint32(n - 3)})
+				} else {
+					cl = append(cl, clTok{18, uint32(n - 11)})
+				}
+				run -= n
+				i += n
+			}
+			for ; run > 0; run-- {
+				cl = append(cl, clTok{0, 0})
+				i++
+			}
+		case v != 0 && run >= 4:
+			cl = append(cl, clTok{v, 0})
+			i++
+			run--
+			for run >= 3 {
+				n := run
+				if n > 6 {
+					n = 6
+				}
+				cl = append(cl, clTok{16, uint32(n - 3)})
+				run -= n
+				i += n
+			}
+			for ; run > 0; run-- {
+				cl = append(cl, clTok{v, 0})
+				i++
+			}
+		default:
+			for ; run > 0; run-- {
+				cl = append(cl, clTok{v, 0})
+				i++
+			}
+		}
+	}
+
+	clFreq := make([]int, 19)
+	for _, t := range cl {
+		clFreq[t.sym]++
+	}
+	clLen := buildCodeLengths(clFreq, 7)
+	clCodes := canonicalCodes(clLen)
+	hclen := 19
+	for hclen > 4 && clLen[clOrder[hclen-1]] == 0 {
+		hclen--
+	}
+
+	// Block header.
+	if final {
+		bw.writeBits(1, 1)
+	} else {
+		bw.writeBits(0, 1)
+	}
+	bw.writeBits(2, 2) // dynamic Huffman
+	bw.writeBits(uint32(hlit-257), 5)
+	bw.writeBits(uint32(hdist-1), 5)
+	bw.writeBits(uint32(hclen-4), 4)
+	for i := 0; i < hclen; i++ {
+		bw.writeBits(uint32(clLen[clOrder[i]]), 3)
+	}
+	for _, t := range cl {
+		bw.writeCode(clCodes[t.sym], uint(clLen[t.sym]))
+		switch t.sym {
+		case 16:
+			bw.writeBits(t.extra, 2)
+		case 17:
+			bw.writeBits(t.extra, 3)
+		case 18:
+			bw.writeBits(t.extra, 7)
+		}
+	}
+
+	// Token payload.
+	for _, t := range tokens {
+		if t.isMatch() {
+			l, d := t.lenDist()
+			lc := lengthCode(l)
+			bw.writeCode(litCodes[lc], uint(litLen[lc]))
+			if eb := lengthExtra[lc-257]; eb > 0 {
+				bw.writeBits(uint32(l-lengthBase[lc-257]), eb)
+			}
+			dc := distCode(d)
+			bw.writeCode(distCodes[dc], uint(distLen[dc]))
+			if eb := distExtra[dc]; eb > 0 {
+				bw.writeBits(uint32(d-distBase[dc]), eb)
+			}
+		} else {
+			b := t.lit()
+			bw.writeCode(litCodes[b], uint(litLen[b]))
+		}
+	}
+	bw.writeCode(litCodes[256], uint(litLen[256]))
+}

@@ -1,0 +1,118 @@
+package gzipx
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+)
+
+// gzip framing (RFC 1952).
+
+const (
+	gzipID1    = 0x1F
+	gzipID2    = 0x8B
+	gzipMethod = 8 // DEFLATE
+)
+
+// Compress produces a complete gzip member containing src.
+func Compress(src []byte) ([]byte, error) {
+	var out bytes.Buffer
+	// Header: magic, method, flags, mtime(4), XFL, OS (255 = unknown).
+	out.Write([]byte{gzipID1, gzipID2, gzipMethod, 0, 0, 0, 0, 0, 0, 255})
+	if err := Deflate(&out, src); err != nil {
+		return nil, err
+	}
+	var tail [8]byte
+	binary.LittleEndian.PutUint32(tail[0:], crc32.ChecksumIEEE(src))
+	binary.LittleEndian.PutUint32(tail[4:], uint32(len(src)))
+	out.Write(tail[:])
+	return out.Bytes(), nil
+}
+
+// header flag bits.
+const (
+	flagFTEXT    = 1 << 0
+	flagFHCRC    = 1 << 1
+	flagFEXTRA   = 1 << 2
+	flagFNAME    = 1 << 3
+	flagFCOMMENT = 1 << 4
+)
+
+// Decompress parses one or more concatenated gzip members (as real gunzip
+// does) and returns the original data, verifying each member's CRC32 and
+// length.
+func Decompress(src []byte) ([]byte, error) {
+	r := bufio.NewReader(bytes.NewReader(src))
+	var out []byte
+	for member := 0; ; member++ {
+		if member > 0 {
+			// More members only if bytes remain.
+			if _, err := r.Peek(1); err != nil {
+				return out, nil
+			}
+		}
+		if err := skipHeader(r); err != nil {
+			return nil, err
+		}
+		data, err := Inflate(r)
+		if err != nil {
+			return nil, err
+		}
+		var tail [8]byte
+		if _, err := io.ReadFull(r, tail[:]); err != nil {
+			return nil, errCorrupt("missing gzip trailer")
+		}
+		if crc32.ChecksumIEEE(data) != binary.LittleEndian.Uint32(tail[0:]) {
+			return nil, errCorrupt("gzip CRC mismatch")
+		}
+		if uint32(len(data)) != binary.LittleEndian.Uint32(tail[4:]) {
+			return nil, errCorrupt("gzip length mismatch")
+		}
+		out = append(out, data...)
+	}
+}
+
+func skipHeader(r *bufio.Reader) error {
+	var hdr [10]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return errCorrupt("short gzip header")
+	}
+	if hdr[0] != gzipID1 || hdr[1] != gzipID2 {
+		return errCorrupt("bad gzip magic")
+	}
+	if hdr[2] != gzipMethod {
+		return errCorrupt("unknown gzip method")
+	}
+	flg := hdr[3]
+	if flg&flagFEXTRA != 0 {
+		var ln [2]byte
+		if _, err := io.ReadFull(r, ln[:]); err != nil {
+			return errCorrupt("short FEXTRA")
+		}
+		n := int(binary.LittleEndian.Uint16(ln[:]))
+		if _, err := io.CopyN(io.Discard, r, int64(n)); err != nil {
+			return errCorrupt("short FEXTRA body")
+		}
+	}
+	for _, f := range []byte{flagFNAME, flagFCOMMENT} {
+		if flg&f != 0 {
+			for {
+				c, err := r.ReadByte()
+				if err != nil {
+					return errCorrupt("unterminated header string")
+				}
+				if c == 0 {
+					break
+				}
+			}
+		}
+	}
+	if flg&flagFHCRC != 0 {
+		if _, err := io.CopyN(io.Discard, r, 2); err != nil {
+			return errCorrupt("short FHCRC")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+package gzipx
+
+import (
+	"bytes"
+	stdgzip "compress/gzip"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// corpus builds assorted test payloads.
+func corpus() map[string][]byte {
+	rng := rand.New(rand.NewSource(7))
+	random := make([]byte, 60_000)
+	rng.Read(random)
+	text := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 2000))
+	runs := bytes.Repeat([]byte{'A'}, 100_000)
+	mixed := append(append([]byte{}, text[:30_000]...), random[:30_000]...)
+	return map[string][]byte{
+		"empty":    {},
+		"single":   {42},
+		"tiny":     []byte("hi"),
+		"text":     text,
+		"runs":     runs,
+		"random":   random,
+		"mixed":    mixed,
+		"aba":      []byte("abababababababababababab"),
+		"overlaps": []byte("aaabaaabaaabaaabaaabaaab"),
+	}
+}
+
+func TestDeflateRoundTrip(t *testing.T) {
+	for name, data := range corpus() {
+		var buf bytes.Buffer
+		if err := Deflate(&buf, data); err != nil {
+			t.Fatalf("%s: deflate: %v", name, err)
+		}
+		got, err := Inflate(&buf)
+		if err != nil {
+			t.Fatalf("%s: inflate: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: round trip mismatch (%d vs %d bytes)", name, len(got), len(data))
+		}
+	}
+}
+
+func TestDeflateDecodableByStdlib(t *testing.T) {
+	// Our encoder must produce streams the reference (stdlib) decoder
+	// accepts: this proves wire-format compatibility.
+	for name, data := range corpus() {
+		out, err := Compress(data)
+		if err != nil {
+			t.Fatalf("%s: compress: %v", name, err)
+		}
+		zr, err := stdgzip.NewReader(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("%s: stdlib reader: %v", name, err)
+		}
+		got, err := io.ReadAll(zr)
+		if err != nil {
+			t.Fatalf("%s: stdlib decode: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: stdlib decode mismatch", name)
+		}
+	}
+}
+
+func TestInflateDecodesStdlibOutput(t *testing.T) {
+	// And our decoder must accept streams the reference encoder produces.
+	for name, data := range corpus() {
+		var buf bytes.Buffer
+		zw := stdgzip.NewWriter(&buf)
+		zw.Write(data)
+		zw.Close()
+		got, err := Decompress(buf.Bytes())
+		if err != nil {
+			t.Fatalf("%s: decompress stdlib output: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: mismatch decoding stdlib output", name)
+		}
+	}
+}
+
+func TestCompressionActuallyCompresses(t *testing.T) {
+	text := []byte(strings.Repeat("compression should shrink redundant text. ", 5000))
+	out, err := Compress(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) >= len(text)/3 {
+		t.Fatalf("compressed %d -> %d; poor ratio for redundant text", len(text), len(out))
+	}
+}
+
+func TestDecompressRejectsCorruption(t *testing.T) {
+	out, _ := Compress([]byte("important payload that must be protected"))
+	for _, i := range []int{2, len(out) / 2, len(out) - 3} {
+		bad := append([]byte{}, out...)
+		bad[i] ^= 0xFF
+		if _, err := Decompress(bad); err == nil {
+			// A flipped bit mid-stream can decode to wrong bytes; the CRC
+			// must catch whatever the Huffman layer does not.
+			t.Fatalf("corruption at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestDecompressRejectsGarbageHeader(t *testing.T) {
+	if _, err := Decompress([]byte("definitely not gzip data")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Decompress([]byte{0x1F}); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestDecompressHandlesHeaderFields(t *testing.T) {
+	// stdlib writer with a name and comment exercises FNAME/FCOMMENT
+	// skipping.
+	var buf bytes.Buffer
+	zw := stdgzip.NewWriter(&buf)
+	zw.Name = "file.txt"
+	zw.Comment = "a comment"
+	zw.Write([]byte("payload"))
+	zw.Close()
+	got, err := Decompress(buf.Bytes())
+	if err != nil {
+		t.Fatalf("decompress with header fields: %v", err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMultiBlockStreams(t *testing.T) {
+	// Force multiple dynamic blocks (> blockSize tokens) and verify both
+	// decoders.
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 300_000)
+	for i := range data {
+		data[i] = byte('a' + rng.Intn(4)) // compressible but match-rich
+	}
+	out, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("multi-block round trip failed")
+	}
+	zr, err := stdgzip.NewReader(bytes.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := io.ReadAll(zr)
+	if err != nil || !bytes.Equal(std, data) {
+		t.Fatalf("stdlib multi-block decode failed: %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		out, err := Compress(data)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(out)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStdlibCrossProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		out, err := Compress(data)
+		if err != nil {
+			return false
+		}
+		zr, err := stdgzip.NewReader(bytes.NewReader(out))
+		if err != nil {
+			return false
+		}
+		got, err := io.ReadAll(zr)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHuffmanLengthsAreValidKraft(t *testing.T) {
+	f := func(freqs []uint16) bool {
+		fr := make([]int, len(freqs))
+		for i, v := range freqs {
+			fr[i] = int(v)
+		}
+		lens := buildCodeLengths(fr, 15)
+		// Kraft inequality must hold and lengths must respect the cap.
+		sum := 0.0
+		used := 0
+		for i, l := range lens {
+			if l < 0 || l > 15 {
+				return false
+			}
+			if (l == 0) != (fr[i] == 0) {
+				return false
+			}
+			if l > 0 {
+				sum += 1 / float64(int(1)<<l)
+				used++
+			}
+		}
+		return used == 0 || sum <= 1.0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverseBits(t *testing.T) {
+	if got := reverseBits(0b1011, 4); got != 0b1101 {
+		t.Fatalf("reverseBits = %04b", got)
+	}
+	if got := reverseBits(1, 1); got != 1 {
+		t.Fatalf("reverseBits(1,1) = %d", got)
+	}
+}
+
+func BenchmarkCompressText(b *testing.B) {
+	data := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 5000))
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompressText(b *testing.B) {
+	data := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 5000))
+	out, _ := Compress(data)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMultiMemberStream(t *testing.T) {
+	// gunzip semantics: concatenated gzip members decompress to the
+	// concatenation of their contents.
+	a, _ := Compress([]byte("first member "))
+	b, _ := Compress([]byte("second member"))
+	got, err := Decompress(append(append([]byte{}, a...), b...))
+	if err != nil {
+		t.Fatalf("multi-member: %v", err)
+	}
+	if string(got) != "first member second member" {
+		t.Fatalf("got %q", got)
+	}
+	// stdlib writer output concatenated with ours also decodes.
+	var buf bytes.Buffer
+	zw := stdgzip.NewWriter(&buf)
+	zw.Write([]byte("std part "))
+	zw.Close()
+	mixed := append(buf.Bytes(), a...)
+	got, err = Decompress(mixed)
+	if err != nil || string(got) != "std part first member " {
+		t.Fatalf("mixed members: %q, %v", got, err)
+	}
+}
+
+func TestTruncatedSecondMemberRejected(t *testing.T) {
+	a, _ := Compress([]byte("complete"))
+	bad := append(append([]byte{}, a...), 0x1F) // dangling partial header
+	if _, err := Decompress(bad); err == nil {
+		t.Fatal("truncated second member accepted")
+	}
+}

@@ -1,0 +1,175 @@
+package gzipx
+
+import "sort"
+
+// buildCodeLengths computes optimal length-limited Huffman code lengths for
+// the given symbol frequencies using the package-merge algorithm. Symbols
+// with zero frequency get length 0. maxBits must satisfy
+// 2^maxBits >= number of used symbols.
+func buildCodeLengths(freq []int, maxBits int) []int {
+	lengths := make([]int, len(freq))
+	type sym struct {
+		idx int
+		f   int
+	}
+	var used []sym
+	for i, f := range freq {
+		if f > 0 {
+			used = append(used, sym{i, f})
+		}
+	}
+	switch len(used) {
+	case 0:
+		return lengths
+	case 1:
+		lengths[used[0].idx] = 1
+		return lengths
+	}
+
+	// Package-merge: coins[level] is a list of (weight, symbol set) items;
+	// we approximate symbol sets by counting how many times each original
+	// symbol appears in chosen packages.
+	type item struct {
+		w    int
+		syms []int // indices into used
+	}
+	level := make([]item, len(used))
+	for i, s := range used {
+		level[i] = item{w: s.f, syms: []int{i}}
+	}
+	sortItems := func(xs []item) {
+		sort.SliceStable(xs, func(a, b int) bool { return xs[a].w < xs[b].w })
+	}
+	sortItems(level)
+	prev := append([]item(nil), level...)
+	for bit := 1; bit < maxBits; bit++ {
+		// Package pairs from prev, merge with fresh singletons.
+		var pkgs []item
+		for i := 0; i+1 < len(prev); i += 2 {
+			merged := item{w: prev[i].w + prev[i+1].w}
+			merged.syms = append(append([]int(nil), prev[i].syms...), prev[i+1].syms...)
+			pkgs = append(pkgs, merged)
+		}
+		next := make([]item, 0, len(used)+len(pkgs))
+		for i, s := range used {
+			next = append(next, item{w: s.f, syms: []int{i}})
+		}
+		next = append(next, pkgs...)
+		sortItems(next)
+		prev = next
+	}
+	// Take the first 2n-2 items; each appearance of a symbol adds one to
+	// its code length.
+	take := 2*len(used) - 2
+	counts := make([]int, len(used))
+	for i := 0; i < take && i < len(prev); i++ {
+		for _, s := range prev[i].syms {
+			counts[s]++
+		}
+	}
+	for i, s := range used {
+		lengths[s.idx] = counts[i]
+	}
+	return lengths
+}
+
+// canonicalCodes assigns canonical Huffman codes (RFC 1951 §3.2.2) from
+// code lengths. Returned codes are in natural (MSB-first) bit order.
+func canonicalCodes(lengths []int) []uint32 {
+	maxLen := 0
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	blCount := make([]int, maxLen+1)
+	for _, l := range lengths {
+		if l > 0 {
+			blCount[l]++
+		}
+	}
+	nextCode := make([]uint32, maxLen+2)
+	var code uint32
+	for bits := 1; bits <= maxLen; bits++ {
+		code = (code + uint32(blCount[bits-1])) << 1
+		nextCode[bits] = code
+	}
+	codes := make([]uint32, len(lengths))
+	for i, l := range lengths {
+		if l > 0 {
+			codes[i] = nextCode[l]
+			nextCode[l]++
+		}
+	}
+	return codes
+}
+
+// hDecoder decodes canonical Huffman codes bit-by-bit using the counts/
+// symbols construction (as in Mark Adler's puff).
+type hDecoder struct {
+	count []int // number of codes of each length
+	sym   []int // symbols ordered by code
+}
+
+// newHDecoder builds a decoder from code lengths. It returns nil if the
+// lengths are not a valid (complete or single-code) Huffman set.
+func newHDecoder(lengths []int) *hDecoder {
+	maxLen := 0
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	d := &hDecoder{count: make([]int, maxLen+1)}
+	n := 0
+	for _, l := range lengths {
+		if l > 0 {
+			d.count[l]++
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	// Check for over-subscription.
+	left := 1
+	for l := 1; l <= maxLen; l++ {
+		left <<= 1
+		left -= d.count[l]
+		if left < 0 {
+			return nil
+		}
+	}
+	offs := make([]int, maxLen+2)
+	for l := 1; l <= maxLen; l++ {
+		offs[l+1] = offs[l] + d.count[l]
+	}
+	d.sym = make([]int, n)
+	for i, l := range lengths {
+		if l > 0 {
+			d.sym[offs[l]] = i
+			offs[l]++
+		}
+	}
+	return d
+}
+
+// decode reads one symbol from the bit reader.
+func (d *hDecoder) decode(br *bitReader) (int, error) {
+	var code, first, index int
+	for l := 1; l < len(d.count); l++ {
+		bit, err := br.readBit()
+		if err != nil {
+			return 0, err
+		}
+		code |= int(bit)
+		cnt := d.count[l]
+		if code-first < cnt {
+			return d.sym[index+code-first], nil
+		}
+		index += cnt
+		first = (first + cnt) << 1
+		code <<= 1
+	}
+	return 0, errCorrupt("invalid Huffman code")
+}

@@ -1,0 +1,152 @@
+package shx
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"compstor/internal/apps"
+	"compstor/internal/apps/coreutils"
+	"compstor/internal/apps/grepx"
+)
+
+func testRegistry() *apps.Registry {
+	r := apps.NewRegistry()
+	for _, p := range []apps.Program{
+		Shell{}, coreutils.Cat{}, coreutils.WC{}, coreutils.Head{},
+		coreutils.Sort{}, coreutils.Uniq{}, coreutils.Echo{}, grepx.Grep{},
+	} {
+		r.Register(p)
+	}
+	return r
+}
+
+func runShell(t *testing.T, stdin, script string) (string, int) {
+	t.Helper()
+	reg := testRegistry()
+	var out bytes.Buffer
+	ctx := &apps.Context{
+		Stdin:  strings.NewReader(stdin),
+		Stdout: &out,
+		Stderr: &bytes.Buffer{},
+		Lookup: reg.Lookup,
+	}
+	err := Shell{}.Run(ctx, []string{"-c", script})
+	return out.String(), apps.ExitCode(err)
+}
+
+func TestSimpleCommand(t *testing.T) {
+	out, code := runShell(t, "", `echo hello world`)
+	if code != 0 || out != "hello world\n" {
+		t.Fatalf("out=%q code=%d", out, code)
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	out, code := runShell(t, "banana\napple\nbanana\ncherry\n", `sort | uniq -c | sort -rn | head -n 1`)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "2") || !strings.Contains(out, "banana") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestPipelineGrepWc(t *testing.T) {
+	out, code := runShell(t, "error one\nok\nerror two\n", `grep error | wc -l`)
+	if code != 0 || strings.TrimSpace(out) != "2" {
+		t.Fatalf("out=%q code=%d", out, code)
+	}
+}
+
+func TestSequencing(t *testing.T) {
+	out, _ := runShell(t, "", `echo a; echo b`)
+	if out != "a\nb\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestAndOr(t *testing.T) {
+	out, _ := runShell(t, "nope\n", `grep missing && echo found`)
+	if strings.Contains(out, "found") {
+		t.Fatalf("&& ran after failure: %q", out)
+	}
+	out, _ = runShell(t, "nope\n", `grep missing || echo notfound`)
+	if !strings.Contains(out, "notfound") {
+		t.Fatalf("|| did not run after failure: %q", out)
+	}
+	out, code := runShell(t, "yes here\n", `grep yes && echo found`)
+	if code != 0 || !strings.Contains(out, "found") {
+		t.Fatalf("&& after success: %q (%d)", out, code)
+	}
+}
+
+func TestQuoting(t *testing.T) {
+	out, _ := runShell(t, "", `echo 'single quoted | ; string' "double \"escaped\""`)
+	want := "single quoted | ; string double \"escaped\"\n"
+	if out != want {
+		t.Fatalf("out = %q, want %q", out, want)
+	}
+}
+
+func TestCommandNotFound(t *testing.T) {
+	_, code := runShell(t, "", `frobnicate`)
+	if code != 127 {
+		t.Fatalf("exit = %d, want 127", code)
+	}
+}
+
+func TestComment(t *testing.T) {
+	out, _ := runShell(t, "", `echo visible # echo hidden`)
+	if out != "visible\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, script := range []string{
+		`echo 'unterminated`,
+		`echo "unterminated`,
+		`| head`,
+		`echo x &`,
+		`cat <`,
+	} {
+		_, code := runShell(t, "", script)
+		if code == 0 {
+			t.Errorf("script %q succeeded, want error", script)
+		}
+	}
+}
+
+func TestMultilineScript(t *testing.T) {
+	out, _ := runShell(t, "", "echo one\necho two")
+	if out != "one\ntwo\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestShellUsage(t *testing.T) {
+	var out bytes.Buffer
+	ctx := &apps.Context{Stdout: &out, Stderr: &bytes.Buffer{}, Lookup: testRegistry().Lookup}
+	if err := (Shell{}).Run(ctx, nil); apps.ExitCode(err) != 2 {
+		t.Fatal("no-arg shell should fail with usage")
+	}
+}
+
+func TestNoRegistry(t *testing.T) {
+	var out bytes.Buffer
+	ctx := &apps.Context{Stdout: &out, Stderr: &bytes.Buffer{}}
+	err := (Shell{}).Run(ctx, []string{"-c", "echo hi"})
+	if apps.ExitCode(err) != 127 {
+		t.Fatal("shell without registry should fail")
+	}
+}
+
+func TestExitStatusOfLastStage(t *testing.T) {
+	// grep finds nothing -> pipeline fails even though wc succeeds... the
+	// result is the last failing stage's error in this simplified shell.
+	_, code := runShell(t, "x\n", `grep x | grep missing`)
+	if code == 0 {
+		t.Fatal("failed last stage should fail the pipeline")
+	}
+}

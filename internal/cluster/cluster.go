@@ -1,0 +1,208 @@
+// Package cluster orchestrates many CompStor devices from one host client:
+// size-balanced file sharding, parallel staging, scatter/gather minion
+// execution, and utilisation-aware load balancing via status queries — the
+// paper's "thousands of concurrent minions ... heavy parallelism at the
+// storage unit level".
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"compstor/internal/core"
+	"compstor/internal/sim"
+)
+
+// File is one named payload to distribute.
+type File struct {
+	Name string
+	Data []byte
+}
+
+// Pool drives a set of CompStor units.
+type Pool struct {
+	eng   *sim.Engine
+	units []*core.DeviceUnit
+	// PerDeviceTasks bounds concurrent minions per device (default: 4, one
+	// per ISPS core).
+	PerDeviceTasks int
+}
+
+// NewPool wraps device units for orchestration.
+func NewPool(eng *sim.Engine, units []*core.DeviceUnit) *Pool {
+	if len(units) == 0 {
+		panic("cluster: empty pool")
+	}
+	return &Pool{eng: eng, units: units, PerDeviceTasks: 4}
+}
+
+// Size returns the number of devices.
+func (pl *Pool) Size() int { return len(pl.units) }
+
+// Unit returns the i-th device unit.
+func (pl *Pool) Unit(i int) *core.DeviceUnit { return pl.units[i] }
+
+// Shard splits files into n size-balanced groups (longest-processing-time
+// greedy): sort by size descending, always assign to the lightest shard.
+func Shard(files []File, n int) [][]File {
+	if n <= 0 {
+		panic("cluster: non-positive shard count")
+	}
+	sorted := append([]File(nil), files...)
+	sort.SliceStable(sorted, func(i, j int) bool { return len(sorted[i].Data) > len(sorted[j].Data) })
+	shards := make([][]File, n)
+	loads := make([]int64, n)
+	for _, f := range sorted {
+		min := 0
+		for i := 1; i < n; i++ {
+			if loads[i] < loads[min] {
+				min = i
+			}
+		}
+		shards[min] = append(shards[min], f)
+		loads[min] += int64(len(f.Data))
+	}
+	return shards
+}
+
+// Stage writes shard i's files onto device i, all devices in parallel,
+// returning the per-device file-name lists. The caller's process blocks
+// until every device is staged.
+func (pl *Pool) Stage(p *sim.Proc, shards [][]File) ([][]string, error) {
+	if len(shards) > len(pl.units) {
+		return nil, fmt.Errorf("cluster: %d shards for %d devices", len(shards), len(pl.units))
+	}
+	names := make([][]string, len(shards))
+	errs := make([]error, len(shards))
+	var wg sim.WaitGroup
+	wg.Add(len(shards))
+	for i := range shards {
+		i := i
+		pl.eng.Go(fmt.Sprintf("stage%d", i), func(sp *sim.Proc) {
+			defer wg.Done()
+			view := pl.units[i].Client.FS()
+			for _, f := range shards[i] {
+				if err := view.WriteFile(sp, f.Name, f.Data); err != nil {
+					errs[i] = fmt.Errorf("device %d: %s: %w", i, f.Name, err)
+					return
+				}
+				names[i] = append(names[i], f.Name)
+			}
+			view.Flush(sp)
+		})
+	}
+	wg.Wait(p)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}
+
+// TaskResult pairs a finished minion with its origin.
+type TaskResult struct {
+	Device int
+	Name   string
+	Resp   *core.Response
+	Err    error
+}
+
+// MapFiles runs makeCmd over every staged file, fanning out across devices
+// and, within each device, up to PerDeviceTasks concurrent minions. It
+// gathers all results before returning.
+func (pl *Pool) MapFiles(p *sim.Proc, staged [][]string, makeCmd func(name string) core.Command) []TaskResult {
+	var results []TaskResult
+	var wg sim.WaitGroup
+	for dev := range staged {
+		dev := dev
+		files := staged[dev]
+		if len(files) == 0 {
+			continue
+		}
+		workers := pl.PerDeviceTasks
+		if workers > len(files) {
+			workers = len(files)
+		}
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			w := w
+			pl.eng.Go(fmt.Sprintf("map%d.%d", dev, w), func(sp *sim.Proc) {
+				defer wg.Done()
+				for fi := w; fi < len(files); fi += pl.PerDeviceTasks {
+					name := files[fi]
+					resp, err := pl.units[dev].Client.Run(sp, makeCmd(name))
+					results = append(results, TaskResult{Device: dev, Name: name, Resp: resp, Err: err})
+				}
+			})
+		}
+	}
+	wg.Wait(p)
+	return results
+}
+
+// Broadcast sends one minion to every device in parallel and gathers the
+// responses in device order.
+func (pl *Pool) Broadcast(p *sim.Proc, cmd core.Command) []TaskResult {
+	results := make([]TaskResult, len(pl.units))
+	var wg sim.WaitGroup
+	wg.Add(len(pl.units))
+	for i := range pl.units {
+		i := i
+		pl.eng.Go(fmt.Sprintf("bcast%d", i), func(sp *sim.Proc) {
+			defer wg.Done()
+			resp, err := pl.units[i].Client.Run(sp, cmd)
+			results[i] = TaskResult{Device: i, Resp: resp, Err: err}
+		})
+	}
+	wg.Wait(p)
+	return results
+}
+
+// Balancer picks a device for the next task.
+type Balancer interface {
+	Pick(p *sim.Proc, pool *Pool) (int, error)
+}
+
+// RoundRobin cycles through devices.
+type RoundRobin struct{ next int }
+
+// Pick implements Balancer.
+func (rr *RoundRobin) Pick(p *sim.Proc, pool *Pool) (int, error) {
+	i := rr.next % pool.Size()
+	rr.next++
+	return i, nil
+}
+
+// LeastBusy queries every device's status and picks the one with the
+// fewest busy cores + queued tasks (ties to the cooler device) — the
+// paper's "this information could be used for load balancing".
+type LeastBusy struct{}
+
+// Pick implements Balancer.
+func (LeastBusy) Pick(p *sim.Proc, pool *Pool) (int, error) {
+	best := -1
+	bestLoad := 1 << 30
+	bestTemp := 1e9
+	for i := 0; i < pool.Size(); i++ {
+		st, err := pool.Unit(i).Client.Status(p)
+		if err != nil {
+			return 0, fmt.Errorf("cluster: status of device %d: %w", i, err)
+		}
+		load := st.CoresBusy + st.QueuedTasks
+		if load < bestLoad || (load == bestLoad && st.TemperatureC < bestTemp) {
+			best, bestLoad, bestTemp = i, load, st.TemperatureC
+		}
+	}
+	return best, nil
+}
+
+// Dispatch sends one minion via the balancer and returns its result.
+func (pl *Pool) Dispatch(p *sim.Proc, b Balancer, cmd core.Command) TaskResult {
+	i, err := b.Pick(p, pl)
+	if err != nil {
+		return TaskResult{Device: -1, Err: err}
+	}
+	resp, err := pl.units[i].Client.Run(p, cmd)
+	return TaskResult{Device: i, Resp: resp, Err: err}
+}

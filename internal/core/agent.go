@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"compstor/internal/isps"
+	"compstor/internal/minfs"
+	"compstor/internal/nvme"
+	"compstor/internal/sim"
+	"compstor/internal/ssd"
+)
+
+// Agent is the ISPS agent: "a daemon running on CompStor which is
+// responsible for receiving minions from clients and spawning in-storage
+// processes based on the command inside the received minions" (paper
+// §III.B). It is installed as the drive's vendor-command handler; each
+// vendor front-end context acts as one agent service thread.
+type Agent struct {
+	drive *ssd.SSD
+	sub   *isps.Subsystem
+
+	minions int64
+	queries int64
+	loads   int64
+}
+
+// AttachAgent installs an agent on a CompStor drive. It panics on
+// conventional drives, which have no ISPS to serve.
+func AttachAgent(drive *ssd.SSD) *Agent {
+	sub := drive.ISPS()
+	if sub == nil {
+		panic("core: AttachAgent on a drive without an ISPS")
+	}
+	a := &Agent{drive: drive, sub: sub}
+	drive.SetVendorHandler(a.handle)
+	return a
+}
+
+// Subsystem returns the ISPS the agent serves.
+func (a *Agent) Subsystem() *isps.Subsystem { return a.sub }
+
+// MinionsServed returns the number of minions processed.
+func (a *Agent) MinionsServed() int64 { return a.minions }
+
+// handle services one vendor command in device context.
+func (a *Agent) handle(p *sim.Proc, op nvme.Opcode, payload any) (any, int64, error) {
+	switch op {
+	case nvme.OpVendorMinion:
+		cmd, ok := payload.(Command)
+		if !ok {
+			return nil, 0, fmt.Errorf("core: minion payload is %T", payload)
+		}
+		resp := a.runMinion(p, cmd)
+		return resp, resp.WireSize(), nil
+	case nvme.OpVendorQuery:
+		q, ok := payload.(Query)
+		if !ok {
+			return nil, 0, fmt.Errorf("core: query payload is %T", payload)
+		}
+		a.queries++
+		switch q.Kind {
+		case QueryStatus:
+			st := a.sub.Status()
+			return st, 512, nil
+		default:
+			return nil, 0, fmt.Errorf("core: unknown query kind %d", q.Kind)
+		}
+	case nvme.OpVendorTaskLoad:
+		tl, ok := payload.(TaskLoad)
+		if !ok {
+			return nil, 0, fmt.Errorf("core: task-load payload is %T", payload)
+		}
+		a.loads++
+		// Installing the binary costs a write-ish delay proportional to its
+		// size through the DRAM (modelled as already paid by the fabric DMA).
+		a.sub.LoadTask(tl.Program)
+		return true, 16, nil
+	}
+	return nil, 0, fmt.Errorf("core: unhandled vendor opcode %v", op)
+}
+
+// runMinion executes steps 2-6 of the minion lifetime (Table III).
+func (a *Agent) runMinion(p *sim.Proc, cmd Command) *Response {
+	a.minions++
+	resp := &Response{AgentReceived: p.Now()}
+
+	// Access check: declared inputs must exist in the namespace.
+	if fsv := a.sub.FS(); fsv != nil {
+		for _, in := range cmd.InputFiles {
+			if _, err := fsv.FS().Stat(in); err != nil {
+				resp.Status = StatusRejected
+				resp.ExitCode = 2
+				resp.Error = fmt.Sprintf("input %s: %v", in, err)
+				resp.TaskStarted = p.Now()
+				resp.TaskFinished = p.Now()
+				return resp
+			}
+		}
+	}
+
+	resp.TaskStarted = p.Now()
+	res := a.sub.Spawn(p, isps.TaskSpec{
+		Exec:     cmd.Exec,
+		Args:     cmd.Args,
+		Script:   cmd.Script,
+		Stdin:    cmd.Stdin,
+		MemBytes: cmd.MemBytes,
+	})
+	resp.TaskFinished = p.Now()
+	resp.Stdout = res.Stdout
+	resp.Stderr = res.Stderr
+	resp.ExitCode = res.ExitCode
+	resp.Elapsed = res.Elapsed()
+	if res.Err != nil {
+		resp.Status = StatusFailed
+		resp.Error = res.Err.Error()
+	}
+	return resp
+}
+
+// HostFS returns a fresh host-path view of the drive's namespace.
+func (a *Agent) HostFS() *minfs.View { return a.drive.HostView() }

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"compstor/internal/apps"
+	"compstor/internal/cpu"
+	"compstor/internal/energy"
+	"compstor/internal/flash"
+	"compstor/internal/isps"
+	"compstor/internal/minfs"
+	"compstor/internal/pcie"
+	"compstor/internal/sim"
+	"compstor/internal/ssd"
+)
+
+// Host is the server-side execution platform (the Xeon of Table IV),
+// reusing the generic task executor with the host calibration. Its
+// filesystem view routes through NVMe, so host-side computation pays the
+// full data-movement cost the paper argues against.
+type Host struct {
+	Sub  *isps.Subsystem
+	comp *energy.Component
+}
+
+// NewHost builds the host platform with the standard program set installed.
+func NewHost(eng *sim.Engine, meter *energy.Meter, registry *apps.Registry) *Host {
+	platform := cpu.Xeon()
+	var comp *energy.Component
+	if meter != nil {
+		comp = meter.Component("host/cpu", platform.BaseWatts)
+	}
+	sub := isps.New(eng, isps.Config{
+		Platform: platform,
+		Registry: registry.Clone(),
+		Meter:    comp,
+	})
+	return &Host{Sub: sub, comp: comp}
+}
+
+// Mount points host execution at a drive's NVMe-path filesystem view.
+func (h *Host) Mount(view *minfs.View) { h.Sub.AttachFS(view) }
+
+// Run executes a task on the host CPU (the conventional baseline).
+func (h *Host) Run(p *sim.Proc, spec isps.TaskSpec) isps.TaskResult {
+	return h.Sub.Spawn(p, spec)
+}
+
+// Energy returns the host CPU's energy component (nil without a meter).
+func (h *Host) Energy() *energy.Component { return h.comp }
+
+// DeviceUnit is one attached CompStor: drive + agent + client.
+type DeviceUnit struct {
+	Drive  *ssd.SSD
+	Agent  *Agent
+	Client *Client
+}
+
+// SystemConfig assembles a full testbed.
+type SystemConfig struct {
+	// CompStors is the number of in-situ drives to attach.
+	CompStors int
+	// ConventionalSSD attaches one conventional drive (the baseline server's
+	// storage).
+	ConventionalSSD bool
+	// Registry is the program set installed everywhere; nil selects nothing
+	// (callers usually pass appset.Base()).
+	Registry *apps.Registry
+	// Geometry/fabric overrides; zero values select defaults.
+	Geometry flash.Geometry
+	Fabric   pcie.Config
+	// WithHost attaches a Xeon host runner.
+	WithHost bool
+	// SharedCores / ISPSViaNVMePath forward the ablation switches to every
+	// CompStor.
+	SharedCores     bool
+	ISPSViaNVMePath bool
+}
+
+// System is an assembled testbed: one engine, one meter, one fabric, the
+// drives, and optionally the host platform.
+type System struct {
+	Eng    *sim.Engine
+	Meter  *energy.Meter
+	Fabric *pcie.Fabric
+
+	Devices      []*DeviceUnit
+	Conventional *ssd.SSD
+	Host         *Host
+}
+
+// NewSystem builds a testbed.
+func NewSystem(cfg SystemConfig) *System {
+	if cfg.Registry == nil {
+		panic("core: SystemConfig.Registry required")
+	}
+	eng := sim.NewEngine()
+	meter := energy.NewMeter(eng)
+	fcfg := cfg.Fabric
+	if fcfg.UplinkBytesPerSec == 0 {
+		fcfg = pcie.DefaultConfig()
+	}
+	geo := cfg.Geometry
+	if geo.Channels == 0 {
+		geo = flash.DefaultGeometry()
+	}
+	sys := &System{
+		Eng:    eng,
+		Meter:  meter,
+		Fabric: pcie.NewFabric(eng, fcfg),
+	}
+	// PCIe transport energy: ~10 pJ/bit while moving data. At 16 GB/s that
+	// is ~1.3 W of incremental draw on the uplink — small next to the CPUs,
+	// but it makes the data-movement cost the paper argues about visible in
+	// the meter.
+	const pjPerBit = 10.0
+	uplinkW := energy.PicojoulesPerBit(pjPerBit, int64(fcfg.UplinkBytesPerSec))
+	energy.MeterLink(meter.Component("pcie/uplink", 0), sys.Fabric.Uplink(), uplinkW)
+	meterPort := func(name string, port *pcie.Port) {
+		portW := energy.PicojoulesPerBit(pjPerBit, int64(fcfg.PortBytesPerSec))
+		energy.MeterLink(meter.Component(name, 0), port.Link(), portW)
+	}
+	for i := 0; i < cfg.CompStors; i++ {
+		dcfg := ssd.CompStorConfig(fmt.Sprintf("compstor%d", i), cfg.Registry)
+		dcfg.Geometry = geo
+		dcfg.Meter = meter
+		dcfg.SharedCores = cfg.SharedCores
+		dcfg.ISPSViaNVMePath = cfg.ISPSViaNVMePath
+		port := sys.Fabric.AddPort()
+		meterPort(fmt.Sprintf("pcie/port%d", port.ID()), port)
+		drive := ssd.New(eng, port, dcfg)
+		agent := AttachAgent(drive)
+		sys.Devices = append(sys.Devices, &DeviceUnit{
+			Drive:  drive,
+			Agent:  agent,
+			Client: NewClient(drive),
+		})
+	}
+	if cfg.ConventionalSSD {
+		dcfg := ssd.DefaultConfig("conv0")
+		dcfg.Geometry = geo
+		port := sys.Fabric.AddPort()
+		meterPort(fmt.Sprintf("pcie/port%d", port.ID()), port)
+		sys.Conventional = ssd.New(eng, port, dcfg)
+	}
+	if cfg.WithHost {
+		sys.Host = NewHost(eng, meter, cfg.Registry)
+		if sys.Conventional != nil {
+			sys.Host.Mount(sys.Conventional.HostView())
+		} else if len(sys.Devices) > 0 {
+			sys.Host.Mount(sys.Devices[0].Drive.HostView())
+		}
+	}
+	return sys
+}
+
+// Device returns the i-th CompStor unit.
+func (s *System) Device(i int) *DeviceUnit { return s.Devices[i] }
+
+// Run drives the simulation to completion and returns the final virtual
+// time.
+func (s *System) Run() sim.Time { return s.Eng.Run() }
+
+// Go forks a simulated process on the system's engine.
+func (s *System) Go(name string, body func(p *sim.Proc)) { s.Eng.Go(name, body) }

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"compstor/internal/cpu"
+	"compstor/internal/trace"
+)
+
+// Fig8Row is one application's energy-per-gigabyte comparison.
+type Fig8Row struct {
+	App            string
+	CompStorJPerGB float64
+	XeonJPerGB     float64
+	Ratio          float64 // Xeon / CompStor (the paper's "up to 3X saving")
+	PaperCompStor  float64
+	PaperXeon      float64
+}
+
+// Fig8 reproduces the energy-consumption experiment: every application runs
+// over the corpus (a) in-situ on one CompStor and (b) on the Xeon host with
+// a conventional SSD; energy is integrated over the compute window and
+// normalised per gigabyte of input, exactly as the paper reports.
+func Fig8(o Options) []Fig8Row {
+	var out []Fig8Row
+	for _, w := range Workloads() {
+		o.logf("fig8: %s in-situ...", w.Name)
+		dev := o.poolRun(1, w)
+		devJ := dev.deviceJ
+
+		o.logf("fig8: %s on host...", w.Name)
+		host := o.hostRun(w)
+		hostJ := host.hostJ
+
+		row := Fig8Row{
+			App:            w.Name,
+			CompStorJPerGB: devJ / (float64(dev.inBytes) / 1e9),
+			XeonJPerGB:     hostJ / (float64(host.inBytes) / 1e9),
+		}
+		if row.CompStorJPerGB > 0 {
+			row.Ratio = row.XeonJPerGB / row.CompStorJPerGB
+		}
+		if pc, px, ok := cpu.PaperFig8(cpu.Class(w.Name)); ok {
+			row.PaperCompStor = pc
+			row.PaperXeon = px
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// RenderFig8 writes the energy report with paper-vs-measured columns.
+func RenderFig8(w io.Writer, rows []Fig8Row) {
+	t := trace.NewTable("Fig 8 — energy per gigabyte of input (J/GB)",
+		"app", "CompStor", "paper", "Xeon", "paper", "ratio", "paper-ratio")
+	for _, r := range rows {
+		pr := 0.0
+		if r.PaperCompStor > 0 {
+			pr = r.PaperXeon / r.PaperCompStor
+		}
+		t.AddRow(r.App, r.CompStorJPerGB, r.PaperCompStor, r.XeonJPerGB, r.PaperXeon,
+			fmt.Sprintf("%.2fx", r.Ratio), fmt.Sprintf("%.2fx", pr))
+	}
+	t.Render(w)
+	fmt.Fprintln(w)
+	labels := make([]string, 0, len(rows)*2)
+	values := make([]float64, 0, len(rows)*2)
+	for _, r := range rows {
+		labels = append(labels, r.App+" (CompStor)", r.App+" (Xeon)")
+		values = append(values, r.CompStorJPerGB, r.XeonJPerGB)
+	}
+	trace.BarChart(w, "J/GB (lower is better)", labels, values)
+}

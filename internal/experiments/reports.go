@@ -1,0 +1,57 @@
+package experiments
+
+import "compstor/internal/sim"
+
+// PoolRunReport is the public summary of one workload run on a CompStor
+// pool, used by cmd/compstor-sim.
+type PoolRunReport struct {
+	Elapsed    sim.Duration
+	PlainBytes int64
+	MBps       float64
+	DeviceJ    float64
+	JPerGB     float64
+	Failures   int
+}
+
+// RunPool stages the workload's dataset across n CompStors, runs it, and
+// summarises.
+func RunPool(o Options, n int, w Workload) PoolRunReport {
+	r := o.poolRun(n, w)
+	rep := PoolRunReport{
+		Elapsed:    r.elapsed,
+		PlainBytes: r.inBytes,
+		MBps:       mbps(r.inBytes, r.elapsed),
+		DeviceJ:    r.deviceJ,
+		Failures:   r.failures,
+	}
+	if r.inBytes > 0 {
+		rep.JPerGB = r.deviceJ / (float64(r.inBytes) / 1e9)
+	}
+	return rep
+}
+
+// HostRunReport is the public summary of a Xeon-baseline run.
+type HostRunReport struct {
+	Elapsed    sim.Duration
+	PlainBytes int64
+	MBps       float64
+	HostJ      float64
+	JPerGB     float64
+	Failures   int
+}
+
+// RunHost runs the workload on the host baseline and summarises.
+func RunHost(o Options, w Workload) HostRunReport {
+	r := o.hostRun(w)
+	rep := HostRunReport{
+		Elapsed:    r.elapsed,
+		PlainBytes: r.inBytes,
+		MBps:       mbps(r.inBytes, r.elapsed),
+		HostJ:      r.hostJ,
+		Failures:   r.failures,
+	}
+	if r.inBytes > 0 {
+		rep.JPerGB = r.hostJ / (float64(r.inBytes) / 1e9)
+	}
+	return rep
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+
+	"compstor/internal/apps/appset"
+	"compstor/internal/cluster"
+	"compstor/internal/core"
+	"compstor/internal/isps"
+	"compstor/internal/sim"
+)
+
+// wordFreqProg is the gawk workload: build a word-frequency table and
+// report the distinct-word count (the paper's "searches text and makes
+// changes based on user-specified patterns" class).
+const wordFreqProg = `{ for (i = 1; i <= NF; i++) freq[$i]++ } END { n = 0; for (w in freq) n++; print n }`
+
+// Workload describes one evaluation application: how to build its dataset
+// from the plain corpus and how to invoke it on a file.
+type Workload struct {
+	Name string
+	// Dataset derives the staged files from the plain corpus.
+	Dataset func(plain []cluster.File) []cluster.File
+	// Command builds the in-situ command for one staged file.
+	Command func(name string) core.Command
+}
+
+// Spec converts the workload's command into a host task spec.
+func (w Workload) Spec(name string) isps.TaskSpec {
+	cmd := w.Command(name)
+	return isps.TaskSpec{Exec: cmd.Exec, Args: cmd.Args, Script: cmd.Script, Stdin: cmd.Stdin}
+}
+
+func identityDataset(plain []cluster.File) []cluster.File { return plain }
+
+// Workloads returns the paper's six evaluation applications.
+func Workloads() []Workload {
+	return []Workload{
+		{
+			Name:    "gzip",
+			Dataset: identityDataset,
+			Command: func(name string) core.Command {
+				return core.Command{Exec: "gzip", Args: []string{name}}
+			},
+		},
+		{
+			Name:    "gunzip",
+			Dataset: corpusGz,
+			Command: func(name string) core.Command {
+				return core.Command{Exec: "gunzip", Args: []string{name}}
+			},
+		},
+		{
+			Name:    "bzip2",
+			Dataset: identityDataset,
+			Command: func(name string) core.Command {
+				return core.Command{Exec: "bzip2", Args: []string{name}}
+			},
+		},
+		{
+			Name:    "bunzip2",
+			Dataset: corpusBz2,
+			Command: func(name string) core.Command {
+				return core.Command{Exec: "bunzip2", Args: []string{name}}
+			},
+		},
+		{
+			Name:    "grep",
+			Dataset: identityDataset,
+			Command: func(name string) core.Command {
+				return core.Command{Exec: "grep", Args: []string{"-c", "the", name}}
+			},
+		},
+		{
+			Name:    "gawk",
+			Dataset: identityDataset,
+			Command: func(name string) core.Command {
+				return core.Command{Exec: "gawk", Args: []string{wordFreqProg, name}}
+			},
+		},
+	}
+}
+
+// WorkloadByName looks a workload up.
+func WorkloadByName(name string) (Workload, error) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("experiments: unknown workload %q", name)
+}
+
+// poolRun stages the dataset across n CompStors and runs the workload over
+// every file, returning the map-phase wall time and the input bytes
+// processed. The returned system allows energy/traffic inspection.
+type poolRunResult struct {
+	sys      *core.System
+	elapsed  sim.Duration
+	startAt  sim.Time
+	endAt    sim.Time
+	inBytes  int64
+	failures int
+	// Device energy (all ISPS components) integrated over the map window,
+	// snapshotted inside the simulation.
+	deviceJ float64
+}
+
+func (o Options) poolRun(n int, w Workload) poolRunResult {
+	plain := o.corpus()
+	files := w.Dataset(plain)
+	sys := core.NewSystem(core.SystemConfig{
+		CompStors: n,
+		Registry:  appset.Base(),
+		Geometry:  o.Geometry,
+	})
+	pool := cluster.NewPool(sys.Eng, sys.Devices)
+	// Throughput and energy are normalised per byte of *plain* corpus (the
+	// paper's "per gigabyte data"), regardless of whether the staged files
+	// are the compressed variants.
+	res := poolRunResult{sys: sys, inBytes: totalBytes(plain)}
+	sys.Go("driver", func(p *sim.Proc) {
+		staged, err := pool.Stage(p, cluster.Shard(files, n))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: staging: %v", err))
+		}
+		res.startAt = p.Now()
+		startJ := deviceEnergy(sys, n, p.Now())
+		results := pool.MapFiles(p, staged, w.Command)
+		res.endAt = p.Now()
+		res.deviceJ = deviceEnergy(sys, n, p.Now()) - startJ
+		res.elapsed = res.endAt.Sub(res.startAt)
+		for _, r := range results {
+			if r.Err != nil || r.Resp == nil || r.Resp.Status != core.StatusOK {
+				res.failures++
+			}
+		}
+	})
+	sys.Run()
+	return res
+}
+
+// hostRun stages the dataset on a conventional SSD and runs the workload on
+// the Xeon host with all cores busy.
+type hostRunResult struct {
+	sys      *core.System
+	elapsed  sim.Duration
+	startAt  sim.Time
+	endAt    sim.Time
+	inBytes  int64
+	failures int
+	// Host CPU energy integrated over the compute window.
+	hostJ float64
+}
+
+func (o Options) hostRun(w Workload) hostRunResult {
+	plain := o.corpus()
+	files := w.Dataset(plain)
+	sys := core.NewSystem(core.SystemConfig{
+		ConventionalSSD: true,
+		WithHost:        true,
+		Registry:        appset.Base(),
+		Geometry:        o.Geometry,
+	})
+	res := hostRunResult{sys: sys, inBytes: totalBytes(plain)}
+	view := sys.Conventional.HostView()
+	sys.Go("driver", func(p *sim.Proc) {
+		for _, f := range files {
+			if err := view.WriteFile(p, f.Name, f.Data); err != nil {
+				panic(fmt.Sprintf("experiments: host staging: %v", err))
+			}
+		}
+		view.Flush(p)
+		res.startAt = p.Now()
+		startJ := sys.Host.Energy().Energy(p.Now())
+		workers := sys.Host.Sub.Platform().Cores
+		var wg sim.WaitGroup
+		wg.Add(workers)
+		for wk := 0; wk < workers; wk++ {
+			wk := wk
+			sys.Eng.Go(fmt.Sprintf("hostwork%d", wk), func(sp *sim.Proc) {
+				defer wg.Done()
+				for i := wk; i < len(files); i += workers {
+					r := sys.Host.Run(sp, w.Spec(files[i].Name))
+					if r.Err != nil {
+						res.failures++
+					}
+				}
+			})
+		}
+		wg.Wait(p)
+		res.endAt = p.Now()
+		res.hostJ = sys.Host.Energy().Energy(p.Now()) - startJ
+		res.elapsed = res.endAt.Sub(res.startAt)
+	})
+	sys.Run()
+	return res
+}
+
+// deviceEnergy sums the ISPS components' energy at the current instant.
+// It must be called from inside the simulation (energy snapshots taken
+// after the run would mis-attribute active energy to the window).
+func deviceEnergy(sys *core.System, n int, at sim.Time) float64 {
+	var j float64
+	for i := 0; i < n; i++ {
+		if c := sys.Meter.Lookup(fmt.Sprintf("compstor%d/isps", i)); c != nil {
+			j += c.Energy(at)
+		}
+	}
+	return j
+}
+
+// mbps converts bytes over a duration to MB/s.
+func mbps(bytes int64, d sim.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / 1e6
+}

@@ -1,0 +1,107 @@
+package flash
+
+import (
+	"errors"
+	"testing"
+
+	"compstor/internal/sim"
+)
+
+var errInjected = errors.New("injected media fault")
+
+func TestFaultHookRead(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := testDevice(eng)
+	a := Addr{Block: 1}
+	eng.Go("io", func(p *sim.Proc) {
+		dev.ProgramPage(p, a, page(dev, 1))
+		dev.SetFaultHook(func(op FaultOp, fa Addr) error {
+			if op == FaultRead && fa == a {
+				return errInjected
+			}
+			return nil
+		})
+		if _, err := dev.ReadPage(p, a); !errors.Is(err, errInjected) {
+			t.Errorf("read fault not injected: %v", err)
+		}
+		// Other addresses unaffected.
+		other := Addr{Block: 2}
+		dev.ProgramPage(p, other, page(dev, 2))
+		if _, err := dev.ReadPage(p, other); err != nil {
+			t.Errorf("unrelated read failed: %v", err)
+		}
+		dev.SetFaultHook(nil)
+		if _, err := dev.ReadPage(p, a); err != nil {
+			t.Errorf("read after clearing hook: %v", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestFaultHookProgramLeavesPageUnusable(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := testDevice(eng)
+	a := Addr{Block: 3}
+	eng.Go("io", func(p *sim.Proc) {
+		dev.SetFaultHook(func(op FaultOp, fa Addr) error {
+			if op == FaultProgram {
+				return errInjected
+			}
+			return nil
+		})
+		if err := dev.ProgramPage(p, a, page(dev, 1)); !errors.Is(err, errInjected) {
+			t.Errorf("program fault not injected: %v", err)
+		}
+		dev.SetFaultHook(nil)
+		// The failed page must demand an erase before reuse.
+		if err := dev.ProgramPage(p, a, page(dev, 1)); !errors.Is(err, ErrNotErased) {
+			t.Errorf("failed page reprogrammable without erase: %v", err)
+		}
+		if err := dev.EraseBlock(p, a); err != nil {
+			t.Errorf("erase: %v", err)
+		}
+		if err := dev.ProgramPage(p, a, page(dev, 1)); err != nil {
+			t.Errorf("program after erase: %v", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestFaultHookErase(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := testDevice(eng)
+	a := Addr{Block: 4}
+	eng.Go("io", func(p *sim.Proc) {
+		dev.ProgramPage(p, a, page(dev, 9))
+		dev.SetFaultHook(func(op FaultOp, fa Addr) error {
+			if op == FaultErase {
+				return errInjected
+			}
+			return nil
+		})
+		if err := dev.EraseBlock(p, a); !errors.Is(err, errInjected) {
+			t.Errorf("erase fault not injected: %v", err)
+		}
+		// Data survives a failed erase in this model.
+		got, err := dev.ReadPage(p, a)
+		if err != nil || got[0] != 9 {
+			t.Errorf("data lost on failed erase: %v", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestFaultStillChargesTime(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := testDevice(eng)
+	dev.SetFaultHook(func(FaultOp, Addr) error { return errInjected })
+	var elapsed sim.Time
+	eng.Go("io", func(p *sim.Proc) {
+		dev.ReadPage(p, Addr{})
+		elapsed = p.Now()
+	})
+	eng.Run()
+	if elapsed < sim.Time(DefaultTiming().ReadPage) {
+		t.Fatalf("failed read took %v; faults must still cost media time", elapsed)
+	}
+}

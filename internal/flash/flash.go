@@ -1,0 +1,365 @@
+// Package flash models a NAND flash array: channels, dies, planes, blocks
+// and pages, with realistic operation latencies and per-channel bus
+// bandwidth, backed by a sparse in-memory page store holding real bytes.
+//
+// The model enforces NAND programming rules (pages must be erased before
+// being programmed; erase works on whole blocks), which is what makes the
+// FTL layered above it meaningfully testable.
+package flash
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"compstor/internal/energy"
+	"compstor/internal/sim"
+)
+
+// Geometry describes the physical organisation of the array.
+type Geometry struct {
+	Channels      int
+	DiesPerChan   int
+	PlanesPerDie  int
+	BlocksPerPlan int
+	PagesPerBlock int
+	PageSize      int
+}
+
+// DefaultGeometry returns a laptop-scale geometry with the paper's
+// channel-level parallelism (16 channels) but a reduced per-die capacity so
+// whole-device tests stay fast. Capacity: 16ch × 1die × 1plane × 256blk ×
+// 64pg × 4 KiB = 4 GiB.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Channels:      16,
+		DiesPerChan:   1,
+		PlanesPerDie:  1,
+		BlocksPerPlan: 256,
+		PagesPerBlock: 64,
+		PageSize:      4096,
+	}
+}
+
+// PaperGeometry returns the 24 TB prototype's geometry for bandwidth
+// analysis (not for byte-backed simulation): 16 channels, 8 dies/channel.
+func PaperGeometry() Geometry {
+	return Geometry{
+		Channels:      16,
+		DiesPerChan:   8,
+		PlanesPerDie:  2,
+		BlocksPerPlan: 2048,
+		PagesPerBlock: 2816,
+		PageSize:      16384,
+	}
+}
+
+// Validate reports whether every dimension is positive.
+func (g Geometry) Validate() error {
+	if g.Channels <= 0 || g.DiesPerChan <= 0 || g.PlanesPerDie <= 0 ||
+		g.BlocksPerPlan <= 0 || g.PagesPerBlock <= 0 || g.PageSize <= 0 {
+		return fmt.Errorf("flash: invalid geometry %+v", g)
+	}
+	return nil
+}
+
+// Blocks returns the total number of erase blocks in the array.
+func (g Geometry) Blocks() int64 {
+	return int64(g.Channels) * int64(g.DiesPerChan) * int64(g.PlanesPerDie) * int64(g.BlocksPerPlan)
+}
+
+// Pages returns the total number of pages in the array.
+func (g Geometry) Pages() int64 { return g.Blocks() * int64(g.PagesPerBlock) }
+
+// Bytes returns the raw capacity in bytes.
+func (g Geometry) Bytes() int64 { return g.Pages() * int64(g.PageSize) }
+
+// MediaBandwidth returns the aggregate channel-bus bandwidth in bytes/s —
+// the "enormous aggregated bandwidth at the media interface" of the paper's
+// Fig. 1 argument.
+func (g Geometry) MediaBandwidth(t Timing) float64 {
+	return float64(g.Channels) * t.ChannelBytesPerSec
+}
+
+// Timing holds NAND operation latencies and channel bandwidth.
+type Timing struct {
+	ReadPage           time.Duration
+	ProgramPage        time.Duration
+	EraseBlock         time.Duration
+	ChannelBytesPerSec float64
+}
+
+// DefaultTiming returns MLC-class NAND timing with the paper's 533 MB/s
+// channel buses.
+func DefaultTiming() Timing {
+	return Timing{
+		ReadPage:           60 * time.Microsecond,
+		ProgramPage:        600 * time.Microsecond,
+		EraseBlock:         3 * time.Millisecond,
+		ChannelBytesPerSec: 533e6,
+	}
+}
+
+// Addr identifies a physical page.
+type Addr struct {
+	Channel int
+	Die     int
+	Plane   int
+	Block   int
+	Page    int
+}
+
+func (a Addr) String() string {
+	return fmt.Sprintf("ch%d/die%d/pl%d/blk%d/pg%d", a.Channel, a.Die, a.Plane, a.Block, a.Page)
+}
+
+// Errors returned by device operations.
+var (
+	ErrOutOfRange = errors.New("flash: address out of range")
+	ErrNotErased  = errors.New("flash: programming a non-erased page")
+	ErrUnwritten  = errors.New("flash: reading an unwritten page")
+	ErrPageSize   = errors.New("flash: data does not match page size")
+)
+
+// Stats counts media operations.
+type Stats struct {
+	Reads    int64
+	Programs int64
+	Erases   int64
+}
+
+// Device is a NAND array attached to a simulation engine. All operations
+// take a *sim.Proc and advance virtual time; data is stored for real.
+type Device struct {
+	eng    *sim.Engine
+	geo    Geometry
+	timing Timing
+
+	chanBus []*sim.Link     // per-channel data bus
+	dies    []*sim.Resource // per-die occupancy (channels*diesPerChan)
+
+	pages      map[int64][]byte // linear page -> data
+	written    map[int64]bool   // linear page -> programmed since last erase
+	eraseCount map[int64]int64  // linear block -> erase cycles
+
+	stats Stats
+	meter *energy.Component
+	// Incremental power while a die is busy, and per-byte bus energy, are
+	// fixed at SetEnergy time.
+	dieActiveW float64
+
+	faultHook func(op FaultOp, a Addr) error
+}
+
+// FaultOp identifies the media operation a fault hook intercepts.
+type FaultOp int
+
+// Fault-injectable operations.
+const (
+	FaultRead FaultOp = iota
+	FaultProgram
+	FaultErase
+)
+
+// SetFaultHook installs a fault injector: it runs before each media
+// operation (after timing is charged, as a real failed operation still
+// costs its latency) and may force the operation to fail. Used by tests to
+// exercise error propagation through the FTL, protocol, and application
+// layers. Pass nil to clear.
+func (d *Device) SetFaultHook(fn func(op FaultOp, a Addr) error) { d.faultHook = fn }
+
+func (d *Device) fault(op FaultOp, a Addr) error {
+	if d.faultHook == nil {
+		return nil
+	}
+	return d.faultHook(op, a)
+}
+
+// NewDevice builds a NAND array. It panics on invalid geometry, since a
+// device cannot exist without one.
+func NewDevice(eng *sim.Engine, name string, geo Geometry, timing Timing) *Device {
+	if err := geo.Validate(); err != nil {
+		panic(err)
+	}
+	if timing.ChannelBytesPerSec <= 0 {
+		panic("flash: non-positive channel bandwidth")
+	}
+	d := &Device{
+		eng:        eng,
+		geo:        geo,
+		timing:     timing,
+		pages:      make(map[int64][]byte),
+		written:    make(map[int64]bool),
+		eraseCount: make(map[int64]int64),
+	}
+	for c := 0; c < geo.Channels; c++ {
+		d.chanBus = append(d.chanBus, sim.NewLink(eng, fmt.Sprintf("%s/ch%d", name, c), timing.ChannelBytesPerSec, 0))
+	}
+	for i := 0; i < geo.Channels*geo.DiesPerChan; i++ {
+		d.dies = append(d.dies, sim.NewResource(eng, 1))
+	}
+	return d
+}
+
+// Geometry returns the device geometry.
+func (d *Device) Geometry() Geometry { return d.geo }
+
+// Timing returns the device timing parameters.
+func (d *Device) Timing() Timing { return d.timing }
+
+// Stats returns the operation counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// SetEnergy attaches an energy component: die-busy time is charged at
+// activeWatts, and channel-bus occupancy at busWatts per channel.
+func (d *Device) SetEnergy(c *energy.Component, activeWatts, busWatts float64) {
+	d.meter = c
+	d.dieActiveW = activeWatts
+	for _, l := range d.chanBus {
+		energy.MeterLink(c, l, busWatts)
+	}
+}
+
+func (d *Device) check(a Addr) error {
+	if a.Channel < 0 || a.Channel >= d.geo.Channels ||
+		a.Die < 0 || a.Die >= d.geo.DiesPerChan ||
+		a.Plane < 0 || a.Plane >= d.geo.PlanesPerDie ||
+		a.Block < 0 || a.Block >= d.geo.BlocksPerPlan ||
+		a.Page < 0 || a.Page >= d.geo.PagesPerBlock {
+		return fmt.Errorf("%w: %v", ErrOutOfRange, a)
+	}
+	return nil
+}
+
+// blockIndex linearises the block coordinate of an address.
+func (d *Device) blockIndex(a Addr) int64 { return d.geo.BlockIndex(a) }
+
+// pageIndex linearises a page address.
+func (d *Device) pageIndex(a Addr) int64 { return d.geo.PageIndex(a) }
+
+func (d *Device) die(a Addr) *sim.Resource {
+	return d.dies[a.Channel*d.geo.DiesPerChan+a.Die]
+}
+
+func (d *Device) chargeDie(dur time.Duration) {
+	if d.meter != nil {
+		d.meter.AddActive(dur, d.dieActiveW)
+	}
+}
+
+// ReadPage reads one page: the die is busy for tR, then the page crosses
+// the channel bus. Returns a copy of the stored data. Reading an unwritten
+// page returns ErrUnwritten (raw NAND would return all-0xFF; surfacing it as
+// an error catches FTL bugs).
+func (d *Device) ReadPage(p *sim.Proc, a Addr) ([]byte, error) {
+	if err := d.check(a); err != nil {
+		return nil, err
+	}
+	idx := d.pageIndex(a)
+	die := d.die(a)
+	die.Acquire(p)
+	p.Wait(d.timing.ReadPage)
+	die.AddBusy(d.timing.ReadPage)
+	die.Release()
+	d.chargeDie(d.timing.ReadPage)
+	d.chanBus[a.Channel].Transfer(p, int64(d.geo.PageSize))
+	d.stats.Reads++
+	if err := d.fault(FaultRead, a); err != nil {
+		return nil, err
+	}
+	data, ok := d.pages[idx]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnwritten, a)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// ProgramPage writes one page: data crosses the channel bus, then the die
+// is busy for tProg. data must be exactly one page. Programming a page that
+// has not been erased since its last program returns ErrNotErased.
+func (d *Device) ProgramPage(p *sim.Proc, a Addr, data []byte) error {
+	if err := d.check(a); err != nil {
+		return err
+	}
+	if len(data) != d.geo.PageSize {
+		return fmt.Errorf("%w: got %d bytes, page is %d", ErrPageSize, len(data), d.geo.PageSize)
+	}
+	idx := d.pageIndex(a)
+	if d.written[idx] {
+		return fmt.Errorf("%w: %v", ErrNotErased, a)
+	}
+	d.chanBus[a.Channel].Transfer(p, int64(d.geo.PageSize))
+	die := d.die(a)
+	die.Acquire(p)
+	p.Wait(d.timing.ProgramPage)
+	die.AddBusy(d.timing.ProgramPage)
+	die.Release()
+	d.chargeDie(d.timing.ProgramPage)
+	if err := d.fault(FaultProgram, a); err != nil {
+		// A failed program leaves the page in an indeterminate, non-erased
+		// state; mark it written so the FTL must erase before retrying here.
+		d.written[idx] = true
+		d.stats.Programs++
+		return err
+	}
+	stored := make([]byte, len(data))
+	copy(stored, data)
+	d.pages[idx] = stored
+	d.written[idx] = true
+	d.stats.Programs++
+	return nil
+}
+
+// EraseBlock erases the whole block containing a (a.Page is ignored),
+// clearing all its pages and bumping the block's wear counter.
+func (d *Device) EraseBlock(p *sim.Proc, a Addr) error {
+	a.Page = 0
+	if err := d.check(a); err != nil {
+		return err
+	}
+	die := d.die(a)
+	die.Acquire(p)
+	p.Wait(d.timing.EraseBlock)
+	die.AddBusy(d.timing.EraseBlock)
+	die.Release()
+	d.chargeDie(d.timing.EraseBlock)
+	if err := d.fault(FaultErase, a); err != nil {
+		return err
+	}
+	blk := d.blockIndex(a)
+	base := blk * int64(d.geo.PagesPerBlock)
+	for i := 0; i < d.geo.PagesPerBlock; i++ {
+		delete(d.pages, base+int64(i))
+		delete(d.written, base+int64(i))
+	}
+	d.eraseCount[blk]++
+	d.stats.Erases++
+	return nil
+}
+
+// EraseCount returns the wear (erase cycles) of the block containing a.
+func (d *Device) EraseCount(a Addr) int64 { return d.eraseCount[d.blockIndex(a)] }
+
+// MaxEraseCount returns the highest wear across all ever-erased blocks.
+func (d *Device) MaxEraseCount() int64 {
+	var max int64
+	for _, c := range d.eraseCount {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// IsWritten reports whether the page at a holds programmed data.
+func (d *Device) IsWritten(a Addr) bool {
+	if d.check(a) != nil {
+		return false
+	}
+	return d.written[d.pageIndex(a)]
+}
+
+// ChannelBus exposes channel c's bus link for utilisation reporting.
+func (d *Device) ChannelBus(c int) *sim.Link { return d.chanBus[c] }

@@ -1,0 +1,398 @@
+// Package ftl implements a page-level flash translation layer over a
+// flash.Device: logical-to-physical page mapping, channel-striped
+// allocation, greedy garbage collection with wear-aware victim selection,
+// over-provisioning, and TRIM.
+//
+// It is the "SSD controller software ... responsible for the flash
+// management, garbage collections, and table keeping tasks" of the paper's
+// software stack, and serves both the NVMe front-end (host reads/writes)
+// and the ISPS flash-access device driver.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"compstor/internal/flash"
+	"compstor/internal/sim"
+)
+
+// Config tunes the translation layer.
+type Config struct {
+	// OverProvision is the fraction of raw capacity hidden from the host
+	// (spare blocks for GC headroom). Typical enterprise values: 0.07–0.28.
+	OverProvision float64
+	// MinFreeBlocks triggers foreground GC when the free-block pool drops
+	// below it. Zero selects a geometry-derived default.
+	MinFreeBlocks int
+	// Striping selects channel-striped write allocation (the production
+	// layout). When false, writes fill one block at a time, serialising on a
+	// single channel — the ablation baseline for the media-parallelism
+	// benches.
+	Striping bool
+}
+
+// DefaultConfig returns 7% over-provisioning with striping on.
+func DefaultConfig() Config {
+	return Config{OverProvision: 0.07, Striping: true}
+}
+
+// Errors returned by FTL operations.
+var (
+	ErrCapacity = errors.New("ftl: logical address beyond exported capacity")
+	ErrFull     = errors.New("ftl: no free blocks (over-provisioning exhausted)")
+)
+
+// Stats describes FTL activity.
+type Stats struct {
+	HostWrites int64 // pages written on behalf of the host / ISPS
+	HostReads  int64 // pages read on behalf of the host / ISPS
+	GCWrites   int64 // pages relocated by garbage collection
+	GCRuns     int64 // victim blocks collected
+	Trims      int64 // pages unmapped by TRIM
+}
+
+// WriteAmplification returns (host+GC)/host page writes; 1.0 when GC never
+// ran, 0 when nothing was written.
+func (s Stats) WriteAmplification() float64 {
+	if s.HostWrites == 0 {
+		return 0
+	}
+	return float64(s.HostWrites+s.GCWrites) / float64(s.HostWrites)
+}
+
+type blockState struct {
+	nextPage int // next unwritten page slot; == PagesPerBlock when sealed
+	valid    int // pages holding live data
+	active   bool
+}
+
+// FTL is a page-mapping translation layer. It is not safe for concurrent
+// use from multiple goroutines; in the simulation all callers run on the
+// engine's single-threaded process layer.
+type FTL struct {
+	dev *flash.Device
+	geo flash.Geometry
+	cfg Config
+
+	l2p map[int64]int64 // logical page -> physical page
+	p2l map[int64]int64 // physical page -> logical page (valid pages only)
+
+	blocks   []blockState
+	free     [][]int64 // per-allocation-unit (channel x die) free block stacks
+	active   []int64   // per-unit active block (-1 if none)
+	nextUnit int       // round-robin write unit cursor
+	units    int       // Channels * DiesPerChan parallel allocation units
+
+	logicalPages int64
+	minFree      int
+	stats        Stats
+	inGC         bool
+	// inflight counts programs issued but not yet mapped, per block, so
+	// concurrent writers' target blocks are never GC victims.
+	inflight map[int64]int
+}
+
+// New builds an FTL over dev. All blocks start free (the device is assumed
+// fresh; pages of a fresh device are unwritten, matching erased state).
+func New(dev *flash.Device, cfg Config) *FTL {
+	geo := dev.Geometry()
+	if cfg.OverProvision < 0 || cfg.OverProvision >= 0.9 {
+		panic(fmt.Sprintf("ftl: unreasonable over-provisioning %g", cfg.OverProvision))
+	}
+	units := geo.Channels * geo.DiesPerChan
+	f := &FTL{
+		dev:      dev,
+		geo:      geo,
+		cfg:      cfg,
+		l2p:      make(map[int64]int64),
+		p2l:      make(map[int64]int64),
+		blocks:   make([]blockState, geo.Blocks()),
+		active:   make([]int64, units),
+		free:     make([][]int64, units),
+		inflight: make(map[int64]int),
+		units:    units,
+	}
+	perUnit := int64(geo.PlanesPerDie) * int64(geo.BlocksPerPlan)
+	for u := 0; u < units; u++ {
+		f.active[u] = -1
+		f.free[u] = make([]int64, 0, perUnit)
+		base := int64(u) * perUnit
+		// Push in reverse so blocks pop in ascending order.
+		for b := perUnit - 1; b >= 0; b-- {
+			f.free[u] = append(f.free[u], base+b)
+		}
+	}
+	f.logicalPages = int64(float64(geo.Pages()) * (1 - cfg.OverProvision))
+	f.minFree = cfg.MinFreeBlocks
+	if f.minFree <= 0 {
+		f.minFree = units + 2
+	}
+	return f
+}
+
+// unitOf returns the allocation unit (channel x die) of a flat block index.
+func (f *FTL) unitOf(blk int64) int {
+	perUnit := int64(f.geo.PlanesPerDie) * int64(f.geo.BlocksPerPlan)
+	return int(blk / perUnit)
+}
+
+// Device returns the underlying flash device.
+func (f *FTL) Device() *flash.Device { return f.dev }
+
+// PageSize returns the logical page size (== flash page size).
+func (f *FTL) PageSize() int { return f.geo.PageSize }
+
+// LogicalPages returns the number of pages exported to the host.
+func (f *FTL) LogicalPages() int64 { return f.logicalPages }
+
+// LogicalBytes returns the exported capacity in bytes.
+func (f *FTL) LogicalBytes() int64 { return f.logicalPages * int64(f.geo.PageSize) }
+
+// Stats returns activity counters.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// FreeBlocks returns the number of blocks in the free pool.
+func (f *FTL) FreeBlocks() int {
+	n := 0
+	for _, fl := range f.free {
+		n += len(fl)
+	}
+	return n
+}
+
+// MappedPages returns the number of logical pages currently mapped.
+func (f *FTL) MappedPages() int64 { return int64(len(f.l2p)) }
+
+func (f *FTL) checkLPN(lpn int64) error {
+	if lpn < 0 || lpn >= f.logicalPages {
+		return fmt.Errorf("%w: lpn %d of %d", ErrCapacity, lpn, f.logicalPages)
+	}
+	return nil
+}
+
+// ReadPage returns the data of logical page lpn. Unmapped pages read as
+// zeroes without touching the media, as on a real SSD.
+func (f *FTL) ReadPage(p *sim.Proc, lpn int64) ([]byte, error) {
+	if err := f.checkLPN(lpn); err != nil {
+		return nil, err
+	}
+	ppn, ok := f.l2p[lpn]
+	if !ok {
+		return make([]byte, f.geo.PageSize), nil
+	}
+	f.stats.HostReads++
+	return f.dev.ReadPage(p, f.geo.AddrOfPage(ppn))
+}
+
+// WritePage stores data (exactly one page) at logical page lpn, allocating
+// a fresh physical page and invalidating any previous mapping. Foreground
+// GC runs first if the free pool is low.
+func (f *FTL) WritePage(p *sim.Proc, lpn int64, data []byte) error {
+	if err := f.checkLPN(lpn); err != nil {
+		return err
+	}
+	if len(data) != f.geo.PageSize {
+		return fmt.Errorf("ftl: write of %d bytes, page is %d", len(data), f.geo.PageSize)
+	}
+	if err := f.maybeGC(p); err != nil {
+		return err
+	}
+	ppn, err := f.alloc()
+	if err != nil {
+		return err
+	}
+	blk := ppn / int64(f.geo.PagesPerBlock)
+	f.inflight[blk]++
+	err = f.dev.ProgramPage(p, f.geo.AddrOfPage(ppn), data)
+	f.inflight[blk]--
+	if f.inflight[blk] == 0 {
+		delete(f.inflight, blk)
+	}
+	if err != nil {
+		return err
+	}
+	f.remap(lpn, ppn)
+	f.stats.HostWrites++
+	return nil
+}
+
+// remap points lpn at ppn, invalidating the old physical page if any.
+func (f *FTL) remap(lpn, ppn int64) {
+	if old, ok := f.l2p[lpn]; ok {
+		f.blocks[old/int64(f.geo.PagesPerBlock)].valid--
+		delete(f.p2l, old)
+	}
+	f.l2p[lpn] = ppn
+	f.p2l[ppn] = lpn
+	f.blocks[ppn/int64(f.geo.PagesPerBlock)].valid++
+}
+
+// Trim unmaps count logical pages starting at lpn. Later reads return
+// zeroes; the freed pages become GC fodder.
+func (f *FTL) Trim(p *sim.Proc, lpn, count int64) error {
+	for i := int64(0); i < count; i++ {
+		if err := f.checkLPN(lpn + i); err != nil {
+			return err
+		}
+		if ppn, ok := f.l2p[lpn+i]; ok {
+			f.blocks[ppn/int64(f.geo.PagesPerBlock)].valid--
+			delete(f.p2l, ppn)
+			delete(f.l2p, lpn+i)
+			f.stats.Trims++
+		}
+	}
+	return nil
+}
+
+// alloc returns the next physical page slot following the configured
+// allocation policy.
+func (f *FTL) alloc() (int64, error) {
+	u, err := f.pickUnit()
+	if err != nil {
+		return 0, err
+	}
+	if f.active[u] == -1 {
+		blk := f.popFree(u)
+		if blk == -1 {
+			return 0, ErrFull
+		}
+		f.active[u] = blk
+		f.blocks[blk].active = true
+	}
+	blk := f.active[u]
+	st := &f.blocks[blk]
+	ppn := blk*int64(f.geo.PagesPerBlock) + int64(st.nextPage)
+	st.nextPage++
+	if st.nextPage == f.geo.PagesPerBlock {
+		st.active = false
+		f.active[u] = -1 // sealed
+	}
+	return ppn, nil
+}
+
+// pickUnit chooses the write allocation unit: round-robin across all
+// channel x die units when striping, else the first usable unit (the
+// ablation baseline, which serialises on one die at a time).
+func (f *FTL) pickUnit() (int, error) {
+	n := f.units
+	usable := func(u int) bool { return f.active[u] != -1 || len(f.free[u]) > 0 }
+	if !f.cfg.Striping {
+		for u := 0; u < n; u++ {
+			if usable(u) {
+				return u, nil
+			}
+		}
+		return 0, ErrFull
+	}
+	for i := 0; i < n; i++ {
+		u := (f.nextUnit + i) % n
+		if usable(u) {
+			f.nextUnit = (u + 1) % n
+			return u, nil
+		}
+	}
+	return 0, ErrFull
+}
+
+func (f *FTL) popFree(u int) int64 {
+	fl := f.free[u]
+	if len(fl) == 0 {
+		return -1
+	}
+	blk := fl[len(fl)-1]
+	f.free[u] = fl[:len(fl)-1]
+	return blk
+}
+
+// maybeGC runs foreground garbage collection until the free pool is
+// healthy. Called before every host write.
+func (f *FTL) maybeGC(p *sim.Proc) error {
+	if f.inGC {
+		return nil
+	}
+	// Bound the number of collections per trigger so a pathological
+	// zero-net-gain workload degrades to high write amplification instead
+	// of an unbounded loop.
+	limit := int(f.geo.Blocks())
+	for i := 0; f.FreeBlocks() < f.minFree && i < limit; i++ {
+		if err := f.gcOnce(p); err != nil {
+			if errors.Is(err, errNoVictim) {
+				return nil // nothing collectable; let alloc fail if truly full
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+var errNoVictim = errors.New("ftl: no GC victim")
+
+// gcOnce picks the sealed block with the fewest valid pages (ties broken by
+// lowest wear, then index, for deterministic, wear-levelling behaviour),
+// relocates its live pages, and erases it back into the free pool.
+func (f *FTL) gcOnce(p *sim.Proc) error {
+	victim := int64(-1)
+	bestValid := f.geo.PagesPerBlock + 1
+	var bestWear int64
+	for blk := int64(0); blk < f.geo.Blocks(); blk++ {
+		st := &f.blocks[blk]
+		if st.active || st.nextPage == 0 || f.inflight[blk] > 0 {
+			continue // active, still free, or holding an in-flight program
+		}
+		if st.nextPage < f.geo.PagesPerBlock {
+			continue // partially-filled active-channel block not yet sealed
+		}
+		wear := f.dev.EraseCount(f.geo.AddrOfBlock(blk))
+		if st.valid < bestValid || (st.valid == bestValid && wear < bestWear) {
+			victim, bestValid, bestWear = blk, st.valid, wear
+		}
+	}
+	if victim == -1 {
+		return errNoVictim
+	}
+	if bestValid == f.geo.PagesPerBlock {
+		// Relocating a fully-valid block costs a block and frees a block:
+		// no net gain, so GC cannot make progress.
+		return errNoVictim
+	}
+	f.inGC = true
+	defer func() { f.inGC = false }()
+	base := victim * int64(f.geo.PagesPerBlock)
+	for i := 0; i < f.geo.PagesPerBlock; i++ {
+		ppn := base + int64(i)
+		lpn, ok := f.p2l[ppn]
+		if !ok {
+			continue
+		}
+		data, err := f.dev.ReadPage(p, f.geo.AddrOfPage(ppn))
+		if err != nil {
+			return fmt.Errorf("ftl: gc read: %w", err)
+		}
+		if cur, still := f.p2l[ppn]; !still || cur != lpn {
+			continue // a concurrent host write superseded this page mid-read
+		}
+		newPPN, err := f.alloc()
+		if err != nil {
+			return fmt.Errorf("ftl: gc alloc: %w", err)
+		}
+		if err := f.dev.ProgramPage(p, f.geo.AddrOfPage(newPPN), data); err != nil {
+			return fmt.Errorf("ftl: gc program: %w", err)
+		}
+		if cur, still := f.p2l[ppn]; !still || cur != lpn {
+			// Superseded during the program: abandon the relocated copy
+			// (it stays unmapped and is collected as garbage later).
+			continue
+		}
+		f.remap(lpn, newPPN)
+		f.stats.GCWrites++
+	}
+	if err := f.dev.EraseBlock(p, f.geo.AddrOfBlock(victim)); err != nil {
+		return fmt.Errorf("ftl: gc erase: %w", err)
+	}
+	f.blocks[victim] = blockState{}
+	u := f.unitOf(victim)
+	f.free[u] = append(f.free[u], victim)
+	f.stats.GCRuns++
+	return nil
+}

@@ -1,0 +1,91 @@
+package ftl
+
+import (
+	"testing"
+
+	"compstor/internal/flash"
+	"compstor/internal/sim"
+)
+
+// TestStripingSpreadsAcrossDies verifies the allocation-unit layout: with
+// multiple dies per channel, striped writes must keep every die busy, not
+// just every channel — the bandwidth property the host write path depends
+// on.
+func TestStripingSpreadsAcrossDies(t *testing.T) {
+	eng := sim.NewEngine()
+	geo := flash.Geometry{
+		Channels:      2,
+		DiesPerChan:   4,
+		PlanesPerDie:  1,
+		BlocksPerPlan: 8,
+		PagesPerBlock: 8,
+		PageSize:      256,
+	}
+	dev := flash.NewDevice(eng, "nand", geo, flash.DefaultTiming())
+	f := New(dev, DefaultConfig())
+	eng.Go("w", func(p *sim.Proc) {
+		for lpn := int64(0); lpn < 8; lpn++ { // one page per unit
+			if err := f.WritePage(p, lpn, fill(f, byte(lpn))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	eng.Run()
+	// Every (channel, die) unit should hold exactly one written page.
+	perUnit := map[int]int{}
+	for ch := 0; ch < geo.Channels; ch++ {
+		for die := 0; die < geo.DiesPerChan; die++ {
+			for blk := 0; blk < geo.BlocksPerPlan; blk++ {
+				for pg := 0; pg < geo.PagesPerBlock; pg++ {
+					a := flash.Addr{Channel: ch, Die: die, Block: blk, Page: pg}
+					if dev.IsWritten(a) {
+						perUnit[ch*geo.DiesPerChan+die]++
+					}
+				}
+			}
+		}
+	}
+	if len(perUnit) != 8 {
+		t.Fatalf("writes landed on %d of 8 units: %v", len(perUnit), perUnit)
+	}
+	for u, n := range perUnit {
+		if n != 1 {
+			t.Fatalf("unit %d holds %d pages, want 1: %v", u, n, perUnit)
+		}
+	}
+}
+
+// TestDieParallelWriteBandwidth: concurrent writers on a multi-die device
+// should approach dies-per-channel times the single-die program rate.
+func TestDieParallelWriteBandwidth(t *testing.T) {
+	makespan := func(dies int) sim.Duration {
+		eng := sim.NewEngine()
+		geo := flash.Geometry{
+			Channels: 2, DiesPerChan: dies, PlanesPerDie: 1,
+			BlocksPerPlan: 32, PagesPerBlock: 8, PageSize: 256,
+		}
+		dev := flash.NewDevice(eng, "nand", geo, flash.DefaultTiming())
+		f := New(dev, DefaultConfig())
+		const writers = 16
+		const perWriter = 8
+		for w := 0; w < writers; w++ {
+			w := w
+			eng.Go("w", func(p *sim.Proc) {
+				for i := 0; i < perWriter; i++ {
+					lpn := int64(w*perWriter + i)
+					if err := f.WritePage(p, lpn, fill(f, 1)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			})
+		}
+		return eng.Run().Duration()
+	}
+	one, four := makespan(1), makespan(4)
+	speedup := float64(one) / float64(four)
+	if speedup < 2.5 {
+		t.Fatalf("4 dies/channel gave only %.2fx write speedup over 1", speedup)
+	}
+}

@@ -1,0 +1,341 @@
+// Package isps models the In-Storage Processing Subsystem: the quad-core
+// ARM application processor, its DRAM budget, a thermal model, the program
+// registry (with dynamic task loading), and the task executor that runs
+// offloadable executables against the in-SSD filesystem.
+//
+// The subsystem's defining property — the paper's central architectural
+// argument — is that its cores are *dedicated*: storage I/O never waits on
+// them. The ablation configuration shares the SSD controller's cores
+// instead (Biscuit-style), reproducing the interference the paper designs
+// away.
+package isps
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"compstor/internal/apps"
+	"compstor/internal/cpu"
+	"compstor/internal/energy"
+	"compstor/internal/minfs"
+	"compstor/internal/sim"
+)
+
+// Config assembles a subsystem.
+type Config struct {
+	// Platform is the processor model; nil selects cpu.ISPS().
+	Platform *cpu.Platform
+	// Registry is the installed program set. Cloned per subsystem by the
+	// caller; required.
+	Registry *apps.Registry
+	// Cores overrides the execution stations. Nil allocates dedicated
+	// cores per the platform; pass the SSD controller's CPU resource to
+	// build the shared-core ablation.
+	Cores *sim.Resource
+	// Meter receives compute energy; optional.
+	Meter *energy.Component
+	// DefaultTaskMem is reserved per task when a spec does not say;
+	// defaults to 64 MiB.
+	DefaultTaskMem int64
+	// TimeSlice, when non-zero, makes compute release and re-acquire its
+	// core every quantum so other work (notably I/O command handling on
+	// shared controller cores) can interleave. The dedicated-ISPS
+	// configuration leaves it zero; the shared-core ablation uses ~1 ms,
+	// modelling a preemptive firmware scheduler.
+	TimeSlice sim.Duration
+}
+
+// TaskSpec describes one in-situ execution request (the payload of a
+// minion's command).
+type TaskSpec struct {
+	// Exec is a registered program name; Args are its argv. Alternatively
+	// Script is a whole shell line run under `sh -c`.
+	Exec   string
+	Args   []string
+	Script string
+	// Stdin provides standard input bytes, if any.
+	Stdin []byte
+	// MemBytes reserves task DRAM (0 = subsystem default).
+	MemBytes int64
+}
+
+// TaskResult reports one finished task.
+type TaskResult struct {
+	ExitCode int
+	Stdout   []byte
+	Stderr   []byte
+	Started  sim.Time
+	Finished sim.Time
+	Err      error
+}
+
+// Elapsed returns the in-device execution time.
+func (r TaskResult) Elapsed() sim.Duration { return r.Finished.Sub(r.Started) }
+
+// Subsystem is a running ISPS.
+type Subsystem struct {
+	eng      *sim.Engine
+	platform *cpu.Platform
+	cores    *sim.Resource
+	meter    *energy.Component
+	registry *apps.Registry
+	fsView   *minfs.View
+
+	memTotal int64
+	memUsed  int64
+	taskMem  int64
+
+	thermal thermalModel
+
+	slice sim.Duration
+
+	running   int
+	completed int64
+	failed    int64
+	loaded    int64
+}
+
+// New builds a subsystem. The filesystem view is attached later (after
+// device assembly) with AttachFS.
+func New(eng *sim.Engine, cfg Config) *Subsystem {
+	pl := cfg.Platform
+	if pl == nil {
+		pl = cpu.ISPS()
+	}
+	if cfg.Registry == nil {
+		panic("isps: registry required")
+	}
+	cores := cfg.Cores
+	if cores == nil {
+		cores = sim.NewResource(eng, pl.Cores)
+	}
+	taskMem := cfg.DefaultTaskMem
+	if taskMem <= 0 {
+		taskMem = 64 << 20
+	}
+	s := &Subsystem{
+		eng:      eng,
+		platform: pl,
+		cores:    cores,
+		meter:    cfg.Meter,
+		registry: cfg.Registry,
+		memTotal: pl.MemBytes,
+		taskMem:  taskMem,
+		slice:    cfg.TimeSlice,
+		thermal:  newThermalModel(),
+	}
+	// Start at the idle thermal equilibrium (base power keeps the die above
+	// ambient even with no tasks).
+	s.thermal.tempC = s.thermal.ambient + s.thermal.rDegPerW*pl.BaseWatts
+	return s
+}
+
+// AttachFS mounts the in-SSD filesystem view (the flash-access device
+// driver path).
+func (s *Subsystem) AttachFS(v *minfs.View) { s.fsView = v }
+
+// FS returns the attached filesystem view (nil before AttachFS).
+func (s *Subsystem) FS() *minfs.View { return s.fsView }
+
+// Platform returns the processor model.
+func (s *Subsystem) Platform() *cpu.Platform { return s.platform }
+
+// Registry returns the program registry.
+func (s *Subsystem) Registry() *apps.Registry { return s.registry }
+
+// Cores exposes the execution stations (for utilisation reporting).
+func (s *Subsystem) Cores() *sim.Resource { return s.cores }
+
+// LoadTask installs a program at runtime (dynamic task loading). It
+// reports whether an existing program was replaced.
+func (s *Subsystem) LoadTask(prog apps.Program) bool {
+	s.loaded++
+	return s.registry.Register(prog)
+}
+
+// Errors.
+var (
+	ErrNoProgram = fmt.Errorf("isps: no such program")
+	ErrNoMemory  = fmt.Errorf("isps: task memory budget exceeded")
+)
+
+// Spawn runs one task to completion, blocking the calling process. It
+// queues on a core (FIFO), charges compute time and energy through the
+// platform model, and captures stdout/stderr.
+func (s *Subsystem) Spawn(p *sim.Proc, spec TaskSpec) TaskResult {
+	res := TaskResult{Started: p.Now()}
+
+	mem := spec.MemBytes
+	if mem <= 0 {
+		mem = s.taskMem
+	}
+	if s.memUsed+mem > s.memTotal {
+		res.Err = fmt.Errorf("%w: %d + %d > %d", ErrNoMemory, s.memUsed, mem, s.memTotal)
+		res.ExitCode = 1
+		res.Finished = p.Now()
+		s.failed++
+		return res
+	}
+
+	var prog apps.Program
+	var args []string
+	if spec.Script != "" {
+		sh, ok := s.registry.Lookup("sh")
+		if !ok {
+			res.Err = fmt.Errorf("%w: sh (script execution)", ErrNoProgram)
+			res.ExitCode = 127
+			res.Finished = p.Now()
+			s.failed++
+			return res
+		}
+		prog, args = sh, []string{"-c", spec.Script}
+	} else {
+		pg, ok := s.registry.Lookup(spec.Exec)
+		if !ok {
+			res.Err = fmt.Errorf("%w: %s", ErrNoProgram, spec.Exec)
+			res.ExitCode = 127
+			res.Finished = p.Now()
+			s.failed++
+			return res
+		}
+		prog, args = pg, spec.Args
+	}
+
+	s.memUsed += mem
+	s.cores.Acquire(p)
+	s.observeThermal()
+	s.running++
+
+	var stdout, stderr bytes.Buffer
+	ctx := &apps.Context{
+		Proc:   p,
+		FS:     s.fsView,
+		Stdin:  bytes.NewReader(spec.Stdin),
+		Stdout: &stdout,
+		Stderr: &stderr,
+		Class:  prog.Class(),
+		Charge: s.charge(p),
+		Lookup: s.registry.Lookup,
+	}
+	err := prog.Run(ctx, args)
+	if s.fsView != nil {
+		// Task outputs must be durable before the response travels back.
+		s.fsView.Flush(p)
+	}
+
+	s.running--
+	s.cores.Release()
+	s.memUsed -= mem
+	s.observeThermal()
+
+	res.Stdout = stdout.Bytes()
+	res.Stderr = stderr.Bytes()
+	res.Finished = p.Now()
+	res.ExitCode = apps.ExitCode(err)
+	if err != nil {
+		res.Err = err
+		s.failed++
+	} else {
+		s.completed++
+	}
+	return res
+}
+
+// charge returns the compute cost function bound to the holding core.
+// With a time slice configured, long computations yield the core every
+// quantum so queued work (I/O handling on shared cores) interleaves.
+func (s *Subsystem) charge(p *sim.Proc) apps.ChargeFunc {
+	return func(c cpu.Class, n int64) {
+		d := s.platform.ComputeTime(c, n)
+		for d > 0 {
+			q := d
+			if s.slice > 0 && q > s.slice {
+				q = s.slice
+			}
+			p.Wait(q)
+			s.cores.AddBusy(q)
+			if s.meter != nil {
+				s.meter.AddActive(q, s.platform.CoreActiveWatts)
+			}
+			d -= q
+			if s.slice > 0 && d > 0 {
+				s.cores.Release()
+				s.cores.Acquire(p)
+			}
+		}
+	}
+}
+
+// Status is the payload answered to an administrative query, used by the
+// host for load balancing (the paper's "ARM cores utilization, or
+// temperature of the cores").
+type Status struct {
+	RunningTasks   int
+	QueuedTasks    int
+	CoresBusy      int
+	Cores          int
+	Utilization    float64
+	TemperatureC   float64
+	MemUsedBytes   int64
+	MemTotalBytes  int64
+	CompletedTasks int64
+	FailedTasks    int64
+	Programs       []string
+}
+
+// Status samples the subsystem.
+func (s *Subsystem) Status() Status {
+	return Status{
+		RunningTasks:   s.running,
+		QueuedTasks:    s.cores.QueueLen(),
+		CoresBusy:      s.cores.InUse(),
+		Cores:          s.cores.Capacity(),
+		Utilization:    s.cores.Utilization(),
+		TemperatureC:   s.Temperature(),
+		MemUsedBytes:   s.memUsed,
+		MemTotalBytes:  s.memTotal,
+		CompletedTasks: s.completed,
+		FailedTasks:    s.failed,
+		Programs:       s.registry.Names(),
+	}
+}
+
+// Thermal model ---------------------------------------------------------------
+
+// thermalModel is a first-order RC node: temperature relaxes toward
+// ambient + R·P with time constant tau.
+type thermalModel struct {
+	tempC    float64
+	lastAt   sim.Time
+	ambient  float64
+	rDegPerW float64
+	tau      float64 // seconds
+}
+
+func newThermalModel() thermalModel {
+	return thermalModel{tempC: 40, ambient: 40, rDegPerW: 5.5, tau: 8}
+}
+
+// observeThermal advances the thermal state using current power draw.
+func (s *Subsystem) observeThermal() {
+	now := s.eng.Now()
+	power := s.platform.BaseWatts + float64(s.cores.InUse())*s.platform.CoreActiveWatts
+	s.thermal.advance(now, power)
+}
+
+func (t *thermalModel) advance(now sim.Time, power float64) {
+	dt := now.Sub(t.lastAt).Seconds()
+	if dt > 0 {
+		target := t.ambient + t.rDegPerW*power
+		alpha := 1 - math.Exp(-dt/t.tau)
+		t.tempC += (target - t.tempC) * alpha
+	}
+	t.lastAt = now
+}
+
+// Temperature returns the current die temperature estimate in °C.
+func (s *Subsystem) Temperature() float64 {
+	s.observeThermal()
+	return s.thermal.tempC
+}

@@ -1,0 +1,226 @@
+// Package minfs implements a minimal extent-based filesystem over a paged
+// block device. It plays the role of the shared on-SSD namespace in the
+// CompStor stack: the host client writes input files through the NVMe view,
+// the in-storage executable opens the very same files through the ISPS
+// flash-access driver view, and output files travel the other way.
+//
+// Metadata (a flat directory of inodes with extent lists) lives in device
+// memory and can be persisted to a reserved metadata region with Sync and
+// recovered with Mount. Data pages are allocated from a bitmap with a
+// next-fit extent allocator and trimmed on delete.
+package minfs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"compstor/internal/sim"
+)
+
+// BlockDevice is the paged storage a filesystem view runs on. The host view
+// wraps the NVMe driver; the ISPS view wraps the FTL directly. Range
+// operations let the device exploit channel parallelism and amortise
+// protocol overhead — a single ReadPages maps to one NVMe command.
+type BlockDevice interface {
+	PageSize() int
+	Pages() int64
+	// ReadPages returns count pages starting at lpn (count*PageSize bytes).
+	ReadPages(p *sim.Proc, lpn, count int64) ([]byte, error)
+	// WritePages stores data (a whole number of pages) starting at lpn.
+	WritePages(p *sim.Proc, lpn int64, data []byte) error
+	// TrimPages deallocates count pages starting at lpn.
+	TrimPages(p *sim.Proc, lpn, count int64) error
+}
+
+// Filesystem errors.
+var (
+	ErrNotExist = errors.New("minfs: file does not exist")
+	ErrExist    = errors.New("minfs: file already exists")
+	ErrNoSpace  = errors.New("minfs: no space")
+	ErrClosed   = errors.New("minfs: file closed")
+	ErrBadMeta  = errors.New("minfs: corrupt metadata")
+)
+
+// metaPages reserves the head of the device for serialised metadata.
+const metaPages = 64
+
+const magic = "MINFS1"
+
+// Extent is a contiguous run of logical pages.
+type Extent struct {
+	Start int64 `json:"s"`
+	Count int64 `json:"c"`
+}
+
+// Inode describes one file.
+type Inode struct {
+	Name    string   `json:"name"`
+	Size    int64    `json:"size"`
+	Extents []Extent `json:"ext"`
+}
+
+// FileInfo is the public view of an inode.
+type FileInfo struct {
+	Name string
+	Size int64
+}
+
+// FS holds the (device-resident) metadata of one filesystem instance. All
+// data-path I/O goes through a View, which binds the metadata to a
+// particular access path.
+type FS struct {
+	pageSize int
+	pages    int64
+	files    map[string]*Inode
+	bitmap   []uint64 // data page allocation, bit set = in use
+	nextFit  int64
+}
+
+// NewFS formats a fresh filesystem for a device with the given page size
+// and page count.
+func NewFS(pageSize int, pages int64) *FS {
+	if pageSize <= 0 || pages <= metaPages {
+		panic("minfs: device too small")
+	}
+	return &FS{
+		pageSize: pageSize,
+		pages:    pages,
+		files:    make(map[string]*Inode),
+		bitmap:   make([]uint64, (pages+63)/64),
+		nextFit:  metaPages,
+	}
+}
+
+// PageSize returns the filesystem page size.
+func (fs *FS) PageSize() int { return fs.pageSize }
+
+// List returns all files sorted by name.
+func (fs *FS) List() []FileInfo {
+	out := make([]FileInfo, 0, len(fs.files))
+	for _, ino := range fs.files {
+		out = append(out, FileInfo{Name: ino.Name, Size: ino.Size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Stat returns the file's info.
+func (fs *FS) Stat(name string) (FileInfo, error) {
+	ino, ok := fs.files[name]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return FileInfo{Name: ino.Name, Size: ino.Size}, nil
+}
+
+// UsedBytes returns the total logical size of all files.
+func (fs *FS) UsedBytes() int64 {
+	var n int64
+	for _, ino := range fs.files {
+		n += ino.Size
+	}
+	return n
+}
+
+// bitmap helpers.
+
+func (fs *FS) isFree(pg int64) bool { return fs.bitmap[pg/64]&(1<<(pg%64)) == 0 }
+func (fs *FS) mark(pg int64)        { fs.bitmap[pg/64] |= 1 << (pg % 64) }
+func (fs *FS) clear(pg int64)       { fs.bitmap[pg/64] &^= 1 << (pg % 64) }
+
+// allocExtent grabs up to want contiguous free pages (at least 1), starting
+// the search at the next-fit cursor. Returns ErrNoSpace when the device is
+// full.
+func (fs *FS) allocExtent(want int64) (Extent, error) {
+	if want < 1 {
+		want = 1
+	}
+	scan := func(from, to int64) (Extent, bool) {
+		var run int64
+		var start int64
+		for pg := from; pg < to; pg++ {
+			if fs.isFree(pg) {
+				if run == 0 {
+					start = pg
+				}
+				run++
+				if run == want {
+					return Extent{Start: start, Count: run}, true
+				}
+			} else if run > 0 {
+				// Take the partial run rather than hunting for a perfect fit.
+				return Extent{Start: start, Count: run}, true
+			}
+		}
+		if run > 0 {
+			return Extent{Start: start, Count: run}, true
+		}
+		return Extent{}, false
+	}
+	if ext, ok := scan(fs.nextFit, fs.pages); ok {
+		fs.commit(ext)
+		return ext, nil
+	}
+	if ext, ok := scan(metaPages, fs.nextFit); ok {
+		fs.commit(ext)
+		return ext, nil
+	}
+	return Extent{}, ErrNoSpace
+}
+
+func (fs *FS) commit(ext Extent) {
+	for i := int64(0); i < ext.Count; i++ {
+		fs.mark(ext.Start + i)
+	}
+	fs.nextFit = ext.Start + ext.Count
+	if fs.nextFit >= fs.pages {
+		fs.nextFit = metaPages
+	}
+}
+
+func (fs *FS) freeExtents(exts []Extent) {
+	for _, e := range exts {
+		for i := int64(0); i < e.Count; i++ {
+			fs.clear(e.Start + i)
+		}
+	}
+}
+
+// metaBlob is the serialised metadata format.
+type metaBlob struct {
+	Magic    string            `json:"magic"`
+	PageSize int               `json:"page_size"`
+	Pages    int64             `json:"pages"`
+	Files    map[string]*Inode `json:"files"`
+}
+
+// marshal serialises metadata for Sync.
+func (fs *FS) marshal() ([]byte, error) {
+	return json.Marshal(metaBlob{Magic: magic, PageSize: fs.pageSize, Pages: fs.pages, Files: fs.files})
+}
+
+// load rebuilds the FS from serialised metadata.
+func load(data []byte) (*FS, error) {
+	var blob metaBlob
+	if err := json.Unmarshal(data, &blob); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMeta, err)
+	}
+	if blob.Magic != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadMeta, blob.Magic)
+	}
+	fs := NewFS(blob.PageSize, blob.Pages)
+	fs.files = blob.Files
+	if fs.files == nil {
+		fs.files = make(map[string]*Inode)
+	}
+	for _, ino := range fs.files {
+		for _, e := range ino.Extents {
+			for i := int64(0); i < e.Count; i++ {
+				fs.mark(e.Start + i)
+			}
+		}
+	}
+	return fs, nil
+}

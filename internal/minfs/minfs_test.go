@@ -1,0 +1,400 @@
+package minfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"compstor/internal/sim"
+)
+
+// memDevice is an in-memory BlockDevice for filesystem tests.
+type memDevice struct {
+	pageSize int
+	pages    int64
+	store    map[int64][]byte
+	writes   int64
+	reads    int64
+	trims    int64
+}
+
+func newMemDevice(pageSize int, pages int64) *memDevice {
+	return &memDevice{pageSize: pageSize, pages: pages, store: make(map[int64][]byte)}
+}
+
+func (d *memDevice) PageSize() int { return d.pageSize }
+func (d *memDevice) Pages() int64  { return d.pages }
+
+func (d *memDevice) ReadPages(p *sim.Proc, lpn, count int64) ([]byte, error) {
+	if lpn < 0 || lpn+count > d.pages {
+		return nil, fmt.Errorf("memdev: range %d+%d out of range", lpn, count)
+	}
+	out := make([]byte, 0, count*int64(d.pageSize))
+	for i := int64(0); i < count; i++ {
+		d.reads++
+		if pg, ok := d.store[lpn+i]; ok {
+			out = append(out, pg...)
+		} else {
+			out = append(out, make([]byte, d.pageSize)...)
+		}
+	}
+	return out, nil
+}
+
+func (d *memDevice) WritePages(p *sim.Proc, lpn int64, data []byte) error {
+	if len(data)%d.pageSize != 0 {
+		return fmt.Errorf("memdev: bad write size %d", len(data))
+	}
+	count := int64(len(data) / d.pageSize)
+	if lpn < 0 || lpn+count > d.pages {
+		return fmt.Errorf("memdev: range %d+%d out of range", lpn, count)
+	}
+	for i := int64(0); i < count; i++ {
+		d.writes++
+		pg := make([]byte, d.pageSize)
+		copy(pg, data[int(i)*d.pageSize:])
+		d.store[lpn+i] = pg
+	}
+	return nil
+}
+
+func (d *memDevice) TrimPages(p *sim.Proc, lpn, count int64) error {
+	for i := int64(0); i < count; i++ {
+		delete(d.store, lpn+i)
+	}
+	d.trims += count
+	return nil
+}
+
+func newTestView() (*sim.Engine, *View, *memDevice) {
+	eng := sim.NewEngine()
+	dev := newMemDevice(512, 4096)
+	fs := NewFS(512, 4096)
+	return eng, NewView(fs, dev), dev
+}
+
+func inProc(t *testing.T, eng *sim.Engine, body func(p *sim.Proc) error) {
+	t.Helper()
+	var err error
+	eng.Go("test", func(p *sim.Proc) { err = body(p) })
+	eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadFileRoundTrip(t *testing.T) {
+	eng, v, _ := newTestView()
+	data := bytes.Repeat([]byte("hello, in-situ world! "), 100) // 2200 bytes, unaligned
+	inProc(t, eng, func(p *sim.Proc) error {
+		if err := v.WriteFile(p, "a.txt", data); err != nil {
+			return err
+		}
+		got, err := v.ReadFile(p, "a.txt")
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, data) {
+			return errors.New("content mismatch")
+		}
+		return nil
+	})
+}
+
+func TestStreamingWriteAndRead(t *testing.T) {
+	eng, v, _ := newTestView()
+	inProc(t, eng, func(p *sim.Proc) error {
+		f, err := v.Create(p, "stream")
+		if err != nil {
+			return err
+		}
+		var want bytes.Buffer
+		for i := 0; i < 50; i++ {
+			chunk := bytes.Repeat([]byte{byte(i)}, 37) // deliberately unaligned
+			want.Write(chunk)
+			if _, err := f.Write(p, chunk); err != nil {
+				return err
+			}
+		}
+		if err := f.Close(p); err != nil {
+			return err
+		}
+		r, err := v.Open(p, "stream")
+		if err != nil {
+			return err
+		}
+		var got bytes.Buffer
+		buf := make([]byte, 113)
+		for {
+			n, err := r.Read(p, buf)
+			got.Write(buf[:n])
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			return errors.New("streamed content mismatch")
+		}
+		return r.Close(p)
+	})
+}
+
+func TestSeek(t *testing.T) {
+	eng, v, _ := newTestView()
+	data := make([]byte, 3000)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	inProc(t, eng, func(p *sim.Proc) error {
+		if err := v.WriteFile(p, "f", data); err != nil {
+			return err
+		}
+		f, err := v.Open(p, "f")
+		if err != nil {
+			return err
+		}
+		if err := f.SeekTo(1234); err != nil {
+			return err
+		}
+		buf := make([]byte, 100)
+		n, err := f.Read(p, buf)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(buf[:n], data[1234:1234+n]) {
+			return errors.New("seek+read mismatch")
+		}
+		if err := f.SeekTo(99999); err == nil {
+			return errors.New("out-of-range seek accepted")
+		}
+		return nil
+	})
+}
+
+func TestCreateExistingFails(t *testing.T) {
+	eng, v, _ := newTestView()
+	inProc(t, eng, func(p *sim.Proc) error {
+		if err := v.WriteFile(p, "dup", []byte("x")); err != nil {
+			return err
+		}
+		if _, err := v.Create(p, "dup"); !errors.Is(err, ErrExist) {
+			return fmt.Errorf("create dup: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestOpenMissingFails(t *testing.T) {
+	eng, v, _ := newTestView()
+	inProc(t, eng, func(p *sim.Proc) error {
+		if _, err := v.Open(p, "ghost"); !errors.Is(err, ErrNotExist) {
+			return fmt.Errorf("open ghost: %v", err)
+		}
+		if _, err := v.ReadFile(p, "ghost"); !errors.Is(err, ErrNotExist) {
+			return fmt.Errorf("readfile ghost: %v", err)
+		}
+		if err := v.Delete(p, "ghost"); !errors.Is(err, ErrNotExist) {
+			return fmt.Errorf("delete ghost: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestDeleteFreesAndTrims(t *testing.T) {
+	eng, v, dev := newTestView()
+	inProc(t, eng, func(p *sim.Proc) error {
+		if err := v.WriteFile(p, "big", make([]byte, 10*512)); err != nil {
+			return err
+		}
+		if err := v.Delete(p, "big"); err != nil {
+			return err
+		}
+		if _, err := v.FS().Stat("big"); !errors.Is(err, ErrNotExist) {
+			return errors.New("file still visible after delete")
+		}
+		return nil
+	})
+	if dev.trims < 10 {
+		t.Fatalf("trimmed %d pages, want >= 10", dev.trims)
+	}
+}
+
+func TestSpaceReuseAfterDelete(t *testing.T) {
+	eng, v, _ := newTestView()
+	// Device data area: 4096-64 pages of 512B each ~ 2 MB. Write/delete a
+	// 1 MB file many times; without space reuse this would exhaust space.
+	inProc(t, eng, func(p *sim.Proc) error {
+		payload := make([]byte, 1<<20)
+		for i := 0; i < 8; i++ {
+			name := "cycle"
+			if err := v.WriteFile(p, name, payload); err != nil {
+				return fmt.Errorf("cycle %d: %w", i, err)
+			}
+			if err := v.Delete(p, name); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func TestNoSpace(t *testing.T) {
+	eng, v, _ := newTestView()
+	inProc(t, eng, func(p *sim.Proc) error {
+		err := v.WriteFile(p, "huge", make([]byte, 5000*512))
+		if !errors.Is(err, ErrNoSpace) {
+			return fmt.Errorf("overfull write: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestListAndStat(t *testing.T) {
+	eng, v, _ := newTestView()
+	inProc(t, eng, func(p *sim.Proc) error {
+		v.WriteFile(p, "b", make([]byte, 100))
+		v.WriteFile(p, "a", make([]byte, 200))
+		ls := v.FS().List()
+		if len(ls) != 2 || ls[0].Name != "a" || ls[1].Name != "b" {
+			return fmt.Errorf("list = %+v", ls)
+		}
+		st, err := v.FS().Stat("a")
+		if err != nil || st.Size != 200 {
+			return fmt.Errorf("stat: %+v %v", st, err)
+		}
+		if v.FS().UsedBytes() != 300 {
+			return fmt.Errorf("used = %d", v.FS().UsedBytes())
+		}
+		return nil
+	})
+}
+
+func TestClosedHandleRejected(t *testing.T) {
+	eng, v, _ := newTestView()
+	inProc(t, eng, func(p *sim.Proc) error {
+		f, _ := v.Create(p, "x")
+		f.Close(p)
+		if _, err := f.Write(p, []byte("y")); !errors.Is(err, ErrClosed) {
+			return fmt.Errorf("write after close: %v", err)
+		}
+		if err := f.Close(p); !errors.Is(err, ErrClosed) {
+			return fmt.Errorf("double close: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestWriteHandleCannotRead(t *testing.T) {
+	eng, v, _ := newTestView()
+	inProc(t, eng, func(p *sim.Proc) error {
+		f, _ := v.Create(p, "x")
+		if _, err := f.Read(p, make([]byte, 8)); err == nil {
+			return errors.New("read on write handle succeeded")
+		}
+		return f.Close(p)
+	})
+}
+
+func TestSyncAndMountSharesFiles(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := newMemDevice(512, 4096)
+	fs := NewFS(512, 4096)
+	host := NewView(fs, dev)
+	content := bytes.Repeat([]byte("persistent"), 333)
+	inProc(t, eng, func(p *sim.Proc) error {
+		if err := host.WriteFile(p, "shared.txt", content); err != nil {
+			return err
+		}
+		if err := host.Sync(p); err != nil {
+			return err
+		}
+		// Second access path: mount from the same device, as the ISPS does.
+		fs2, err := Mount(p, dev)
+		if err != nil {
+			return err
+		}
+		isps := NewView(fs2, dev)
+		got, err := isps.ReadFile(p, "shared.txt")
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, content) {
+			return errors.New("cross-mount content mismatch")
+		}
+		return nil
+	})
+}
+
+func TestMountGarbageFails(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := newMemDevice(512, 4096)
+	inProc(t, eng, func(p *sim.Proc) error {
+		if _, err := Mount(p, dev); !errors.Is(err, ErrBadMeta) {
+			return fmt.Errorf("mount of blank device: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestViewValidation(t *testing.T) {
+	fs := NewFS(512, 4096)
+	for _, dev := range []*memDevice{
+		newMemDevice(256, 4096), // wrong page size
+		newMemDevice(512, 100),  // too small
+	} {
+		func() {
+			defer func() { recover() }()
+			NewView(fs, dev)
+			t.Errorf("mismatched view accepted: %+v", dev)
+		}()
+	}
+}
+
+// Property: any sequence of (name, content) writes reads back exactly, and
+// file sizes are reported correctly.
+func TestFSContentProperty(t *testing.T) {
+	f := func(seed int64, nFiles uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng, v, _ := newTestView()
+		files := int(nFiles%8) + 1
+		contents := make(map[string][]byte)
+		ok := true
+		eng.Go("t", func(p *sim.Proc) {
+			for i := 0; i < files; i++ {
+				name := fmt.Sprintf("f%02d", i)
+				size := rng.Intn(4000)
+				data := make([]byte, size)
+				rng.Read(data)
+				if err := v.WriteFile(p, name, data); err != nil {
+					ok = false
+					return
+				}
+				contents[name] = data
+			}
+			for name, want := range contents {
+				got, err := v.ReadFile(p, name)
+				if err != nil || !bytes.Equal(got, want) {
+					ok = false
+					return
+				}
+				st, _ := v.FS().Stat(name)
+				if st.Size != int64(len(want)) {
+					ok = false
+					return
+				}
+			}
+		})
+		eng.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

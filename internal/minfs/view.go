@@ -1,0 +1,394 @@
+package minfs
+
+import (
+	"fmt"
+	"io"
+
+	"compstor/internal/sim"
+)
+
+// View binds filesystem metadata to one access path (host NVMe or ISPS
+// flash driver). Data and metadata I/O issued through a view pays that
+// path's costs.
+type View struct {
+	fs  *FS
+	dev BlockDevice
+	wb  *writeBack
+}
+
+// NewView creates an access path onto fs through dev. The device must match
+// the filesystem's page size and be at least as large as its page count.
+func NewView(fs *FS, dev BlockDevice) *View {
+	if dev.PageSize() != fs.pageSize {
+		panic(fmt.Sprintf("minfs: view page size %d != fs page size %d", dev.PageSize(), fs.pageSize))
+	}
+	if dev.Pages() < fs.pages {
+		panic("minfs: device smaller than filesystem")
+	}
+	return &View{fs: fs, dev: dev}
+}
+
+// FS returns the shared metadata object.
+func (v *View) FS() *FS { return v.fs }
+
+// Sync serialises metadata into the reserved metadata region through this
+// view, making the filesystem mountable from the other access path.
+func (v *View) Sync(p *sim.Proc) error {
+	blob, err := v.fs.marshal()
+	if err != nil {
+		return err
+	}
+	ps := v.fs.pageSize
+	need := (len(blob) + 8 + ps - 1) / ps
+	if need > metaPages {
+		return fmt.Errorf("%w: metadata needs %d pages, reserved %d", ErrNoSpace, need, metaPages)
+	}
+	// Page 0 holds the length header then the blob streams on.
+	buf := make([]byte, need*ps)
+	putUint64(buf, uint64(len(blob)))
+	copy(buf[8:], blob)
+	if err := v.write(p, 0, buf); err != nil {
+		return err
+	}
+	v.Flush(p) // metadata must be durable before another view mounts
+	return nil
+}
+
+// Mount reads metadata from dev's reserved region and returns a fresh FS.
+func Mount(p *sim.Proc, dev BlockDevice) (*FS, error) {
+	ps := dev.PageSize()
+	first, err := dev.ReadPages(p, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	n := int(getUint64(first))
+	if n <= 0 || n > (metaPages*ps-8) {
+		return nil, fmt.Errorf("%w: metadata length %d", ErrBadMeta, n)
+	}
+	need := int64((n + 8 + ps - 1) / ps)
+	blob := append([]byte(nil), first[8:]...)
+	if need > 1 {
+		rest, err := dev.ReadPages(p, 1, need-1)
+		if err != nil {
+			return nil, err
+		}
+		blob = append(blob, rest...)
+	}
+	return load(blob[:n])
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// Create makes a new file open for writing. Creating an existing name
+// fails (delete first); this keeps create semantics trivially atomic.
+func (v *View) Create(p *sim.Proc, name string) (*File, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty name", ErrNotExist)
+	}
+	if _, ok := v.fs.files[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExist, name)
+	}
+	ino := &Inode{Name: name}
+	v.fs.files[name] = ino
+	return &File{view: v, ino: ino, writable: true, buf: make([]byte, 0, v.fs.pageSize)}, nil
+}
+
+// Open opens an existing file for reading.
+func (v *View) Open(p *sim.Proc, name string) (*File, error) {
+	ino, ok := v.fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return &File{view: v, ino: ino}, nil
+}
+
+// Delete removes a file and trims its pages.
+func (v *View) Delete(p *sim.Proc, name string) error {
+	ino, ok := v.fs.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	delete(v.fs.files, name)
+	for _, e := range ino.Extents {
+		if err := v.trim(p, e.Start, e.Count); err != nil {
+			return err
+		}
+	}
+	v.fs.freeExtents(ino.Extents)
+	return nil
+}
+
+// ReadFile reads a whole file through this view.
+func (v *View) ReadFile(p *sim.Proc, name string) ([]byte, error) {
+	f, err := v.Open(p, name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, f.Size())
+	if _, err := io.ReadFull(fileReader{f, p}, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteFile creates name (replacing any existing file) with the given
+// contents.
+func (v *View) WriteFile(p *sim.Proc, name string, data []byte) error {
+	if _, ok := v.fs.files[name]; ok {
+		if err := v.Delete(p, name); err != nil {
+			return err
+		}
+	}
+	f, err := v.Create(p, name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(p, data); err != nil {
+		return err
+	}
+	return f.Close(p)
+}
+
+// fileReader adapts File to io.Reader for a fixed proc (internal use).
+type fileReader struct {
+	f *File
+	p *sim.Proc
+}
+
+func (r fileReader) Read(b []byte) (int, error) { return r.f.Read(r.p, b) }
+
+// File is an open file handle with a cursor. Writes append; a partial
+// trailing page is buffered until Close.
+type File struct {
+	view     *View
+	ino      *Inode
+	writable bool
+	closed   bool
+	off      int64  // read cursor
+	buf      []byte // pending unflushed tail (writers only)
+}
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.ino.Name }
+
+// Size returns the current logical size, including buffered bytes.
+func (f *File) Size() int64 { return f.ino.Size + int64(len(f.buf)) }
+
+// Write appends data to the file. Whole-page spans bypass the tail buffer
+// and go to the device as multi-page runs, which the block layer turns into
+// single commands.
+func (f *File) Write(p *sim.Proc, data []byte) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if !f.writable {
+		return 0, fmt.Errorf("minfs: %s not open for writing", f.ino.Name)
+	}
+	total := len(data)
+	ps := f.view.fs.pageSize
+	for len(data) > 0 {
+		if len(f.buf) == 0 && len(data) >= ps {
+			// Direct path: size is page-aligned whenever the tail buffer is
+			// empty, so whole pages append in place.
+			pages := int64(len(data) / ps)
+			lpn, cnt, err := f.appendRun(pages)
+			if err != nil {
+				return total - len(data), err
+			}
+			if cnt > pages {
+				cnt = pages
+			}
+			w := int(cnt) * ps
+			if err := f.view.write(p, lpn, data[:w]); err != nil {
+				return total - len(data), err
+			}
+			f.ino.Size += int64(w)
+			data = data[w:]
+			continue
+		}
+		n := ps - len(f.buf)
+		if n > len(data) {
+			n = len(data)
+		}
+		f.buf = append(f.buf, data[:n]...)
+		data = data[n:]
+		if len(f.buf) == ps {
+			if err := f.flushPage(p, f.buf); err != nil {
+				return total - len(data), err
+			}
+			f.buf = f.buf[:0]
+		}
+	}
+	return total, nil
+}
+
+// appendRun returns a contiguous allocated run starting at the file's next
+// page ordinal, allocating a fresh extent when needed.
+func (f *File) appendRun(want int64) (lpn, cnt int64, err error) {
+	ps := int64(f.view.fs.pageSize)
+	pgIdx := f.ino.Size / ps
+	if l, c, ok := f.runAt(pgIdx); ok {
+		return l, c, nil
+	}
+	ask := want
+	if ask < 256 {
+		ask = 256
+	}
+	ext, err := f.view.fs.allocExtent(ask)
+	if err != nil {
+		return 0, 0, err
+	}
+	f.ino.Extents = appendExtent(f.ino.Extents, ext)
+	l, c, ok := f.runAt(pgIdx)
+	if !ok {
+		return 0, 0, fmt.Errorf("minfs: allocation lost for %s", f.ino.Name)
+	}
+	return l, c, nil
+}
+
+// runAt maps a page ordinal to its LPN and the number of contiguously
+// allocated pages from there.
+func (f *File) runAt(pgIdx int64) (lpn, cnt int64, ok bool) {
+	var seen int64
+	for _, e := range f.ino.Extents {
+		if pgIdx < seen+e.Count {
+			off := pgIdx - seen
+			return e.Start + off, e.Count - off, true
+		}
+		seen += e.Count
+	}
+	return 0, 0, false
+}
+
+// flushPage writes one full (or padded final) page into the file's extents.
+func (f *File) flushPage(p *sim.Proc, page []byte) error {
+	ps := f.view.fs.pageSize
+	lpn, _, err := f.appendRun(1)
+	if err != nil {
+		return err
+	}
+	full := page
+	if len(full) < ps {
+		padded := make([]byte, ps)
+		copy(padded, full)
+		full = padded
+	}
+	if err := f.view.write(p, lpn, full); err != nil {
+		return err
+	}
+	f.ino.Size += int64(len(page))
+	return nil
+}
+
+// appendExtent merges adjacent extents.
+func appendExtent(exts []Extent, e Extent) []Extent {
+	if n := len(exts); n > 0 && exts[n-1].Start+exts[n-1].Count == e.Start {
+		exts[n-1].Count += e.Count
+		return exts
+	}
+	return append(exts, e)
+}
+
+// Read fills b from the current cursor, returning io.EOF at end of file.
+// Contiguous extents are fetched as multi-page runs.
+func (f *File) Read(p *sim.Proc, b []byte) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if f.writable {
+		return 0, fmt.Errorf("minfs: %s open for writing", f.ino.Name)
+	}
+	if f.off >= f.ino.Size {
+		return 0, io.EOF
+	}
+	ps := int64(f.view.fs.pageSize)
+	n := 0
+	for n < len(b) && f.off < f.ino.Size {
+		pgIdx := f.off / ps
+		lpn, run, ok := f.runAt(pgIdx)
+		if !ok {
+			return n, fmt.Errorf("minfs: %s: hole at page %d", f.ino.Name, pgIdx)
+		}
+		inPage := f.off % ps
+		needPages := (inPage + int64(len(b)-n) + ps - 1) / ps
+		if needPages < run {
+			run = needPages
+		}
+		data, err := f.view.read(p, lpn, run)
+		if err != nil {
+			return n, err
+		}
+		avail := int64(len(data)) - inPage
+		if rem := f.ino.Size - f.off; rem < avail {
+			avail = rem
+		}
+		c := copy(b[n:], data[inPage:inPage+avail])
+		n += c
+		f.off += int64(c)
+	}
+	return n, nil
+}
+
+// SeekTo repositions the read cursor (absolute offsets only).
+func (f *File) SeekTo(off int64) error {
+	if off < 0 || off > f.ino.Size {
+		return fmt.Errorf("minfs: seek %d out of range", off)
+	}
+	f.off = off
+	return nil
+}
+
+// Close flushes any buffered tail and releases surplus pre-allocated pages.
+func (f *File) Close(p *sim.Proc) error {
+	if f.closed {
+		return ErrClosed
+	}
+	f.closed = true
+	if f.writable && len(f.buf) > 0 {
+		if err := f.flushPage(p, f.buf); err != nil {
+			return err
+		}
+		f.buf = nil
+	}
+	if f.writable {
+		f.releaseTail(p)
+	}
+	return nil
+}
+
+// releaseTail returns over-allocated pages at the end of the file to the
+// allocator and trims them.
+func (f *File) releaseTail(p *sim.Proc) {
+	ps := int64(f.view.fs.pageSize)
+	need := (f.ino.Size + ps - 1) / ps
+	var seen int64
+	for i := 0; i < len(f.ino.Extents); i++ {
+		e := &f.ino.Extents[i]
+		if seen+e.Count <= need {
+			seen += e.Count
+			continue
+		}
+		keep := need - seen
+		surplus := Extent{Start: e.Start + keep, Count: e.Count - keep}
+		e.Count = keep
+		f.view.fs.freeExtents([]Extent{surplus})
+		f.view.trim(p, surplus.Start, surplus.Count)
+		f.ino.Extents = f.ino.Extents[:i+1]
+		if keep == 0 {
+			f.ino.Extents = f.ino.Extents[:i]
+		}
+		return
+	}
+}

@@ -1,0 +1,185 @@
+package minfs
+
+import (
+	"fmt"
+
+	"compstor/internal/sim"
+)
+
+// Write-back caching: a view with write-back enabled accepts writes into a
+// dirty-page cache (bounded by a page budget, applying backpressure like a
+// real page cache) and lands them on the device from background flusher
+// processes. Reads overlay dirty pages, so a view always sees its own
+// writes. Flush blocks until everything queued so far is durable — the
+// fsync barrier callers need before handing files to another view (the
+// host client calls it before dispatching a minion; the ISPS flushes after
+// a task so responses imply durable outputs).
+type writeBack struct {
+	eng     *sim.Engine
+	dev     BlockDevice
+	budget  *sim.Semaphore // dirty-page tokens
+	queue   *sim.Mailbox[wbItem]
+	pending map[int64]*wbEntry
+	inFlite map[int64]bool
+
+	outstanding int
+	flushers    []*sim.Mailbox[struct{}]
+
+	landed  int64
+	dropped int64 // superseded before reaching the device
+}
+
+type wbEntry struct {
+	data []byte
+	seq  uint64
+}
+
+type wbItem struct {
+	lpn int64
+	seq uint64
+}
+
+// EnableWriteBack turns on asynchronous write-behind for this view with
+// the given dirty budget (pages) and flusher parallelism. It must be called
+// before any I/O through the view.
+func (v *View) EnableWriteBack(eng *sim.Engine, budgetPages, workers int) {
+	if v.wb != nil {
+		return
+	}
+	if budgetPages <= 0 {
+		budgetPages = 4096
+	}
+	if workers <= 0 {
+		workers = 16
+	}
+	wb := &writeBack{
+		eng:     eng,
+		dev:     v.dev,
+		budget:  sim.NewSemaphore(eng, budgetPages),
+		queue:   sim.NewMailbox[wbItem](),
+		pending: make(map[int64]*wbEntry),
+		inFlite: make(map[int64]bool),
+	}
+	v.wb = wb
+	for i := 0; i < workers; i++ {
+		eng.Go(fmt.Sprintf("wb-flusher%d", i), wb.flusher)
+	}
+}
+
+// write routes a page-aligned write through the cache (or straight to the
+// device when write-back is off).
+func (v *View) write(p *sim.Proc, lpn int64, data []byte) error {
+	if v.wb == nil {
+		return v.dev.WritePages(p, lpn, data)
+	}
+	ps := v.fs.pageSize
+	for off := 0; off < len(data); off += ps {
+		pg := make([]byte, ps)
+		copy(pg, data[off:])
+		v.wb.put(p, lpn+int64(off/ps), pg)
+	}
+	return nil
+}
+
+// put caches one dirty page and queues it, blocking on the dirty budget.
+func (wb *writeBack) put(p *sim.Proc, lpn int64, page []byte) {
+	wb.budget.Acquire(p, 1)
+	var seq uint64
+	if e, ok := wb.pending[lpn]; ok {
+		seq = e.seq + 1
+	}
+	wb.pending[lpn] = &wbEntry{data: page, seq: seq}
+	wb.outstanding++
+	wb.queue.Put(wbItem{lpn: lpn, seq: seq})
+}
+
+// flusher is one background write-out process.
+func (wb *writeBack) flusher(p *sim.Proc) {
+	for {
+		item, ok := wb.queue.Recv(p)
+		if !ok {
+			return
+		}
+		ent := wb.pending[item.lpn]
+		if ent == nil || ent.seq != item.seq {
+			// A newer write superseded this one; its own queue item will
+			// land the latest data.
+			wb.dropped++
+			wb.resolve()
+			continue
+		}
+		// Serialise per-page device writes to preserve ordering.
+		for wb.inFlite[item.lpn] {
+			p.Wait(5_000) // 5µs
+		}
+		if cur := wb.pending[item.lpn]; cur != ent {
+			wb.dropped++
+			wb.resolve()
+			continue
+		}
+		wb.inFlite[item.lpn] = true
+		err := wb.dev.WritePages(p, item.lpn, ent.data)
+		delete(wb.inFlite, item.lpn)
+		if err != nil {
+			// Background write errors are fatal in the simulation: data
+			// would be silently lost otherwise.
+			panic(fmt.Sprintf("minfs: write-back flush of lpn %d: %v", item.lpn, err))
+		}
+		if cur := wb.pending[item.lpn]; cur == ent {
+			delete(wb.pending, item.lpn)
+		}
+		wb.landed++
+		wb.resolve()
+	}
+}
+
+// resolve retires one queued item, releasing budget and waking flush
+// waiters when the cache drains.
+func (wb *writeBack) resolve() {
+	wb.budget.Release(1)
+	wb.outstanding--
+	if wb.outstanding == 0 {
+		for _, mb := range wb.flushers {
+			mb.Put(struct{}{})
+		}
+		wb.flushers = nil
+	}
+}
+
+// Flush blocks until every write issued through this view so far is on the
+// device. A no-op for views without write-back.
+func (v *View) Flush(p *sim.Proc) {
+	if v.wb == nil || v.wb.outstanding == 0 {
+		return
+	}
+	mb := sim.NewMailbox[struct{}]()
+	v.wb.flushers = append(v.wb.flushers, mb)
+	mb.Recv(p)
+}
+
+// read routes a page-range read, overlaying dirty pages.
+func (v *View) read(p *sim.Proc, lpn, count int64) ([]byte, error) {
+	data, err := v.dev.ReadPages(p, lpn, count)
+	if err != nil {
+		return nil, err
+	}
+	if v.wb != nil && len(v.wb.pending) > 0 {
+		ps := int64(v.fs.pageSize)
+		for i := int64(0); i < count; i++ {
+			if ent, ok := v.wb.pending[lpn+i]; ok {
+				copy(data[i*ps:(i+1)*ps], ent.data)
+			}
+		}
+	}
+	return data, nil
+}
+
+// trim routes a trim, invalidating overlapping dirty pages first.
+func (v *View) trim(p *sim.Proc, lpn, count int64) error {
+	if v.wb != nil {
+		for i := int64(0); i < count; i++ {
+			delete(v.wb.pending, lpn+i)
+		}
+	}
+	return v.dev.TrimPages(p, lpn, count)
+}

@@ -1,0 +1,250 @@
+package minfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"compstor/internal/sim"
+)
+
+// slowDevice wraps memDevice with a per-page write latency so write-back
+// behaviour is observable in virtual time.
+type slowDevice struct {
+	*memDevice
+	writeLatency time.Duration
+}
+
+func (d *slowDevice) WritePages(p *sim.Proc, lpn int64, data []byte) error {
+	pages := len(data) / d.pageSize
+	p.Wait(time.Duration(pages) * d.writeLatency)
+	return d.memDevice.WritePages(p, lpn, data)
+}
+
+func newWBView(eng *sim.Engine) (*View, *slowDevice) {
+	dev := &slowDevice{memDevice: newMemDevice(512, 8192), writeLatency: 500 * time.Microsecond}
+	v := NewView(NewFS(512, 8192), dev)
+	v.EnableWriteBack(eng, 256, 8)
+	return v, dev
+}
+
+func TestWriteBackHidesWriteLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	v, _ := newWBView(eng)
+	data := make([]byte, 64*512) // 64 pages = 32ms of synchronous latency
+	var writeDone, flushDone sim.Time
+	eng.Go("w", func(p *sim.Proc) {
+		if err := v.WriteFile(p, "f", data); err != nil {
+			t.Error(err)
+			return
+		}
+		writeDone = p.Now()
+		v.Flush(p)
+		flushDone = p.Now()
+	})
+	eng.Run()
+	if writeDone > sim.Time(10*time.Millisecond) {
+		t.Fatalf("buffered write took %v; latency not hidden", writeDone)
+	}
+	if flushDone <= writeDone {
+		t.Fatalf("flush was free (%v vs %v); writes never landed", flushDone, writeDone)
+	}
+}
+
+func TestWriteBackReadYourOwnWrites(t *testing.T) {
+	eng := sim.NewEngine()
+	v, _ := newWBView(eng)
+	content := bytes.Repeat([]byte("own-writes "), 200)
+	eng.Go("w", func(p *sim.Proc) {
+		if err := v.WriteFile(p, "f", content); err != nil {
+			t.Error(err)
+			return
+		}
+		// No flush: the read must still see the dirty pages.
+		got, err := v.ReadFile(p, "f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, content) {
+			t.Error("dirty-page overlay failed")
+		}
+	})
+	eng.Run()
+}
+
+func TestWriteBackFlushMakesDataVisibleToOtherView(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &slowDevice{memDevice: newMemDevice(512, 8192), writeLatency: 200 * time.Microsecond}
+	fs := NewFS(512, 8192)
+	writer := NewView(fs, dev)
+	writer.EnableWriteBack(eng, 256, 8)
+	reader := NewView(fs, dev) // no cache: reads straight from the device
+	content := bytes.Repeat([]byte("cross-view "), 300)
+	eng.Go("w", func(p *sim.Proc) {
+		if err := writer.WriteFile(p, "f", content); err != nil {
+			t.Error(err)
+			return
+		}
+		writer.Flush(p)
+		got, err := reader.ReadFile(p, "f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, content) {
+			t.Error("flushed data not visible through the device")
+		}
+	})
+	eng.Run()
+}
+
+func TestWriteBackRewriteLastWriterWins(t *testing.T) {
+	eng := sim.NewEngine()
+	v, dev := newWBView(eng)
+	eng.Go("w", func(p *sim.Proc) {
+		for round := 0; round < 10; round++ {
+			data := bytes.Repeat([]byte{byte(round)}, 4*512)
+			if err := v.WriteFile(p, "f", data); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		v.Flush(p)
+		got, err := v.ReadFile(p, "f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if got[0] != 9 {
+			t.Errorf("read %d after rewrites, want 9", got[0])
+		}
+	})
+	eng.Run()
+	_ = dev
+}
+
+func TestWriteBackBudgetBackpressure(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &slowDevice{memDevice: newMemDevice(512, 8192), writeLatency: time.Millisecond}
+	v := NewView(NewFS(512, 8192), dev)
+	v.EnableWriteBack(eng, 8, 2) // tiny budget, slow flushers
+	var elapsed sim.Time
+	eng.Go("w", func(p *sim.Proc) {
+		if err := v.WriteFile(p, "f", make([]byte, 64*512)); err != nil {
+			t.Error(err)
+			return
+		}
+		elapsed = p.Now()
+	})
+	eng.Run()
+	// 64 pages through an 8-page budget with 2 flushers at 1ms/page: the
+	// writer must have blocked on backpressure for most of the stream.
+	if elapsed < sim.Time(20*time.Millisecond) {
+		t.Fatalf("writer finished in %v; budget did not apply backpressure", elapsed)
+	}
+}
+
+func TestWriteBackDeleteWhileDirty(t *testing.T) {
+	eng := sim.NewEngine()
+	v, _ := newWBView(eng)
+	eng.Go("w", func(p *sim.Proc) {
+		if err := v.WriteFile(p, "f", bytes.Repeat([]byte{7}, 16*512)); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.Delete(p, "f"); err != nil {
+			t.Error(err)
+			return
+		}
+		v.Flush(p)
+		if _, err := v.FS().Stat("f"); err == nil {
+			t.Error("file still present")
+		}
+		// Space must be reusable afterwards.
+		if err := v.WriteFile(p, "g", bytes.Repeat([]byte{8}, 16*512)); err != nil {
+			t.Error(err)
+			return
+		}
+		v.Flush(p)
+		got, err := v.ReadFile(p, "g")
+		if err != nil || got[0] != 8 {
+			t.Errorf("reuse after dirty delete: %v", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestWriteBackDisabledFlushIsNoop(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := newMemDevice(512, 4096)
+	v := NewView(NewFS(512, 4096), dev)
+	eng.Go("w", func(p *sim.Proc) {
+		v.WriteFile(p, "f", []byte("sync"))
+		before := p.Now()
+		v.Flush(p)
+		if p.Now() != before {
+			t.Error("Flush on synchronous view consumed time")
+		}
+	})
+	eng.Run()
+}
+
+// Property: any interleaving of writes, rewrites, deletes and flushes ends
+// with every surviving file readable with its last-written content, from
+// both the caching view and a raw second view after a final flush.
+func TestWriteBackConsistencyProperty(t *testing.T) {
+	f := func(seed int64, opsN uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine()
+		dev := &slowDevice{memDevice: newMemDevice(512, 8192), writeLatency: 100 * time.Microsecond}
+		fs := NewFS(512, 8192)
+		v := NewView(fs, dev)
+		v.EnableWriteBack(eng, 64, 4)
+		raw := NewView(fs, dev)
+		shadow := map[string][]byte{}
+		ok := true
+		eng.Go("ops", func(p *sim.Proc) {
+			for i := 0; i < int(opsN%40)+5; i++ {
+				name := fmt.Sprintf("f%d", rng.Intn(5))
+				switch rng.Intn(4) {
+				case 0, 1, 2:
+					data := make([]byte, rng.Intn(3000))
+					rng.Read(data)
+					if err := v.WriteFile(p, name, data); err != nil {
+						ok = false
+						return
+					}
+					shadow[name] = data
+				case 3:
+					if _, exists := shadow[name]; exists {
+						if err := v.Delete(p, name); err != nil {
+							ok = false
+							return
+						}
+						delete(shadow, name)
+					}
+				}
+				if rng.Intn(5) == 0 {
+					v.Flush(p)
+				}
+			}
+			v.Flush(p)
+			for name, want := range shadow {
+				got, err := raw.ReadFile(p, name)
+				if err != nil || !bytes.Equal(got, want) {
+					ok = false
+					return
+				}
+			}
+		})
+		eng.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

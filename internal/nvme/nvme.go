@@ -1,0 +1,394 @@
+// Package nvme models an NVMe-like host/controller protocol over a PCIe
+// port: submission with queue-depth admission, command fetch, data DMA in
+// the proper direction, completion posting, and interrupt delivery.
+//
+// Besides the standard I/O command set (READ, WRITE, FLUSH, dataset-
+// management TRIM, IDENTIFY) the controller carries the CompStor vendor
+// extensions that transport minions and queries to the in-storage
+// processing subsystem (MINION_SEND, QUERY, TASK_LOAD).
+package nvme
+
+import (
+	"errors"
+	"fmt"
+
+	"compstor/internal/pcie"
+	"compstor/internal/sim"
+)
+
+// Opcode identifies an NVMe command.
+type Opcode uint8
+
+// Standard and vendor opcodes.
+const (
+	OpRead Opcode = iota
+	OpWrite
+	OpFlush
+	OpTrim // dataset management / deallocate
+	OpIdentify
+	// Vendor extensions (the CompStor in-situ transport).
+	OpVendorMinion   // deliver a minion; completes when in-situ task finishes
+	OpVendorQuery    // administrative query (status, temperature, utilisation)
+	OpVendorTaskLoad // dynamic task loading: install an executable at runtime
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpRead:
+		return "READ"
+	case OpWrite:
+		return "WRITE"
+	case OpFlush:
+		return "FLUSH"
+	case OpTrim:
+		return "TRIM"
+	case OpIdentify:
+		return "IDENTIFY"
+	case OpVendorMinion:
+		return "VENDOR_MINION"
+	case OpVendorQuery:
+		return "VENDOR_QUERY"
+	case OpVendorTaskLoad:
+		return "VENDOR_TASK_LOAD"
+	default:
+		return fmt.Sprintf("OP(%d)", uint8(o))
+	}
+}
+
+// Status is a completion status code.
+type Status uint8
+
+// Completion statuses.
+const (
+	StatusOK Status = iota
+	StatusInvalid
+	StatusCapacity
+	StatusInternal
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusInvalid:
+		return "INVALID"
+	case StatusCapacity:
+		return "CAPACITY"
+	case StatusInternal:
+		return "INTERNAL"
+	default:
+		return fmt.Sprintf("STATUS(%d)", uint8(s))
+	}
+}
+
+// Sizes of protocol structures DMAed across the fabric.
+const (
+	sqeBytes = 64 // submission queue entry
+	cqeBytes = 16 // completion queue entry
+)
+
+// Command is a submission queue entry plus its host-resident payload.
+type Command struct {
+	Op    Opcode
+	LBA   int64  // logical page address (units of backend page size)
+	Pages int64  // page count for Read/Trim
+	Data  []byte // host write buffer (multiple of page size)
+
+	// Vendor payload: an opaque structure handed to the backend, with its
+	// serialised wire size so the fabric can charge the DMA.
+	Payload      any
+	PayloadBytes int64
+
+	resp      *sim.Mailbox[*Completion]
+	submitted sim.Time
+}
+
+// Completion is the controller's answer to one command.
+type Completion struct {
+	Status       Status
+	Err          error  // detail for non-OK status
+	Data         []byte // read data
+	Payload      any    // vendor response structure
+	PayloadBytes int64  // wire size of Payload
+	Submitted    sim.Time
+	Completed    sim.Time
+}
+
+// Latency returns the command's host-observed service time.
+func (c *Completion) Latency() sim.Duration { return c.Completed.Sub(c.Submitted) }
+
+// IdentifyData is the payload of an IDENTIFY completion.
+type IdentifyData struct {
+	Model         string
+	CapacityBytes int64
+	PageSize      int
+	InSitu        bool // device carries an in-situ processing subsystem
+}
+
+// Backend is the device-side service the controller drives: the SSD's FTL
+// plus, on CompStor devices, the vendor path into the ISPS.
+type Backend interface {
+	Model() string
+	PageSize() int
+	CapacityBytes() int64
+	InSitu() bool
+	// Read returns pages*PageSize bytes starting at logical page lba.
+	Read(p *sim.Proc, lba, pages int64) ([]byte, error)
+	// Write stores data (a whole number of pages) starting at lba.
+	Write(p *sim.Proc, lba int64, data []byte) error
+	// Trim deallocates pages starting at lba.
+	Trim(p *sim.Proc, lba, pages int64) error
+	// Flush persists volatile state.
+	Flush(p *sim.Proc) error
+	// Vendor executes a vendor command and returns the response payload and
+	// its wire size.
+	Vendor(p *sim.Proc, op Opcode, payload any) (resp any, respBytes int64, err error)
+}
+
+// Config tunes the controller model.
+type Config struct {
+	// QueueDepth bounds outstanding commands (admission at the host driver).
+	QueueDepth int
+	// Workers is the number of controller-side execution contexts; it models
+	// the front-end's command-level parallelism.
+	Workers int
+	// VendorWorkers service vendor commands (minions, queries) on their own
+	// contexts so long-running in-situ tasks never starve the I/O path —
+	// the hardware analogue is the separate admin/vendor queue pair.
+	VendorWorkers int
+}
+
+// DefaultConfig returns QD128 with 64 I/O contexts and 8 vendor contexts
+// (modern controllers service deep queues concurrently; the flash die and
+// channel resources are the real limiters).
+func DefaultConfig() Config { return Config{QueueDepth: 128, Workers: 64, VendorWorkers: 8} }
+
+// Controller is the device-side protocol engine. Create with NewController,
+// then obtain the host-side handle with Driver.
+type Controller struct {
+	eng     *sim.Engine
+	port    *pcie.Port
+	backend Backend
+	cfg     Config
+	sq      *sim.Mailbox[*Command]
+	vq      *sim.Mailbox[*Command]
+	qd      *sim.Semaphore
+	stats   Stats
+}
+
+// Stats counts protocol activity.
+type Stats struct {
+	Commands    int64
+	ReadPages   int64
+	WritePages  int64
+	TrimPages   int64
+	VendorCmds  int64
+	Failures    int64
+	BytesToHost int64
+	BytesFromHo int64
+}
+
+// NewController starts a controller with cfg.Workers front-end processes
+// servicing the submission queue.
+func NewController(eng *sim.Engine, port *pcie.Port, backend Backend, cfg Config) *Controller {
+	if cfg.QueueDepth <= 0 || cfg.Workers <= 0 {
+		panic("nvme: non-positive queue depth or workers")
+	}
+	if cfg.VendorWorkers <= 0 {
+		cfg.VendorWorkers = 4
+	}
+	c := &Controller{
+		eng:     eng,
+		port:    port,
+		backend: backend,
+		cfg:     cfg,
+		sq:      sim.NewMailbox[*Command](),
+		vq:      sim.NewMailbox[*Command](),
+		qd:      sim.NewSemaphore(eng, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		eng.Go(fmt.Sprintf("nvme/fe%d", i), func(p *sim.Proc) { c.serve(p, c.sq) })
+	}
+	for i := 0; i < cfg.VendorWorkers; i++ {
+		eng.Go(fmt.Sprintf("nvme/vfe%d", i), func(p *sim.Proc) { c.serve(p, c.vq) })
+	}
+	return c
+}
+
+// Stats returns protocol counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Backend returns the controller's backend.
+func (c *Controller) Backend() Backend { return c.backend }
+
+// Shutdown closes the submission queues; front-end workers drain and exit.
+func (c *Controller) Shutdown() {
+	c.sq.Close()
+	c.vq.Close()
+}
+
+// isVendor reports whether an opcode travels on the vendor queue.
+func isVendor(op Opcode) bool {
+	return op == OpVendorMinion || op == OpVendorQuery || op == OpVendorTaskLoad
+}
+
+// serve is one controller execution context draining a submission queue.
+func (c *Controller) serve(p *sim.Proc, q *sim.Mailbox[*Command]) {
+	for {
+		cmd, ok := q.Recv(p)
+		if !ok {
+			return
+		}
+		comp := c.execute(p, cmd)
+		comp.Completed = p.Now()
+		// Post CQE and raise the interrupt.
+		c.port.ToHost(p, cqeBytes)
+		c.port.Message(p)
+		cmd.resp.Put(comp)
+	}
+}
+
+func (c *Controller) execute(p *sim.Proc, cmd *Command) *Completion {
+	c.stats.Commands++
+	// Fetch the SQE from host memory.
+	c.port.FromHost(p, sqeBytes)
+	comp := &Completion{Status: StatusOK, Submitted: cmd.submitted}
+	ps := int64(c.backend.PageSize())
+	switch cmd.Op {
+	case OpRead:
+		data, err := c.backend.Read(p, cmd.LBA, cmd.Pages)
+		if err != nil {
+			return c.fail(comp, err)
+		}
+		c.port.ToHost(p, int64(len(data)))
+		c.stats.BytesToHost += int64(len(data))
+		c.stats.ReadPages += cmd.Pages
+		comp.Data = data
+	case OpWrite:
+		if int64(len(cmd.Data))%ps != 0 || len(cmd.Data) == 0 {
+			return c.fail(comp, fmt.Errorf("nvme: write payload %d bytes not page-aligned", len(cmd.Data)))
+		}
+		c.port.FromHost(p, int64(len(cmd.Data)))
+		c.stats.BytesFromHo += int64(len(cmd.Data))
+		if err := c.backend.Write(p, cmd.LBA, cmd.Data); err != nil {
+			return c.fail(comp, err)
+		}
+		c.stats.WritePages += int64(len(cmd.Data)) / ps
+	case OpTrim:
+		if err := c.backend.Trim(p, cmd.LBA, cmd.Pages); err != nil {
+			return c.fail(comp, err)
+		}
+		c.stats.TrimPages += cmd.Pages
+	case OpFlush:
+		if err := c.backend.Flush(p); err != nil {
+			return c.fail(comp, err)
+		}
+	case OpIdentify:
+		comp.Payload = IdentifyData{
+			Model:         c.backend.Model(),
+			CapacityBytes: c.backend.CapacityBytes(),
+			PageSize:      c.backend.PageSize(),
+			InSitu:        c.backend.InSitu(),
+		}
+		comp.PayloadBytes = 4096
+		c.port.ToHost(p, comp.PayloadBytes)
+	case OpVendorMinion, OpVendorQuery, OpVendorTaskLoad:
+		c.stats.VendorCmds++
+		if cmd.PayloadBytes > 0 {
+			c.port.FromHost(p, cmd.PayloadBytes)
+			c.stats.BytesFromHo += cmd.PayloadBytes
+		}
+		resp, n, err := c.backend.Vendor(p, cmd.Op, cmd.Payload)
+		if err != nil {
+			return c.fail(comp, err)
+		}
+		if n > 0 {
+			c.port.ToHost(p, n)
+			c.stats.BytesToHost += n
+		}
+		comp.Payload = resp
+		comp.PayloadBytes = n
+	default:
+		return c.fail(comp, fmt.Errorf("nvme: unknown opcode %v", cmd.Op))
+	}
+	return comp
+}
+
+func (c *Controller) fail(comp *Completion, err error) *Completion {
+	c.stats.Failures++
+	comp.Err = err
+	switch {
+	case errors.Is(err, ErrInvalid):
+		comp.Status = StatusInvalid
+	default:
+		comp.Status = StatusInternal
+	}
+	return comp
+}
+
+// ErrInvalid marks host-fault command errors.
+var ErrInvalid = errors.New("nvme: invalid command")
+
+// Driver is the host-side handle: it rings the doorbell, enqueues the
+// command, and waits for the completion interrupt.
+type Driver struct {
+	ctrl *Controller
+}
+
+// Driver returns a host-side driver for the controller.
+func (c *Controller) Driver() *Driver { return &Driver{ctrl: c} }
+
+// Submit issues cmd and blocks the calling process until completion,
+// honouring the queue-depth limit.
+func (d *Driver) Submit(p *sim.Proc, cmd *Command) *Completion {
+	c := d.ctrl
+	c.qd.Acquire(p, 1)
+	defer c.qd.Release(1)
+	cmd.resp = sim.NewMailbox[*Completion]()
+	cmd.submitted = p.Now()
+	// Doorbell write.
+	c.port.Message(p)
+	if isVendor(cmd.Op) {
+		c.vq.Put(cmd)
+	} else {
+		c.sq.Put(cmd)
+	}
+	comp, _ := cmd.resp.Recv(p)
+	return comp
+}
+
+// Read is a convenience wrapper issuing an OpRead.
+func (d *Driver) Read(p *sim.Proc, lba, pages int64) ([]byte, error) {
+	comp := d.Submit(p, &Command{Op: OpRead, LBA: lba, Pages: pages})
+	if comp.Status != StatusOK {
+		return nil, comp.Err
+	}
+	return comp.Data, nil
+}
+
+// Write is a convenience wrapper issuing an OpWrite.
+func (d *Driver) Write(p *sim.Proc, lba int64, data []byte) error {
+	comp := d.Submit(p, &Command{Op: OpWrite, LBA: lba, Data: data})
+	if comp.Status != StatusOK {
+		return comp.Err
+	}
+	return nil
+}
+
+// Trim is a convenience wrapper issuing an OpTrim.
+func (d *Driver) Trim(p *sim.Proc, lba, pages int64) error {
+	comp := d.Submit(p, &Command{Op: OpTrim, LBA: lba, Pages: pages})
+	if comp.Status != StatusOK {
+		return comp.Err
+	}
+	return nil
+}
+
+// Identify is a convenience wrapper issuing an OpIdentify.
+func (d *Driver) Identify(p *sim.Proc) (IdentifyData, error) {
+	comp := d.Submit(p, &Command{Op: OpIdentify})
+	if comp.Status != StatusOK {
+		return IdentifyData{}, comp.Err
+	}
+	return comp.Payload.(IdentifyData), nil
+}

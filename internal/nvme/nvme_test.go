@@ -1,0 +1,288 @@
+package nvme
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"compstor/internal/pcie"
+	"compstor/internal/sim"
+)
+
+// fakeBackend is an in-memory page store for protocol tests.
+type fakeBackend struct {
+	pageSize int
+	pages    map[int64][]byte
+	inSitu   bool
+	vendorFn func(p *sim.Proc, op Opcode, payload any) (any, int64, error)
+	failRead bool
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{pageSize: 512, pages: make(map[int64][]byte)}
+}
+
+func (f *fakeBackend) Model() string         { return "fake-ssd" }
+func (f *fakeBackend) PageSize() int         { return f.pageSize }
+func (f *fakeBackend) CapacityBytes() int64  { return 1 << 20 }
+func (f *fakeBackend) InSitu() bool          { return f.inSitu }
+func (f *fakeBackend) Flush(*sim.Proc) error { return nil }
+
+func (f *fakeBackend) Read(p *sim.Proc, lba, pages int64) ([]byte, error) {
+	if f.failRead {
+		return nil, errors.New("media error")
+	}
+	out := make([]byte, 0, pages*int64(f.pageSize))
+	for i := int64(0); i < pages; i++ {
+		pg, ok := f.pages[lba+i]
+		if !ok {
+			pg = make([]byte, f.pageSize)
+		}
+		out = append(out, pg...)
+	}
+	return out, nil
+}
+
+func (f *fakeBackend) Write(p *sim.Proc, lba int64, data []byte) error {
+	for i := 0; i*f.pageSize < len(data); i++ {
+		pg := make([]byte, f.pageSize)
+		copy(pg, data[i*f.pageSize:])
+		f.pages[lba+int64(i)] = pg
+	}
+	return nil
+}
+
+func (f *fakeBackend) Trim(p *sim.Proc, lba, pages int64) error {
+	for i := int64(0); i < pages; i++ {
+		delete(f.pages, lba+i)
+	}
+	return nil
+}
+
+func (f *fakeBackend) Vendor(p *sim.Proc, op Opcode, payload any) (any, int64, error) {
+	if f.vendorFn != nil {
+		return f.vendorFn(p, op, payload)
+	}
+	return nil, 0, errors.New("no vendor handler")
+}
+
+func newRig(be Backend) (*sim.Engine, *Driver, *Controller) {
+	eng := sim.NewEngine()
+	fabric := pcie.NewFabric(eng, pcie.DefaultConfig())
+	ctrl := NewController(eng, fabric.AddPort(), be, DefaultConfig())
+	return eng, ctrl.Driver(), ctrl
+}
+
+func TestWriteThenReadRoundTrip(t *testing.T) {
+	be := newFakeBackend()
+	eng, drv, ctrl := newRig(be)
+	payload := bytes.Repeat([]byte{0xCD}, 2*be.pageSize)
+	eng.Go("host", func(p *sim.Proc) {
+		if err := drv.Write(p, 10, payload); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		got, err := drv.Read(p, 10, 2)
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Error("data corrupted through NVMe round trip")
+		}
+	})
+	eng.Run()
+	st := ctrl.Stats()
+	if st.WritePages != 2 || st.ReadPages != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesFromHo < int64(len(payload)) || st.BytesToHost < int64(len(payload)) {
+		t.Fatalf("DMA byte counters too small: %+v", st)
+	}
+}
+
+func TestUnalignedWriteRejected(t *testing.T) {
+	be := newFakeBackend()
+	eng, drv, _ := newRig(be)
+	eng.Go("host", func(p *sim.Proc) {
+		err := drv.Write(p, 0, []byte{1, 2, 3})
+		if err == nil {
+			t.Error("unaligned write accepted")
+		}
+	})
+	eng.Run()
+}
+
+func TestTrim(t *testing.T) {
+	be := newFakeBackend()
+	eng, drv, ctrl := newRig(be)
+	eng.Go("host", func(p *sim.Proc) {
+		drv.Write(p, 5, bytes.Repeat([]byte{1}, be.pageSize))
+		if err := drv.Trim(p, 5, 1); err != nil {
+			t.Errorf("trim: %v", err)
+		}
+		got, _ := drv.Read(p, 5, 1)
+		if got[0] != 0 {
+			t.Error("trimmed page not zero")
+		}
+	})
+	eng.Run()
+	if ctrl.Stats().TrimPages != 1 {
+		t.Fatalf("trim pages = %d", ctrl.Stats().TrimPages)
+	}
+}
+
+func TestIdentify(t *testing.T) {
+	be := newFakeBackend()
+	be.inSitu = true
+	eng, drv, _ := newRig(be)
+	eng.Go("host", func(p *sim.Proc) {
+		id, err := drv.Identify(p)
+		if err != nil {
+			t.Errorf("identify: %v", err)
+		}
+		if id.Model != "fake-ssd" || !id.InSitu || id.PageSize != 512 {
+			t.Errorf("identify data = %+v", id)
+		}
+	})
+	eng.Run()
+}
+
+func TestBackendErrorSurfacesAsStatus(t *testing.T) {
+	be := newFakeBackend()
+	be.failRead = true
+	eng, drv, ctrl := newRig(be)
+	eng.Go("host", func(p *sim.Proc) {
+		comp := drv.Submit(p, &Command{Op: OpRead, LBA: 0, Pages: 1})
+		if comp.Status != StatusInternal {
+			t.Errorf("status = %v, want INTERNAL", comp.Status)
+		}
+		if comp.Err == nil {
+			t.Error("error detail missing")
+		}
+	})
+	eng.Run()
+	if ctrl.Stats().Failures != 1 {
+		t.Fatalf("failures = %d", ctrl.Stats().Failures)
+	}
+}
+
+func TestVendorCommandRoundTrip(t *testing.T) {
+	be := newFakeBackend()
+	be.vendorFn = func(p *sim.Proc, op Opcode, payload any) (any, int64, error) {
+		if op != OpVendorMinion {
+			return nil, 0, fmt.Errorf("wrong op %v", op)
+		}
+		return "result:" + payload.(string), 64, nil
+	}
+	eng, drv, _ := newRig(be)
+	eng.Go("host", func(p *sim.Proc) {
+		comp := drv.Submit(p, &Command{Op: OpVendorMinion, Payload: "task", PayloadBytes: 128})
+		if comp.Status != StatusOK {
+			t.Errorf("vendor status = %v (%v)", comp.Status, comp.Err)
+		}
+		if comp.Payload != "result:task" {
+			t.Errorf("payload = %v", comp.Payload)
+		}
+	})
+	eng.Run()
+}
+
+func TestUnknownOpcodeFails(t *testing.T) {
+	be := newFakeBackend()
+	eng, drv, _ := newRig(be)
+	eng.Go("host", func(p *sim.Proc) {
+		comp := drv.Submit(p, &Command{Op: Opcode(99)})
+		if comp.Status == StatusOK {
+			t.Error("unknown opcode succeeded")
+		}
+	})
+	eng.Run()
+}
+
+func TestQueueDepthLimitsOutstanding(t *testing.T) {
+	be := newFakeBackend()
+	eng := sim.NewEngine()
+	fabric := pcie.NewFabric(eng, pcie.DefaultConfig())
+	ctrl := NewController(eng, fabric.AddPort(), be, Config{QueueDepth: 2, Workers: 8})
+	drv := ctrl.Driver()
+	// With QD=2, 6 reads must finish in at least 3 serialized "waves".
+	var completions []sim.Time
+	for i := 0; i < 6; i++ {
+		eng.Go("host", func(p *sim.Proc) {
+			if _, err := drv.Read(p, 0, 1); err != nil {
+				t.Errorf("read: %v", err)
+			}
+			completions = append(completions, p.Now())
+		})
+	}
+	eng.Run()
+	if len(completions) != 6 {
+		t.Fatalf("%d completions", len(completions))
+	}
+	distinct := map[sim.Time]bool{}
+	for _, c := range completions {
+		distinct[c] = true
+	}
+	if len(distinct) < 3 {
+		t.Fatalf("completions bunched into %d instants; QD=2 not enforced", len(distinct))
+	}
+}
+
+func TestCompletionLatencyPositive(t *testing.T) {
+	be := newFakeBackend()
+	eng, drv, _ := newRig(be)
+	eng.Go("host", func(p *sim.Proc) {
+		comp := drv.Submit(p, &Command{Op: OpRead, LBA: 0, Pages: 1})
+		if comp.Latency() <= 0 {
+			t.Errorf("latency = %v, want > 0", comp.Latency())
+		}
+	})
+	eng.Run()
+}
+
+func TestConcurrentMixedWorkloadIntegrity(t *testing.T) {
+	be := newFakeBackend()
+	eng, drv, _ := newRig(be)
+	const workers = 16
+	for w := 0; w < workers; w++ {
+		w := w
+		eng.Go("host", func(p *sim.Proc) {
+			lba := int64(w * 10)
+			data := bytes.Repeat([]byte{byte(w + 1)}, be.pageSize)
+			if err := drv.Write(p, lba, data); err != nil {
+				t.Errorf("w%d write: %v", w, err)
+				return
+			}
+			got, err := drv.Read(p, lba, 1)
+			if err != nil {
+				t.Errorf("w%d read: %v", w, err)
+				return
+			}
+			if got[0] != byte(w+1) {
+				t.Errorf("w%d read back %d", w, got[0])
+			}
+		})
+	}
+	eng.Run()
+}
+
+func TestOpcodeAndStatusStrings(t *testing.T) {
+	for op, want := range map[Opcode]string{
+		OpRead: "READ", OpWrite: "WRITE", OpFlush: "FLUSH", OpTrim: "TRIM",
+		OpIdentify: "IDENTIFY", OpVendorMinion: "VENDOR_MINION",
+		OpVendorQuery: "VENDOR_QUERY", OpVendorTaskLoad: "VENDOR_TASK_LOAD",
+		Opcode(200): "OP(200)",
+	} {
+		if op.String() != want {
+			t.Errorf("Opcode(%d).String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	for s, want := range map[Status]string{
+		StatusOK: "OK", StatusInvalid: "INVALID", StatusCapacity: "CAPACITY",
+		StatusInternal: "INTERNAL", Status(9): "STATUS(9)",
+	} {
+		if s.String() != want {
+			t.Errorf("Status(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

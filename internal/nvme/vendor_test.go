@@ -1,0 +1,75 @@
+package nvme
+
+import (
+	"testing"
+	"time"
+
+	"compstor/internal/pcie"
+	"compstor/internal/sim"
+)
+
+// TestVendorQueueDoesNotStarveIO verifies the separate vendor contexts:
+// long-running vendor commands (in-situ tasks) must not block ordinary
+// reads, even with every vendor worker busy.
+func TestVendorQueueDoesNotStarveIO(t *testing.T) {
+	be := newFakeBackend()
+	be.vendorFn = func(p *sim.Proc, op Opcode, payload any) (any, int64, error) {
+		p.Wait(100 * time.Millisecond) // a long in-situ task
+		return "done", 16, nil
+	}
+	eng := sim.NewEngine()
+	fabric := pcie.NewFabric(eng, pcie.DefaultConfig())
+	ctrl := NewController(eng, fabric.AddPort(), be, Config{QueueDepth: 64, Workers: 4, VendorWorkers: 2})
+	drv := ctrl.Driver()
+
+	// Saturate both vendor workers.
+	for i := 0; i < 2; i++ {
+		eng.Go("minion", func(p *sim.Proc) {
+			drv.Submit(p, &Command{Op: OpVendorMinion, Payload: "task", PayloadBytes: 64})
+		})
+	}
+	var readDone sim.Time
+	eng.Go("reader", func(p *sim.Proc) {
+		p.Wait(time.Millisecond) // let the minions occupy the vendor queue
+		if _, err := drv.Read(p, 0, 1); err != nil {
+			t.Error(err)
+		}
+		readDone = p.Now()
+	})
+	eng.Run()
+	if readDone > sim.Time(10*time.Millisecond) {
+		t.Fatalf("read completed at %v; vendor tasks starved the I/O path", readDone)
+	}
+}
+
+// TestVendorCommandsQueueWhenWorkersBusy: a third vendor command waits for
+// a free vendor context rather than failing.
+func TestVendorCommandsQueueWhenWorkersBusy(t *testing.T) {
+	be := newFakeBackend()
+	be.vendorFn = func(p *sim.Proc, op Opcode, payload any) (any, int64, error) {
+		p.Wait(10 * time.Millisecond)
+		return "ok", 8, nil
+	}
+	eng := sim.NewEngine()
+	fabric := pcie.NewFabric(eng, pcie.DefaultConfig())
+	ctrl := NewController(eng, fabric.AddPort(), be, Config{QueueDepth: 64, Workers: 2, VendorWorkers: 1})
+	drv := ctrl.Driver()
+	var done []sim.Time
+	for i := 0; i < 3; i++ {
+		eng.Go("m", func(p *sim.Proc) {
+			comp := drv.Submit(p, &Command{Op: OpVendorQuery, Payload: "q", PayloadBytes: 8})
+			if comp.Status != StatusOK {
+				t.Errorf("vendor failed: %v", comp.Err)
+			}
+			done = append(done, p.Now())
+		})
+	}
+	eng.Run()
+	if len(done) != 3 {
+		t.Fatalf("%d completions", len(done))
+	}
+	last := done[len(done)-1]
+	if last < sim.Time(30*time.Millisecond) {
+		t.Fatalf("3 serialized 10ms vendor commands finished at %v", last)
+	}
+}

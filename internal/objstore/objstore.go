@@ -1,0 +1,151 @@
+// Package objstore layers a Kinetic-style object interface over a CompStor
+// device. The paper's related-work discussion (§II) positions object
+// storage as orthogonal to in-situ processing — "a storage could be either
+// in-situ processing or object-oriented or both at the same time" — and
+// this package demonstrates the "both": objects are put/got/deleted by key
+// through the host path, and Process runs an offloadable executable over an
+// object without moving it.
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"compstor/internal/core"
+	"compstor/internal/sim"
+)
+
+// prefix namespaces object files inside the device filesystem.
+const prefix = "obj/"
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("objstore: object not found")
+
+// Store is an object-level view of one CompStor device.
+type Store struct {
+	client *core.Client
+}
+
+// New opens an object store on a device's in-situ client.
+func New(client *core.Client) *Store { return &Store{client: client} }
+
+// escapeKey maps an arbitrary key to a filesystem-safe name, reversibly.
+func escapeKey(key string) string {
+	var sb strings.Builder
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '.', c == '_', c == '/':
+			sb.WriteByte(c)
+		default:
+			fmt.Fprintf(&sb, "%%%02X", c)
+		}
+	}
+	return sb.String()
+}
+
+// unescapeKey reverses escapeKey.
+func unescapeKey(name string) string {
+	var sb strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '%' && i+2 < len(name) {
+			var v int
+			if _, err := fmt.Sscanf(name[i+1:i+3], "%02X", &v); err == nil {
+				sb.WriteByte(byte(v))
+				i += 2
+				continue
+			}
+		}
+		sb.WriteByte(c)
+	}
+	return sb.String()
+}
+
+func (s *Store) path(key string) string { return prefix + escapeKey(key) }
+
+// Put stores (or replaces) an object.
+func (s *Store) Put(p *sim.Proc, key string, data []byte) error {
+	if key == "" {
+		return errors.New("objstore: empty key")
+	}
+	return s.client.FS().WriteFile(p, s.path(key), data)
+}
+
+// Get retrieves an object's bytes.
+func (s *Store) Get(p *sim.Proc, key string) ([]byte, error) {
+	data, err := s.client.FS().ReadFile(p, s.path(key))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return data, nil
+}
+
+// Delete removes an object.
+func (s *Store) Delete(p *sim.Proc, key string) error {
+	if err := s.client.FS().Delete(p, s.path(key)); err != nil {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return nil
+}
+
+// Meta describes an object.
+type Meta struct {
+	Key  string
+	Size int64
+}
+
+// Head returns an object's metadata without reading its data.
+func (s *Store) Head(p *sim.Proc, key string) (Meta, error) {
+	info, err := s.client.FS().FS().Stat(s.path(key))
+	if err != nil {
+		return Meta{}, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return Meta{Key: key, Size: info.Size}, nil
+}
+
+// List returns the keys with the given prefix, sorted.
+func (s *Store) List(p *sim.Proc, keyPrefix string) []Meta {
+	var out []Meta
+	for _, fi := range s.client.FS().FS().List() {
+		if !strings.HasPrefix(fi.Name, prefix) {
+			continue
+		}
+		key := unescapeKey(strings.TrimPrefix(fi.Name, prefix))
+		if strings.HasPrefix(key, keyPrefix) {
+			out = append(out, Meta{Key: key, Size: fi.Size})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Process runs a registered program over an object inside the device —
+// object storage and in-situ processing "both at the same time". The
+// object's file name is appended to the program arguments.
+func (s *Store) Process(p *sim.Proc, key, exec string, args ...string) (*core.Response, error) {
+	path := s.path(key)
+	if _, err := s.client.FS().FS().Stat(path); err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return s.client.Run(p, core.Command{
+		Exec:       exec,
+		Args:       append(append([]string{}, args...), path),
+		InputFiles: []string{path},
+	})
+}
+
+// ProcessScript runs a shell script with $OBJ replaced by the object's
+// in-device file name.
+func (s *Store) ProcessScript(p *sim.Proc, key, script string) (*core.Response, error) {
+	path := s.path(key)
+	if _, err := s.client.FS().FS().Stat(path); err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return s.client.Run(p, core.Command{
+		Script: strings.ReplaceAll(script, "$OBJ", path),
+	})
+}

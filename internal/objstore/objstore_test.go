@@ -1,0 +1,192 @@
+package objstore
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"compstor/internal/apps/appset"
+	"compstor/internal/core"
+	"compstor/internal/flash"
+	"compstor/internal/sim"
+)
+
+func newStore(t *testing.T) (*core.System, *Store) {
+	t.Helper()
+	sys := core.NewSystem(core.SystemConfig{
+		CompStors: 1,
+		Registry:  appset.Base(),
+		Geometry: flash.Geometry{
+			Channels: 8, DiesPerChan: 2, PlanesPerDie: 1,
+			BlocksPerPlan: 64, PagesPerBlock: 32, PageSize: 4096,
+		},
+	})
+	return sys, New(sys.Device(0).Client)
+}
+
+func TestPutGetDelete(t *testing.T) {
+	sys, st := newStore(t)
+	data := bytes.Repeat([]byte("object payload "), 100)
+	sys.Go("t", func(p *sim.Proc) {
+		if err := st.Put(p, "bucket/item-1", data); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := st.Get(p, "bucket/item-1")
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("get: %v", err)
+			return
+		}
+		meta, err := st.Head(p, "bucket/item-1")
+		if err != nil || meta.Size != int64(len(data)) {
+			t.Errorf("head: %+v %v", meta, err)
+		}
+		if err := st.Delete(p, "bucket/item-1"); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := st.Get(p, "bucket/item-1"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("get after delete: %v", err)
+		}
+	})
+	sys.Run()
+}
+
+func TestPutReplaces(t *testing.T) {
+	sys, st := newStore(t)
+	sys.Go("t", func(p *sim.Proc) {
+		st.Put(p, "k", []byte("v1"))
+		st.Put(p, "k", []byte("v2"))
+		got, _ := st.Get(p, "k")
+		if string(got) != "v2" {
+			t.Errorf("got %q", got)
+		}
+	})
+	sys.Run()
+}
+
+func TestListWithPrefix(t *testing.T) {
+	sys, st := newStore(t)
+	sys.Go("t", func(p *sim.Proc) {
+		st.Put(p, "logs/a", []byte("1"))
+		st.Put(p, "logs/b", []byte("22"))
+		st.Put(p, "data/c", []byte("333"))
+		logs := st.List(p, "logs/")
+		if len(logs) != 2 || logs[0].Key != "logs/a" || logs[1].Key != "logs/b" {
+			t.Errorf("list = %+v", logs)
+		}
+		all := st.List(p, "")
+		if len(all) != 3 {
+			t.Errorf("all = %+v", all)
+		}
+	})
+	sys.Run()
+}
+
+func TestWeirdKeysRoundTrip(t *testing.T) {
+	sys, st := newStore(t)
+	keys := []string{
+		"simple",
+		"with spaces and (parens)",
+		"unicode-ключ-键",
+		"percent%escape%",
+		"tab\there",
+	}
+	sys.Go("t", func(p *sim.Proc) {
+		for i, k := range keys {
+			if err := st.Put(p, k, []byte{byte(i)}); err != nil {
+				t.Errorf("put %q: %v", k, err)
+				return
+			}
+		}
+		all := st.List(p, "")
+		if len(all) != len(keys) {
+			t.Errorf("listed %d keys, want %d: %+v", len(all), len(keys), all)
+		}
+		seen := map[string]bool{}
+		for _, m := range all {
+			seen[m.Key] = true
+		}
+		for _, k := range keys {
+			if !seen[k] {
+				t.Errorf("key %q lost in listing", k)
+			}
+			got, err := st.Get(p, k)
+			if err != nil || len(got) != 1 {
+				t.Errorf("get %q: %v", k, err)
+			}
+		}
+	})
+	sys.Run()
+}
+
+func TestEscapeKeyProperty(t *testing.T) {
+	f := func(key string) bool {
+		if key == "" {
+			return true
+		}
+		esc := escapeKey(key)
+		for i := 0; i < len(esc); i++ {
+			c := esc[i]
+			ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+				c == '-' || c == '.' || c == '_' || c == '/' || c == '%'
+			if !ok {
+				return false
+			}
+		}
+		return unescapeKey(esc) == key
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProcessObjectInSitu(t *testing.T) {
+	sys, st := newStore(t)
+	sys.Go("t", func(p *sim.Proc) {
+		st.Put(p, "reports/q3", []byte("revenue up\ncosts down\nrevenue up again\n"))
+		resp, err := st.Process(p, "reports/q3", "grep", "-c", "revenue")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if resp.Status != core.StatusOK || strings.TrimSpace(string(resp.Stdout)) != "2" {
+			t.Errorf("process: %+v (%q)", resp, resp.Stdout)
+		}
+		// Script form with $OBJ substitution.
+		resp, err = st.ProcessScript(p, "reports/q3", `wc -l < $OBJ`)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if strings.TrimSpace(string(resp.Stdout)) != "3" {
+			t.Errorf("script: %q", resp.Stdout)
+		}
+	})
+	sys.Run()
+}
+
+func TestProcessMissingObject(t *testing.T) {
+	sys, st := newStore(t)
+	sys.Go("t", func(p *sim.Proc) {
+		if _, err := st.Process(p, "ghost", "grep", "x"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("process missing: %v", err)
+		}
+		if _, err := st.ProcessScript(p, "ghost", "wc"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("script missing: %v", err)
+		}
+	})
+	sys.Run()
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	sys, st := newStore(t)
+	sys.Go("t", func(p *sim.Proc) {
+		if err := st.Put(p, "", []byte("x")); err == nil {
+			t.Error("empty key accepted")
+		}
+	})
+	sys.Run()
+}

@@ -1,0 +1,130 @@
+// Package pcie models the PCIe fabric connecting a host to one or more
+// NVMe endpoints: a root complex uplink shared by all devices, a switch,
+// and one downstream link per endpoint.
+//
+// Fig. 1 of the CompStor paper rests on exactly this topology: each SSD sees
+// ~2 GB/s at its own port while the host root complex tops out at ~16 GB/s
+// (x16), so the host can never ingest the aggregate media bandwidth of a
+// dense storage server. Transfers here traverse the endpoint's port link and
+// the shared uplink store-and-forward, so uplink contention emerges
+// naturally when many devices DMA at once.
+package pcie
+
+import (
+	"fmt"
+	"time"
+
+	"compstor/internal/sim"
+)
+
+// Config describes a fabric. The defaults (via DefaultConfig) model the
+// paper's setup: PCIe Gen3 x16 root complex, Gen3 x4-class device ports.
+type Config struct {
+	// UplinkBytesPerSec is the root-complex bandwidth shared by all devices.
+	UplinkBytesPerSec float64
+	// UplinkLatency is the propagation latency through switch + root complex.
+	UplinkLatency time.Duration
+	// PortBytesPerSec is each downstream port's bandwidth (per device).
+	PortBytesPerSec float64
+	// PortLatency is each downstream port's propagation latency.
+	PortLatency time.Duration
+}
+
+// DefaultConfig returns the paper-calibrated fabric: 16 GB/s uplink,
+// 2 GB/s per device port (the figures quoted in Fig. 1).
+func DefaultConfig() Config {
+	return Config{
+		UplinkBytesPerSec: 16e9,
+		UplinkLatency:     500 * time.Nanosecond,
+		PortBytesPerSec:   2e9,
+		PortLatency:       300 * time.Nanosecond,
+	}
+}
+
+// Fabric is a host root complex plus switch with downstream ports.
+type Fabric struct {
+	eng    *sim.Engine
+	cfg    Config
+	uplink *sim.Link
+	ports  []*Port
+}
+
+// NewFabric builds a fabric with no ports; attach devices with AddPort.
+func NewFabric(eng *sim.Engine, cfg Config) *Fabric {
+	if cfg.UplinkBytesPerSec <= 0 || cfg.PortBytesPerSec <= 0 {
+		panic("pcie: non-positive bandwidth")
+	}
+	return &Fabric{
+		eng:    eng,
+		cfg:    cfg,
+		uplink: sim.NewLink(eng, "pcie/uplink", cfg.UplinkBytesPerSec, cfg.UplinkLatency),
+	}
+}
+
+// Uplink exposes the shared root-complex link (for energy metering and
+// utilisation reports).
+func (f *Fabric) Uplink() *sim.Link { return f.uplink }
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// AddPort attaches a new downstream port (one per endpoint device).
+func (f *Fabric) AddPort() *Port {
+	id := len(f.ports)
+	p := &Port{
+		fabric: f,
+		id:     id,
+		link:   sim.NewLink(f.eng, fmt.Sprintf("pcie/port%d", id), f.cfg.PortBytesPerSec, f.cfg.PortLatency),
+	}
+	f.ports = append(f.ports, p)
+	return p
+}
+
+// Ports returns the number of attached ports.
+func (f *Fabric) Ports() int { return len(f.ports) }
+
+// Port returns the i-th attached port.
+func (f *Fabric) Port(i int) *Port { return f.ports[i] }
+
+// Port is one downstream link of the switch, attached to a single endpoint.
+type Port struct {
+	fabric   *Fabric
+	id       int
+	link     *sim.Link
+	toHost   int64
+	fromHost int64
+}
+
+// ID returns the port index.
+func (p *Port) ID() int { return p.id }
+
+// Link exposes the downstream link (for energy metering).
+func (p *Port) Link() *sim.Link { return p.link }
+
+// ToHost DMAs n bytes from the device into host memory: downstream port
+// first, then the shared uplink.
+func (p *Port) ToHost(proc *sim.Proc, n int64) {
+	p.toHost += n
+	p.link.Transfer(proc, n)
+	p.fabric.uplink.Transfer(proc, n)
+}
+
+// FromHost DMAs n bytes from host memory into the device: shared uplink
+// first, then the downstream port.
+func (p *Port) FromHost(proc *sim.Proc, n int64) {
+	p.fromHost += n
+	p.fabric.uplink.Transfer(proc, n)
+	p.link.Transfer(proc, n)
+}
+
+// Message models a small control transaction (doorbell write, MSI-X
+// interrupt): propagation latencies only, no occupancy.
+func (p *Port) Message(proc *sim.Proc) {
+	proc.Wait(p.fabric.cfg.UplinkLatency + p.fabric.cfg.PortLatency)
+}
+
+// BytesToHost returns payload bytes DMAed device→host through this port.
+func (p *Port) BytesToHost() int64 { return p.toHost }
+
+// BytesFromHost returns payload bytes DMAed host→device through this port.
+func (p *Port) BytesFromHost() int64 { return p.fromHost }

@@ -1,0 +1,135 @@
+package pcie
+
+import (
+	"testing"
+	"time"
+
+	"compstor/internal/sim"
+)
+
+func TestSingleDeviceLimitedByPort(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, Config{
+		UplinkBytesPerSec: 16e9,
+		PortBytesPerSec:   2e9,
+	})
+	port := f.AddPort()
+	const n = 2_000_000_000 // 2 GB
+	var done sim.Time
+	eng.Go("dma", func(p *sim.Proc) {
+		port.ToHost(p, n)
+		done = p.Now()
+	})
+	eng.Run()
+	// 2 GB at 2 GB/s = 1 s on the port, plus 2 GB at 16 GB/s = 0.125 s on
+	// the uplink (store and forward).
+	want := sim.Time(1125 * time.Millisecond)
+	if done != want {
+		t.Fatalf("DMA finished at %v, want %v", done, want)
+	}
+	if port.BytesToHost() != n {
+		t.Fatalf("BytesToHost = %d", port.BytesToHost())
+	}
+}
+
+func TestManyDevicesLimitedByUplink(t *testing.T) {
+	// 16 devices each pushing 2 GB: port-limited would take ~1s in
+	// parallel, but the 16 GB/s uplink must serialise 32 GB = 2 s.
+	eng := sim.NewEngine()
+	f := NewFabric(eng, Config{
+		UplinkBytesPerSec: 16e9,
+		PortBytesPerSec:   2e9,
+	})
+	const devs = 16
+	const per = 2_000_000_000
+	var last sim.Time
+	for i := 0; i < devs; i++ {
+		port := f.AddPort()
+		eng.Go("dma", func(p *sim.Proc) {
+			port.ToHost(p, per)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	eng.Run()
+	min := sim.Time(2 * time.Second)
+	if last < min {
+		t.Fatalf("aggregate DMA finished at %v; uplink should cap it at >= %v", last, min)
+	}
+	// Sanity: it shouldn't be wildly slower than the uplink bound either.
+	if last > sim.Time(3200*time.Millisecond) {
+		t.Fatalf("aggregate DMA finished at %v; too slow for a 16 GB/s uplink", last)
+	}
+	if got := f.Uplink().Bytes(); got != devs*per {
+		t.Fatalf("uplink moved %d bytes, want %d", got, int64(devs*per))
+	}
+	if f.Ports() != devs {
+		t.Fatalf("Ports = %d", f.Ports())
+	}
+}
+
+func TestFromHostDirection(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, DefaultConfig())
+	port := f.AddPort()
+	eng.Go("dma", func(p *sim.Proc) {
+		port.FromHost(p, 1_000_000)
+	})
+	eng.Run()
+	if port.BytesFromHost() != 1_000_000 {
+		t.Fatalf("BytesFromHost = %d", port.BytesFromHost())
+	}
+	if port.BytesToHost() != 0 {
+		t.Fatal("ToHost counter polluted by FromHost transfer")
+	}
+}
+
+func TestMessageLatencyOnly(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := Config{
+		UplinkBytesPerSec: 16e9,
+		UplinkLatency:     500 * time.Nanosecond,
+		PortBytesPerSec:   2e9,
+		PortLatency:       300 * time.Nanosecond,
+	}
+	f := NewFabric(eng, cfg)
+	port := f.AddPort()
+	var done sim.Time
+	eng.Go("msg", func(p *sim.Proc) {
+		port.Message(p)
+		done = p.Now()
+	})
+	eng.Run()
+	if done != sim.Time(800*time.Nanosecond) {
+		t.Fatalf("message latency %v, want 800ns", done)
+	}
+	if f.Uplink().Bytes() != 0 {
+		t.Fatal("message consumed uplink bandwidth")
+	}
+}
+
+func TestPortIdentity(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, DefaultConfig())
+	a, b := f.AddPort(), f.AddPort()
+	if a.ID() != 0 || b.ID() != 1 {
+		t.Fatalf("port IDs %d,%d", a.ID(), b.ID())
+	}
+	if f.Port(1) != b {
+		t.Fatal("Port(1) != b")
+	}
+	if a.Link() == b.Link() {
+		t.Fatal("ports share a link")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bandwidth config did not panic")
+		}
+	}()
+	NewFabric(eng, Config{})
+}

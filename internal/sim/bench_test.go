@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(time.Microsecond, tick)
+		}
+	}
+	e.After(time.Microsecond, tick)
+	b.ResetTimer()
+	e.Run()
+	b.ReportMetric(float64(n), "events")
+}
+
+func BenchmarkProcessSwitch(b *testing.B) {
+	e := NewEngine()
+	e.Go("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(time.Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkResourceContention(b *testing.B) {
+	e := NewEngine()
+	r := NewResource(e, 4)
+	const workers = 16
+	per := b.N/workers + 1
+	for w := 0; w < workers; w++ {
+		e.Go("w", func(p *Proc) {
+			for i := 0; i < per; i++ {
+				r.Use(p, time.Nanosecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkLinkTransfers(b *testing.B) {
+	e := NewEngine()
+	l := NewLink(e, "x", 1e9, time.Microsecond)
+	e.Go("dma", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			l.Transfer(p, 4096)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,163 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel has two layers:
+//
+//   - A low-level event layer: an Engine owns a virtual clock and a priority
+//     queue of timestamped callbacks. Events with equal timestamps fire in
+//     scheduling order, so a run is fully deterministic.
+//   - A process layer (see Proc): goroutine-backed simulated processes in the
+//     style of SimPy. Exactly one process or event callback runs at a time,
+//     so model code needs no locking.
+//
+// On top of these the package offers the building blocks used by the
+// CompStor models: counted semaphores (Semaphore), multi-server stations
+// (Resource), FIFO bandwidth pipes (Link), and blocking mailboxes (Mailbox).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t to the duration elapsed since time zero.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// MaxTime is the largest representable virtual timestamp.
+const MaxTime = Time(math.MaxInt64)
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not ready
+// for use; create one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pending eventHeap
+	running bool
+	stopped bool
+}
+
+// NewEngine returns an engine with its clock at time zero and no pending
+// events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at virtual time t. Scheduling into the past
+// panics: the causality violation always indicates a model bug.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pending, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// delays panic.
+func (e *Engine) After(d time.Duration, fn func()) {
+	e.At(e.now.Add(d), fn)
+}
+
+// Step executes the single earliest pending event and reports whether one
+// was executed.
+func (e *Engine) Step() bool {
+	if len(e.pending) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pending).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the final virtual time.
+func (e *Engine) Run() Time {
+	return e.RunUntil(MaxTime)
+}
+
+// RunUntil executes events with timestamps <= deadline, or until the queue
+// drains or Stop is called. The clock is left at the timestamp of the last
+// executed event (it does not jump to the deadline).
+func (e *Engine) RunUntil(deadline Time) Time {
+	if e.running {
+		panic("sim: Engine.Run called re-entrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+	for !e.stopped && len(e.pending) > 0 && e.pending[0].at <= deadline {
+		e.Step()
+	}
+	return e.now
+}
+
+// Stop makes the innermost Run/RunUntil return after the current event
+// completes. Pending events stay queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of events still queued.
+func (e *Engine) Pending() int { return len(e.pending) }
+
+// DurationFor returns the time needed to move n bytes at bytesPerSec,
+// rounded up to a whole nanosecond so that repeated transfers never take
+// zero time.
+func DurationFor(n int64, bytesPerSec float64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	if bytesPerSec <= 0 {
+		panic("sim: non-positive bandwidth")
+	}
+	ns := float64(n) / bytesPerSec * 1e9
+	d := time.Duration(math.Ceil(ns))
+	if d <= 0 {
+		d = 1
+	}
+	return d
+}

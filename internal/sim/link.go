@@ -1,0 +1,93 @@
+package sim
+
+// Link models a FIFO, store-and-forward bandwidth pipe such as a PCIe lane
+// bundle, a flash channel bus, or a DRAM port. Transfers are serialised in
+// arrival order; each occupies the pipe for size/bandwidth and completes
+// after an additional propagation latency.
+//
+// The implementation is analytic: instead of a busy-server process it keeps
+// the time at which the pipe frees up, which is exact for FIFO pipes and
+// much faster than event-per-byte models.
+type Link struct {
+	eng      *Engine
+	name     string
+	bps      float64 // bytes per second
+	latency  Duration
+	freeAt   Time
+	busyNS   int64
+	bytes    int64
+	xfers    int64
+	onActive func(d Duration) // optional energy hook: pipe busy for d
+}
+
+// NewLink creates a pipe with the given bandwidth (bytes/second) and
+// propagation latency.
+func NewLink(eng *Engine, name string, bytesPerSec float64, latency Duration) *Link {
+	if bytesPerSec <= 0 {
+		panic("sim: non-positive link bandwidth")
+	}
+	if latency < 0 {
+		panic("sim: negative link latency")
+	}
+	return &Link{eng: eng, name: name, bps: bytesPerSec, latency: latency}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Bandwidth returns the link bandwidth in bytes per second.
+func (l *Link) Bandwidth() float64 { return l.bps }
+
+// SetOnActive installs a hook invoked with each transfer's occupancy time,
+// used for energy accounting.
+func (l *Link) SetOnActive(fn func(d Duration)) { l.onActive = fn }
+
+// Transfer moves n bytes through the pipe, blocking the process for queueing
+// delay + serialisation time + latency. Zero-byte transfers incur only the
+// latency.
+func (l *Link) Transfer(p *Proc, n int64) {
+	if n < 0 {
+		panic("sim: negative transfer size")
+	}
+	now := l.eng.Now()
+	start := now
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	ser := DurationFor(n, l.bps)
+	l.freeAt = start.Add(ser)
+	done := l.freeAt.Add(l.latency)
+	l.busyNS += int64(ser)
+	l.bytes += n
+	l.xfers++
+	if l.onActive != nil && ser > 0 {
+		l.onActive(ser)
+	}
+	p.WaitUntil(done)
+}
+
+// Delay blocks the process for the link's propagation latency only, as for
+// a doorbell write or small control message.
+func (l *Link) Delay(p *Proc) { p.Wait(l.latency) }
+
+// Bytes returns the total payload bytes moved through the pipe.
+func (l *Link) Bytes() int64 { return l.bytes }
+
+// Transfers returns the number of Transfer calls.
+func (l *Link) Transfers() int64 { return l.xfers }
+
+// BusyTime returns the total serialisation (occupancy) time.
+func (l *Link) BusyTime() Duration { return Duration(l.busyNS) }
+
+// Utilization returns occupancy divided by elapsed virtual time, in [0,1].
+func (l *Link) Utilization() float64 {
+	el := l.eng.Now().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	u := Duration(l.busyNS).Seconds() / el
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,99 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with the engine so that exactly one process (or event callback) runs at a
+// time. Model code inside a process advances virtual time with Wait, blocks
+// on resources with Acquire/Transfer/Recv, and never needs locks.
+//
+// A Proc must only call its blocking methods from its own body function.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+}
+
+// Go starts a new simulated process executing body. The process begins at
+// the current virtual time (after already-scheduled events at that time).
+// The name is used in diagnostics only.
+func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	go func() {
+		<-p.resume
+		body(p)
+		p.done = true
+		p.yield <- struct{}{}
+	}()
+	e.After(0, p.step)
+	return p
+}
+
+// Name returns the diagnostic name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// step hands control to the process goroutine and waits for it to block or
+// finish. It runs on the engine side, inside an event callback.
+func (p *Proc) step() {
+	if p.done {
+		panic(fmt.Sprintf("sim: process %q resumed after completion", p.name))
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// park yields control back to the engine without scheduling a resumption.
+// Something else must later call p.unpark (or schedule p.step) or the
+// process sleeps forever.
+func (p *Proc) park() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// unpark schedules the process to resume at the current virtual time. It
+// must be called from engine context (an event callback or another process)
+// while p is parked.
+func (p *Proc) unpark() {
+	p.eng.After(0, p.step)
+}
+
+// Wait advances the process's virtual time by d. Other events and processes
+// run in the meantime.
+func (p *Proc) Wait(d Duration) {
+	if d < 0 {
+		panic("sim: negative wait")
+	}
+	p.eng.After(d, p.step)
+	p.park()
+}
+
+// WaitUntil sleeps the process until virtual time t. If t is in the past it
+// returns immediately (yielding once).
+func (p *Proc) WaitUntil(t Time) {
+	now := p.eng.Now()
+	if t < now {
+		t = now
+	}
+	p.eng.At(t, p.step)
+	p.park()
+}
+
+// Yield lets all other events scheduled for the current instant run before
+// the process continues.
+func (p *Proc) Yield() { p.Wait(0) }

@@ -1,0 +1,140 @@
+package sim
+
+import "time"
+
+// Duration aliases time.Duration so model packages can use sim.Duration
+// without importing time.
+type Duration = time.Duration
+
+// Semaphore is a counted semaphore with FIFO granting. It is the basic
+// mutual-exclusion and admission-control primitive for simulated processes.
+type Semaphore struct {
+	eng     *Engine
+	tokens  int
+	cap     int
+	waiters []*semWaiter
+}
+
+type semWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewSemaphore creates a semaphore holding n tokens (and capacity n).
+func NewSemaphore(eng *Engine, n int) *Semaphore {
+	if n < 0 {
+		panic("sim: negative semaphore size")
+	}
+	return &Semaphore{eng: eng, tokens: n, cap: n}
+}
+
+// Acquire takes n tokens, blocking the process in FIFO order until they are
+// available. Acquiring more tokens than the semaphore's capacity panics,
+// since it would block forever.
+func (s *Semaphore) Acquire(p *Proc, n int) {
+	if n <= 0 {
+		panic("sim: non-positive acquire")
+	}
+	if n > s.cap {
+		panic("sim: acquire exceeds semaphore capacity")
+	}
+	// FIFO: even if tokens are free, queue behind existing waiters.
+	if len(s.waiters) == 0 && s.tokens >= n {
+		s.tokens -= n
+		return
+	}
+	s.waiters = append(s.waiters, &semWaiter{p: p, n: n})
+	p.park()
+}
+
+// Release returns n tokens and wakes any waiters that can now proceed.
+func (s *Semaphore) Release(n int) {
+	if n <= 0 {
+		panic("sim: non-positive release")
+	}
+	s.tokens += n
+	if s.tokens > s.cap {
+		s.cap = s.tokens // semaphore grew; allow it but track capacity
+	}
+	for len(s.waiters) > 0 && s.tokens >= s.waiters[0].n {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.tokens -= w.n
+		w.p.unpark()
+	}
+}
+
+// Available returns the number of free tokens.
+func (s *Semaphore) Available() int { return s.tokens }
+
+// QueueLen returns the number of blocked acquirers.
+func (s *Semaphore) QueueLen() int { return len(s.waiters) }
+
+// Resource is a multi-server station: up to Capacity processes hold it at
+// once; others queue FIFO. Use measures utilisation for reporting and
+// energy accounting.
+type Resource struct {
+	sem      *Semaphore
+	capacity int
+	busyNS   int64 // accumulated busy time across all servers
+	acquires int64
+	eng      *Engine
+}
+
+// NewResource creates a station with the given number of servers.
+func NewResource(eng *Engine, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: non-positive resource capacity")
+	}
+	return &Resource{sem: NewSemaphore(eng, capacity), capacity: capacity, eng: eng}
+}
+
+// Capacity returns the number of servers.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of servers currently held.
+func (r *Resource) InUse() int { return r.capacity - r.sem.Available() }
+
+// QueueLen returns the number of processes waiting for a server.
+func (r *Resource) QueueLen() int { return r.sem.QueueLen() }
+
+// Acquire claims one server, blocking FIFO until one is free.
+func (r *Resource) Acquire(p *Proc) {
+	r.sem.Acquire(p, 1)
+	r.acquires++
+}
+
+// Release frees one server.
+func (r *Resource) Release() { r.sem.Release(1) }
+
+// Use claims a server, holds it for d of virtual time, and releases it.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Acquire(p)
+	p.Wait(d)
+	r.busyNS += int64(d)
+	r.Release()
+}
+
+// BusyTime returns the total server-busy time accumulated through Use.
+func (r *Resource) BusyTime() Duration { return Duration(r.busyNS) }
+
+// AddBusy records externally-managed busy time (for callers that use
+// Acquire/Release directly but still want utilisation accounted).
+func (r *Resource) AddBusy(d Duration) { r.busyNS += int64(d) }
+
+// Acquires returns the number of successful acquisitions.
+func (r *Resource) Acquires() int64 { return r.acquires }
+
+// Utilization returns busy time divided by (elapsed * capacity), in [0,1],
+// measured at the current virtual time.
+func (r *Resource) Utilization() float64 {
+	el := r.eng.Now().Seconds() * float64(r.capacity)
+	if el <= 0 {
+		return 0
+	}
+	u := (Duration(r.busyNS)).Seconds() / el
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

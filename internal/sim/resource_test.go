@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSemaphoreMutualExclusion(t *testing.T) {
+	e := NewEngine()
+	sem := NewSemaphore(e, 1)
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 10; i++ {
+		e.Go("p", func(p *Proc) {
+			sem.Acquire(p, 1)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Wait(time.Millisecond)
+			inside--
+			sem.Release(1)
+		})
+	}
+	e.Run()
+	if maxInside != 1 {
+		t.Fatalf("max concurrent holders = %d, want 1", maxInside)
+	}
+}
+
+func TestSemaphoreFIFOOrder(t *testing.T) {
+	e := NewEngine()
+	sem := NewSemaphore(e, 1)
+	var order []int
+	// Holder keeps the semaphore until t=10ms; the others queue in spawn
+	// order and must be granted in that order.
+	e.Go("holder", func(p *Proc) {
+		sem.Acquire(p, 1)
+		p.Wait(10 * time.Millisecond)
+		sem.Release(1)
+	})
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Go("waiter", func(p *Proc) {
+			p.Wait(time.Duration(i+1) * time.Millisecond)
+			sem.Acquire(p, 1)
+			order = append(order, i)
+			sem.Release(1)
+		})
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("grant order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestSemaphoreCountedAcquire(t *testing.T) {
+	e := NewEngine()
+	sem := NewSemaphore(e, 4)
+	var got []string
+	e.Go("big", func(p *Proc) {
+		sem.Acquire(p, 3)
+		got = append(got, "big")
+		p.Wait(5 * time.Millisecond)
+		sem.Release(3)
+	})
+	e.Go("small", func(p *Proc) {
+		p.Wait(time.Millisecond)
+		sem.Acquire(p, 2) // only 1 free; must wait for big
+		got = append(got, "small")
+		sem.Release(2)
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != "big" || got[1] != "small" {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestSemaphoreOverCapacityPanics(t *testing.T) {
+	e := NewEngine()
+	sem := NewSemaphore(e, 2)
+	panicked := false
+	e.Go("p", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		sem.Acquire(p, 3)
+	})
+	e.Run()
+	if !panicked {
+		t.Fatal("over-capacity acquire did not panic")
+	}
+}
+
+func TestResourceConcurrencyLimit(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 3)
+	inUseMax := 0
+	for i := 0; i < 12; i++ {
+		e.Go("w", func(p *Proc) {
+			r.Acquire(p)
+			if r.InUse() > inUseMax {
+				inUseMax = r.InUse()
+			}
+			p.Wait(time.Millisecond)
+			r.AddBusy(time.Millisecond)
+			r.Release()
+		})
+	}
+	end := e.Run()
+	if inUseMax != 3 {
+		t.Fatalf("max in use = %d, want 3", inUseMax)
+	}
+	// 12 jobs of 1ms on 3 servers = 4ms makespan.
+	if end != Time(4*time.Millisecond) {
+		t.Fatalf("makespan = %v, want 4ms", end)
+	}
+	if r.BusyTime() != 12*time.Millisecond {
+		t.Fatalf("busy time = %v, want 12ms", r.BusyTime())
+	}
+	if r.Acquires() != 12 {
+		t.Fatalf("acquires = %d, want 12", r.Acquires())
+	}
+	if u := r.Utilization(); u != 1.0 {
+		t.Fatalf("utilization = %v, want 1.0", u)
+	}
+}
+
+func TestResourceUse(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		e.Go("w", func(p *Proc) {
+			r.Use(p, 2*time.Millisecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	e.Run()
+	want := []Time{Time(2 * time.Millisecond), Time(4 * time.Millisecond), Time(6 * time.Millisecond)}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish times = %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox[int]()
+	var got []int
+	e.Go("consumer", func(p *Proc) {
+		for {
+			v, ok := mb.Recv(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	e.Go("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Wait(time.Millisecond)
+			mb.Put(i)
+		}
+		p.Wait(time.Millisecond)
+		mb.Close()
+	})
+	e.Run()
+	if len(got) != 5 {
+		t.Fatalf("received %d items, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestMailboxBlocksUntilPut(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox[string]()
+	var recvAt Time
+	e.Go("consumer", func(p *Proc) {
+		v, ok := mb.Recv(p)
+		if !ok || v != "hello" {
+			t.Errorf("got %q ok=%v", v, ok)
+		}
+		recvAt = p.Now()
+	})
+	e.Go("producer", func(p *Proc) {
+		p.Wait(7 * time.Millisecond)
+		mb.Put("hello")
+	})
+	e.Run()
+	if recvAt != Time(7*time.Millisecond) {
+		t.Fatalf("received at %v, want 7ms", recvAt)
+	}
+}
+
+func TestMailboxTryRecv(t *testing.T) {
+	mb := NewMailbox[int]()
+	if _, ok := mb.TryRecv(); ok {
+		t.Fatal("TryRecv on empty returned ok")
+	}
+	mb.Put(9)
+	if v, ok := mb.TryRecv(); !ok || v != 9 {
+		t.Fatalf("TryRecv = %d, %v", v, ok)
+	}
+	if mb.Len() != 0 {
+		t.Fatal("mailbox not drained")
+	}
+}
+
+func TestMailboxCloseWakesReceivers(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox[int]()
+	woken := 0
+	for i := 0; i < 3; i++ {
+		e.Go("consumer", func(p *Proc) {
+			if _, ok := mb.Recv(p); !ok {
+				woken++
+			}
+		})
+	}
+	e.Go("closer", func(p *Proc) {
+		p.Wait(time.Millisecond)
+		mb.Close()
+	})
+	e.Run()
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+	if !mb.Closed() {
+		t.Fatal("mailbox not closed")
+	}
+}

@@ -1,0 +1,42 @@
+package sim
+
+// WaitGroup joins forked simulated processes: a parent Adds before forking,
+// children call Done, and the parent blocks in Wait until the count drains.
+// Only one process may Wait at a time.
+type WaitGroup struct {
+	n      int
+	waiter *Proc
+}
+
+// Add increments the outstanding count.
+func (wg *WaitGroup) Add(n int) {
+	if n < 0 {
+		panic("sim: negative WaitGroup add")
+	}
+	wg.n += n
+}
+
+// Done decrements the count and wakes the waiter when it reaches zero.
+func (wg *WaitGroup) Done() {
+	if wg.n <= 0 {
+		panic("sim: WaitGroup Done without Add")
+	}
+	wg.n--
+	if wg.n == 0 && wg.waiter != nil {
+		w := wg.waiter
+		wg.waiter = nil
+		w.unpark()
+	}
+}
+
+// Wait blocks the process until the count reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.n == 0 {
+		return
+	}
+	if wg.waiter != nil {
+		panic("sim: concurrent WaitGroup waiters")
+	}
+	wg.waiter = p
+	p.park()
+}

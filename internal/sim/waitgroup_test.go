@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWaitGroupJoinsForks(t *testing.T) {
+	e := NewEngine()
+	var wg WaitGroup
+	done := 0
+	var joinedAt Time
+	e.Go("parent", func(p *Proc) {
+		wg.Add(3)
+		for i := 1; i <= 3; i++ {
+			d := time.Duration(i) * time.Millisecond
+			e.Go("child", func(c *Proc) {
+				defer wg.Done()
+				c.Wait(d)
+				done++
+			})
+		}
+		wg.Wait(p)
+		joinedAt = p.Now()
+	})
+	e.Run()
+	if done != 3 {
+		t.Fatalf("done = %d", done)
+	}
+	if joinedAt != Time(3*time.Millisecond) {
+		t.Fatalf("joined at %v, want 3ms (slowest child)", joinedAt)
+	}
+}
+
+func TestWaitGroupZeroCountReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	var wg WaitGroup
+	var at Time
+	e.Go("p", func(p *Proc) {
+		p.Wait(time.Second)
+		wg.Wait(p)
+		at = p.Now()
+	})
+	e.Run()
+	if at != Time(time.Second) {
+		t.Fatalf("Wait with zero count blocked: %v", at)
+	}
+}
+
+func TestWaitGroupDoneWithoutAddPanics(t *testing.T) {
+	var wg WaitGroup
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Done without Add did not panic")
+		}
+	}()
+	wg.Done()
+}
+
+func TestWaitGroupNegativeAddPanics(t *testing.T) {
+	var wg WaitGroup
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	wg.Add(-1)
+}
+
+func TestWaitGroupReusable(t *testing.T) {
+	e := NewEngine()
+	var wg WaitGroup
+	rounds := 0
+	e.Go("parent", func(p *Proc) {
+		for r := 0; r < 3; r++ {
+			wg.Add(2)
+			for i := 0; i < 2; i++ {
+				e.Go("c", func(c *Proc) {
+					defer wg.Done()
+					c.Wait(time.Millisecond)
+				})
+			}
+			wg.Wait(p)
+			rounds++
+		}
+	})
+	e.Run()
+	if rounds != 3 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+}

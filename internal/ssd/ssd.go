@@ -1,0 +1,399 @@
+// Package ssd assembles complete solid-state drives from the substrate
+// models: NAND array + FTL + controller CPU + NVMe front-end, optionally
+// carrying the CompStor in-storage processing subsystem with its dedicated
+// flash path.
+//
+// Two ablation configurations reproduce the paper's Table I comparisons:
+// SharedCores runs in-situ tasks on the controller's embedded cores
+// (Biscuit-style), and ISPSViaNVMePath removes the dedicated high-bandwidth
+// flash path, forcing in-situ I/O through the protocol front-end.
+package ssd
+
+import (
+	"fmt"
+	"time"
+
+	"compstor/internal/apps"
+	"compstor/internal/cpu"
+	"compstor/internal/energy"
+	"compstor/internal/flash"
+	"compstor/internal/ftl"
+	"compstor/internal/isps"
+	"compstor/internal/minfs"
+	"compstor/internal/nvme"
+	"compstor/internal/pcie"
+	"compstor/internal/sim"
+)
+
+// Config assembles a drive.
+type Config struct {
+	Name     string
+	Geometry flash.Geometry
+	Timing   flash.Timing
+	FTL      ftl.Config
+	NVMe     nvme.Config
+
+	// InSitu attaches an ISPS (making this a CompStor). Registry is the
+	// program set to install (cloned); required when InSitu.
+	InSitu   bool
+	Registry *apps.Registry
+
+	// SharedCores is the Biscuit-style ablation: in-situ tasks execute on
+	// the controller's embedded cores instead of a dedicated subsystem.
+	SharedCores bool
+	// ISPSViaNVMePath is the no-dedicated-path ablation: in-situ flash
+	// access pays protocol-front-end costs per operation and loses fan-out.
+	ISPSViaNVMePath bool
+
+	// Meter, when set, registers the device's ISPS energy component.
+	Meter *energy.Meter
+
+	// CtrlCmdOverhead is embedded-CPU time per NVMe command (default 8µs).
+	CtrlCmdOverhead time.Duration
+	// CtrlCores is the number of embedded controller cores (default 2).
+	CtrlCores int
+	// ISPSDriverLatency is the flash-access device driver overhead per
+	// range operation on the dedicated path (default 3µs).
+	ISPSDriverLatency time.Duration
+}
+
+// DefaultConfig returns a conventional enterprise drive using the default
+// laptop-scale geometry.
+func DefaultConfig(name string) Config {
+	return Config{
+		Name:     name,
+		Geometry: flash.DefaultGeometry(),
+		Timing:   flash.DefaultTiming(),
+		FTL:      ftl.DefaultConfig(),
+		NVMe:     nvme.DefaultConfig(),
+	}
+}
+
+// CompStorConfig returns a CompStor drive with the given program set.
+func CompStorConfig(name string, registry *apps.Registry) Config {
+	cfg := DefaultConfig(name)
+	cfg.InSitu = true
+	cfg.Registry = registry
+	return cfg
+}
+
+// SSD is an assembled drive attached to a PCIe port.
+type SSD struct {
+	eng  *sim.Engine
+	cfg  Config
+	port *pcie.Port
+
+	dev  *flash.Device
+	ftl  *ftl.FTL
+	ctrl *nvme.Controller
+
+	ctrlCPU     *sim.Resource
+	cmdOverhead time.Duration
+
+	sub *isps.Subsystem
+
+	fs       *minfs.FS
+	ispsView *minfs.View
+
+	vendor func(p *sim.Proc, op nvme.Opcode, payload any) (any, int64, error)
+}
+
+// New builds and attaches a drive.
+func New(eng *sim.Engine, port *pcie.Port, cfg Config) *SSD {
+	if cfg.CtrlCmdOverhead <= 0 {
+		cfg.CtrlCmdOverhead = 8 * time.Microsecond
+	}
+	if cfg.CtrlCores <= 0 {
+		cfg.CtrlCores = 2
+	}
+	if cfg.ISPSDriverLatency <= 0 {
+		cfg.ISPSDriverLatency = 3 * time.Microsecond
+	}
+	s := &SSD{
+		eng:         eng,
+		cfg:         cfg,
+		port:        port,
+		dev:         flash.NewDevice(eng, cfg.Name+"/nand", cfg.Geometry, cfg.Timing),
+		ctrlCPU:     sim.NewResource(eng, cfg.CtrlCores),
+		cmdOverhead: cfg.CtrlCmdOverhead,
+	}
+	s.ftl = ftl.New(s.dev, cfg.FTL)
+	s.fs = minfs.NewFS(cfg.Geometry.PageSize, s.ftl.LogicalPages())
+
+	if cfg.InSitu {
+		if cfg.Registry == nil {
+			panic("ssd: in-situ drive requires a program registry")
+		}
+		platform := cpu.ISPS()
+		var meterComp *energy.Component
+		if cfg.Meter != nil {
+			meterComp = cfg.Meter.Component(cfg.Name+"/isps", platform.BaseWatts)
+		}
+		icfg := isps.Config{
+			Platform: platform,
+			Registry: cfg.Registry.Clone(),
+			Meter:    meterComp,
+		}
+		if cfg.SharedCores {
+			icfg.Cores = s.ctrlCPU
+			icfg.TimeSlice = time.Millisecond // preemptive firmware scheduler
+		}
+		s.sub = isps.New(eng, icfg)
+		s.ispsView = minfs.NewView(s.fs, s.ispsBlockDevice())
+		// The in-SSD Linux has a page cache of its own.
+		s.ispsView.EnableWriteBack(eng, 16384, 32)
+		s.sub.AttachFS(s.ispsView)
+	}
+
+	s.ctrl = nvme.NewController(eng, port, s, cfg.NVMe)
+	return s
+}
+
+// Controller returns the NVMe controller.
+func (s *SSD) Controller() *nvme.Controller { return s.ctrl }
+
+// Driver returns a host-side NVMe driver handle.
+func (s *SSD) Driver() *nvme.Driver { return s.ctrl.Driver() }
+
+// FTL exposes the translation layer (stats, capacity).
+func (s *SSD) FTL() *ftl.FTL { return s.ftl }
+
+// Flash exposes the NAND device (stats, wear).
+func (s *SSD) Flash() *flash.Device { return s.dev }
+
+// ISPS returns the in-storage subsystem, or nil on conventional drives.
+func (s *SSD) ISPS() *isps.Subsystem { return s.sub }
+
+// CtrlCPU exposes the embedded controller cores (for interference
+// experiments).
+func (s *SSD) CtrlCPU() *sim.Resource { return s.ctrlCPU }
+
+// FS returns the drive's filesystem metadata object.
+func (s *SSD) FS() *minfs.FS { return s.fs }
+
+// HostView returns a filesystem view routed through the NVMe host path,
+// with write-back caching enabled (the host's page cache). Callers must
+// Flush before handing files to another view; Client.SendMinion does this
+// automatically.
+func (s *SSD) HostView() *minfs.View {
+	v := minfs.NewView(s.fs, &hostBlockDevice{drv: s.Driver(), fs: s.fs, pages: s.ftl.LogicalPages()})
+	v.EnableWriteBack(s.eng, 16384, 32)
+	return v
+}
+
+// ISPSView returns the in-storage filesystem view (nil on conventional
+// drives).
+func (s *SSD) ISPSView() *minfs.View { return s.ispsView }
+
+// SetVendorHandler installs the device-side handler for vendor NVMe
+// commands (the CompStor agent transport).
+func (s *SSD) SetVendorHandler(fn func(p *sim.Proc, op nvme.Opcode, payload any) (any, int64, error)) {
+	s.vendor = fn
+}
+
+// nvme.Backend implementation -------------------------------------------------
+
+// Model implements nvme.Backend.
+func (s *SSD) Model() string { return s.cfg.Name }
+
+// PageSize implements nvme.Backend.
+func (s *SSD) PageSize() int { return s.cfg.Geometry.PageSize }
+
+// CapacityBytes implements nvme.Backend.
+func (s *SSD) CapacityBytes() int64 { return s.ftl.LogicalBytes() }
+
+// InSitu implements nvme.Backend.
+func (s *SSD) InSitu() bool { return s.cfg.InSitu }
+
+// Read implements nvme.Backend: controller overhead, then channel-parallel
+// page fetches.
+func (s *SSD) Read(p *sim.Proc, lba, pages int64) ([]byte, error) {
+	s.useCtrl(p)
+	ps := int64(s.PageSize())
+	out := make([]byte, pages*ps)
+	err := s.forEachPage(p, pages, func(cp *sim.Proc, i int64) error {
+		data, err := s.ftl.ReadPage(cp, lba+i)
+		if err != nil {
+			return err
+		}
+		copy(out[i*ps:], data)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Write implements nvme.Backend.
+func (s *SSD) Write(p *sim.Proc, lba int64, data []byte) error {
+	s.useCtrl(p)
+	ps := int64(s.PageSize())
+	pages := int64(len(data)) / ps
+	return s.forEachPage(p, pages, func(cp *sim.Proc, i int64) error {
+		return s.ftl.WritePage(cp, lba+i, data[i*ps:(i+1)*ps])
+	})
+}
+
+// Trim implements nvme.Backend.
+func (s *SSD) Trim(p *sim.Proc, lba, pages int64) error {
+	s.useCtrl(p)
+	return s.ftl.Trim(p, lba, pages)
+}
+
+// Flush implements nvme.Backend.
+func (s *SSD) Flush(p *sim.Proc) error {
+	s.useCtrl(p)
+	return nil
+}
+
+// Vendor implements nvme.Backend, delegating to the installed agent.
+func (s *SSD) Vendor(p *sim.Proc, op nvme.Opcode, payload any) (any, int64, error) {
+	if s.vendor == nil {
+		return nil, 0, fmt.Errorf("ssd: %s has no vendor handler (not a CompStor?)", s.cfg.Name)
+	}
+	return s.vendor(p, op, payload)
+}
+
+// useCtrl charges embedded-CPU time for one command.
+func (s *SSD) useCtrl(p *sim.Proc) {
+	s.ctrlCPU.Use(p, s.cmdOverhead)
+}
+
+// forEachPage fans page operations out across worker processes so channel
+// and die parallelism is exploited; it returns the first error.
+func (s *SSD) forEachPage(p *sim.Proc, n int64, fn func(cp *sim.Proc, i int64) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return fn(p, 0)
+	}
+	// Full die-level parallelism (capped), so the fan-out can keep every
+	// plane busy on write-heavy streams.
+	workers := int64(s.cfg.Geometry.Channels * s.cfg.Geometry.DiesPerChan * 2)
+	if workers > 128 {
+		workers = 128
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sim.WaitGroup
+	var firstErr error
+	wg.Add(int(workers))
+	for w := int64(0); w < workers; w++ {
+		w := w
+		s.eng.Go(fmt.Sprintf("%s/io%d", s.cfg.Name, w), func(cp *sim.Proc) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				if firstErr != nil {
+					return
+				}
+				if err := fn(cp, i); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+			}
+		})
+	}
+	wg.Wait(p)
+	return firstErr
+}
+
+// Block device adapters ---------------------------------------------------------
+
+// hostBlockDevice routes filesystem I/O through the NVMe driver (paying
+// PCIe DMA and protocol costs).
+type hostBlockDevice struct {
+	drv   *nvme.Driver
+	fs    *minfs.FS
+	pages int64
+}
+
+func (d *hostBlockDevice) PageSize() int { return d.fs.PageSize() }
+func (d *hostBlockDevice) Pages() int64  { return d.pages }
+
+func (d *hostBlockDevice) ReadPages(p *sim.Proc, lpn, count int64) ([]byte, error) {
+	return d.drv.Read(p, lpn, count)
+}
+
+func (d *hostBlockDevice) WritePages(p *sim.Proc, lpn int64, data []byte) error {
+	return d.drv.Write(p, lpn, data)
+}
+
+func (d *hostBlockDevice) TrimPages(p *sim.Proc, lpn, count int64) error {
+	return d.drv.Trim(p, lpn, count)
+}
+
+// ispsBlockDevice is the flash-access device driver: the dedicated
+// high-bandwidth, low-latency path from the ISPS to the media.
+type ispsBlockDevice struct {
+	s      *SSD
+	lat    time.Duration
+	direct bool
+}
+
+func (s *SSD) ispsBlockDevice() minfs.BlockDevice {
+	return &ispsBlockDevice{s: s, lat: s.cfg.ISPSDriverLatency, direct: !s.cfg.ISPSViaNVMePath}
+}
+
+func (d *ispsBlockDevice) PageSize() int { return d.s.PageSize() }
+func (d *ispsBlockDevice) Pages() int64  { return d.s.ftl.LogicalPages() }
+
+func (d *ispsBlockDevice) ReadPages(p *sim.Proc, lpn, count int64) ([]byte, error) {
+	ps := int64(d.s.PageSize())
+	out := make([]byte, count*ps)
+	if d.direct {
+		p.Wait(d.lat)
+		err := d.s.forEachPage(p, count, func(cp *sim.Proc, i int64) error {
+			data, err := d.s.ftl.ReadPage(cp, lpn+i)
+			if err != nil {
+				return err
+			}
+			copy(out[i*ps:], data)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	// Ablation: every page loops through the protocol front-end, serially,
+	// paying command overhead on the shared controller cores.
+	for i := int64(0); i < count; i++ {
+		p.Wait(25 * time.Microsecond)
+		d.s.useCtrl(p)
+		data, err := d.s.ftl.ReadPage(p, lpn+i)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[i*ps:], data)
+	}
+	return out, nil
+}
+
+func (d *ispsBlockDevice) WritePages(p *sim.Proc, lpn int64, data []byte) error {
+	ps := int64(d.s.PageSize())
+	count := int64(len(data)) / ps
+	if d.direct {
+		p.Wait(d.lat)
+		return d.s.forEachPage(p, count, func(cp *sim.Proc, i int64) error {
+			return d.s.ftl.WritePage(cp, lpn+i, data[i*ps:(i+1)*ps])
+		})
+	}
+	for i := int64(0); i < count; i++ {
+		p.Wait(25 * time.Microsecond)
+		d.s.useCtrl(p)
+		if err := d.s.ftl.WritePage(p, lpn+i, data[i*ps:(i+1)*ps]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *ispsBlockDevice) TrimPages(p *sim.Proc, lpn, count int64) error {
+	p.Wait(d.lat)
+	return d.s.ftl.Trim(p, lpn, count)
+}

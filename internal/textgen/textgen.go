@@ -1,0 +1,147 @@
+// Package textgen deterministically synthesises the evaluation corpus: the
+// paper uses "348 compressed big text files ... books in different fields
+// which are transformed to plain text files" (11.3 GB total). Real book
+// text is not redistributable here, so the generator produces English-like
+// prose with a Zipf-distributed vocabulary — matching the compressibility
+// and line structure the workloads care about — at a configurable scale.
+package textgen
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config controls corpus synthesis.
+type Config struct {
+	// Seed makes the corpus reproducible.
+	Seed int64
+	// Books is the number of files (the paper: 348).
+	Books int
+	// MeanBookBytes is the average uncompressed book size. The paper's
+	// corpus averages ~32 MB/book; benches default much smaller and report
+	// the scale factor.
+	MeanBookBytes int
+}
+
+// DefaultConfig returns a laptop-scale corpus: 348 books averaging 8 KB
+// (scale factor ~1/4000 of the paper's 11.3 GB).
+func DefaultConfig() Config {
+	return Config{Seed: 2018, Books: 348, MeanBookBytes: 8 << 10}
+}
+
+// File is one generated book.
+type File struct {
+	Name string
+	Data []byte
+}
+
+// vocabulary is built once from syllables; word i is sampled with
+// probability ∝ 1/(i+2)^1.05 (Zipf-like, matching natural text).
+var vocabulary = buildVocabulary()
+
+func buildVocabulary() []string {
+	onsets := []string{"b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "st", "tr", "ch", "sh", "th", "pl", "gr"}
+	nuclei := []string{"a", "e", "i", "o", "u", "ai", "ea", "ou", "io"}
+	codas := []string{"", "n", "r", "s", "t", "l", "m", "nd", "st", "ck", "ng"}
+	rng := rand.New(rand.NewSource(42))
+	seen := make(map[string]bool)
+	var words []string
+	// Common function words first (they get the highest Zipf ranks).
+	for _, w := range []string{"the", "of", "and", "a", "to", "in", "is", "was", "he", "for", "it", "with", "as", "his", "on", "be", "at", "by", "had", "not", "are", "but", "from", "or", "have", "an", "they", "which", "one", "you"} {
+		words = append(words, w)
+		seen[w] = true
+	}
+	for len(words) < 4000 {
+		syls := 1 + rng.Intn(3)
+		var w bytes.Buffer
+		for s := 0; s < syls; s++ {
+			w.WriteString(onsets[rng.Intn(len(onsets))])
+			w.WriteString(nuclei[rng.Intn(len(nuclei))])
+			w.WriteString(codas[rng.Intn(len(codas))])
+		}
+		word := w.String()
+		if !seen[word] {
+			seen[word] = true
+			words = append(words, word)
+		}
+	}
+	return words
+}
+
+// zipfPick samples a vocabulary index with a Zipf-ish distribution using
+// the inverse-power transform (cheap and deterministic given rng).
+func zipfPick(rng *rand.Rand) int {
+	u := rng.Float64()
+	// Inverse CDF of p(i) ~ i^-1.05 approximated by u^k stretch.
+	idx := int(math.Pow(u, 3.2) * float64(len(vocabulary)))
+	if idx >= len(vocabulary) {
+		idx = len(vocabulary) - 1
+	}
+	return idx
+}
+
+// Book generates one book of roughly approxBytes of prose.
+func Book(seed int64, approxBytes int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var out bytes.Buffer
+	out.Grow(approxBytes + 1024)
+	chapter := 1
+	fmt.Fprintf(&out, "CHAPTER %d\n\n", chapter)
+	sentenceLen := func() int { return 6 + rng.Intn(14) }
+	paraSentences := func() int { return 3 + rng.Intn(5) }
+	for out.Len() < approxBytes {
+		sentences := paraSentences()
+		for s := 0; s < sentences; s++ {
+			n := sentenceLen()
+			for w := 0; w < n; w++ {
+				word := vocabulary[zipfPick(rng)]
+				if w == 0 {
+					word = string(word[0]-32) + word[1:]
+				}
+				out.WriteString(word)
+				if w < n-1 {
+					if w > 2 && rng.Intn(12) == 0 {
+						out.WriteByte(',')
+					}
+					out.WriteByte(' ')
+				}
+			}
+			out.WriteString(". ")
+		}
+		out.WriteString("\n\n")
+		if rng.Intn(40) == 0 {
+			chapter++
+			fmt.Fprintf(&out, "CHAPTER %d\n\n", chapter)
+		}
+	}
+	return out.Bytes()
+}
+
+// Corpus generates the whole book set. Book sizes vary ±50% around the
+// mean, log-uniformly, like real book collections.
+func Corpus(cfg Config) []File {
+	if cfg.Books <= 0 || cfg.MeanBookBytes <= 0 {
+		panic("textgen: invalid corpus config")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]File, cfg.Books)
+	for i := range out {
+		size := int(float64(cfg.MeanBookBytes) * (0.5 + rng.Float64()*1.5))
+		out[i] = File{
+			Name: fmt.Sprintf("books/book%03d.txt", i),
+			Data: Book(cfg.Seed+int64(i)*7919, size),
+		}
+	}
+	return out
+}
+
+// TotalBytes sums the corpus size.
+func TotalBytes(files []File) int64 {
+	var n int64
+	for _, f := range files {
+		n += int64(len(f.Data))
+	}
+	return n
+}

@@ -1,0 +1,106 @@
+package textgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"compstor/internal/apps/gzipx"
+)
+
+func TestBookDeterministic(t *testing.T) {
+	a := Book(7, 10_000)
+	b := Book(7, 10_000)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different books")
+	}
+	c := Book(8, 10_000)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical books")
+	}
+}
+
+func TestBookSizeApproximate(t *testing.T) {
+	b := Book(1, 50_000)
+	if len(b) < 50_000 || len(b) > 60_000 {
+		t.Fatalf("book size %d, want ~50000", len(b))
+	}
+}
+
+func TestBookLooksLikeProse(t *testing.T) {
+	b := string(Book(3, 20_000))
+	if !strings.Contains(b, "CHAPTER 1") {
+		t.Fatal("no chapter heading")
+	}
+	if !strings.Contains(b, ". ") {
+		t.Fatal("no sentences")
+	}
+	words := strings.Fields(b)
+	if len(words) < 2000 {
+		t.Fatalf("only %d words", len(words))
+	}
+	// Zipf vocabulary: "the" should be frequent.
+	theCount := 0
+	for _, w := range words {
+		if w == "the" || w == "The" {
+			theCount++
+		}
+	}
+	if float64(theCount)/float64(len(words)) < 0.01 {
+		t.Fatalf("'the' frequency %.4f; vocabulary not Zipf-like", float64(theCount)/float64(len(words)))
+	}
+}
+
+func TestBookIsCompressible(t *testing.T) {
+	// The corpus must behave like text for the compression workloads:
+	// gzip should roughly halve it (the paper's books compress similarly).
+	b := Book(5, 100_000)
+	z, err := gzipx.Compress(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(z)) / float64(len(b))
+	if ratio > 0.6 {
+		t.Fatalf("compression ratio %.2f; corpus not text-like", ratio)
+	}
+	if ratio < 0.1 {
+		t.Fatalf("compression ratio %.2f; corpus too repetitive", ratio)
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	cfg := Config{Seed: 1, Books: 20, MeanBookBytes: 4000}
+	files := Corpus(cfg)
+	if len(files) != 20 {
+		t.Fatalf("%d files", len(files))
+	}
+	names := map[string]bool{}
+	for _, f := range files {
+		if names[f.Name] {
+			t.Fatalf("duplicate name %s", f.Name)
+		}
+		names[f.Name] = true
+		if len(f.Data) < 1000 {
+			t.Fatalf("%s only %d bytes", f.Name, len(f.Data))
+		}
+	}
+	if TotalBytes(files) < 20*2000 {
+		t.Fatal("corpus too small")
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := Corpus(Config{Seed: 9, Books: 5, MeanBookBytes: 2000})
+	b := Corpus(Config{Seed: 9, Books: 5, MeanBookBytes: 2000})
+	for i := range a {
+		if a[i].Name != b[i].Name || !bytes.Equal(a[i].Data, b[i].Data) {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+}
+
+func TestDefaultConfigIs348Books(t *testing.T) {
+	if DefaultConfig().Books != 348 {
+		t.Fatal("default corpus should mirror the paper's 348 files")
+	}
+}
