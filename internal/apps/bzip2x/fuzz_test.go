@@ -1,0 +1,44 @@
+package bzip2x
+
+import (
+	"bytes"
+	stdbzip2 "compress/bzip2"
+	"io"
+	"testing"
+)
+
+// FuzzBzip2RoundTrip checks, for arbitrary payloads, that Compress produces
+// a stream both our Decompress and the stdlib reference decode back to the
+// input, and that Decompress only errors — never panics — on arbitrary
+// bytes. This keeps injected corruption in chaos runs from hiding codec
+// bugs behind fault-tolerance retries.
+func FuzzBzip2RoundTrip(f *testing.F) {
+	for _, data := range corpus() {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		if len(src) > 1<<20 {
+			return
+		}
+		out := Compress(src, Options{})
+		got, err := Decompress(out)
+		if err != nil {
+			t.Fatalf("decompress own stream: %v", err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("round trip mismatch: %d in, %d out", len(src), len(got))
+		}
+		ref, err := io.ReadAll(stdbzip2.NewReader(bytes.NewReader(out)))
+		if err != nil {
+			t.Fatalf("stdlib decode: %v", err)
+		}
+		if !bytes.Equal(ref, src) {
+			t.Fatalf("stdlib decodes to %d bytes, want %d", len(ref), len(src))
+		}
+		// Arbitrary bytes through the decoder must fail cleanly, not crash.
+		_, _ = Decompress(src)
+	})
+}

@@ -1,0 +1,55 @@
+package gzipx
+
+import (
+	"bytes"
+	stdgzip "compress/gzip"
+	"io"
+	"testing"
+)
+
+// FuzzGzipRoundTrip checks, for arbitrary payloads, that Compress produces
+// a stream our Decompress and the stdlib reference both decode back to the
+// input — and that Decompress never panics on arbitrary (corrupt) input,
+// only errors. Chaos runs inject corruption into staged files; a codec that
+// crashed or silently mis-decoded would masquerade as a fault-tolerance
+// bug.
+func FuzzGzipRoundTrip(f *testing.F) {
+	for _, data := range corpus() {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		if len(src) > 1<<20 {
+			return
+		}
+		out, err := Compress(src)
+		if err != nil {
+			t.Fatalf("compress: %v", err)
+		}
+		got, err := Decompress(out)
+		if err != nil {
+			t.Fatalf("decompress own stream: %v", err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("round trip mismatch: %d in, %d out", len(src), len(got))
+		}
+		zr, err := stdgzip.NewReader(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("stdlib reader rejects our stream: %v", err)
+		}
+		ref, err := io.ReadAll(zr)
+		if err != nil {
+			t.Fatalf("stdlib decode: %v", err)
+		}
+		if !bytes.Equal(ref, src) {
+			t.Fatalf("stdlib decodes to %d bytes, want %d", len(ref), len(src))
+		}
+		// The input interpreted as a stream must never crash the decoder;
+		// a corrupt-stream error is the only acceptable failure.
+		if dec, err := Decompress(src); err == nil && len(src) > 0 {
+			_ = dec
+		}
+	})
+}

@@ -1,0 +1,245 @@
+// Package chaos is the deterministic fault-injection harness: a seedable
+// Plan describes, per device, transient media errors, a whole-device
+// failure at a virtual time, a slow-device latency multiplier, and dropped
+// agent responses; Install binds the plan onto an assembled core.System
+// through the fault hooks in flash, ssd, nvme, and the ISPS agent.
+//
+// Everything is driven by the simulation's virtual clock and per-device
+// rand streams derived from Plan.Seed, so a chaos run is exactly
+// reproducible: the same seed yields the same fault schedule, the same
+// retry/failover decisions, and the same final virtual time. That is what
+// makes the chaos suite a test harness rather than a flake generator — any
+// failure it finds comes with the seed that replays it.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"compstor/internal/core"
+	"compstor/internal/flash"
+	"compstor/internal/nvme"
+	"compstor/internal/sim"
+)
+
+// Injected error kinds. Wrapped errors carry device/op detail; match with
+// errors.Is.
+var (
+	// ErrMediaRead is a transient uncorrectable read: the op already paid
+	// its latency, the data did not arrive.
+	ErrMediaRead = errors.New("chaos: injected media read error")
+	// ErrMediaProgram is a transient program failure: the page is left
+	// unusable until its block is erased, exactly as on real NAND.
+	ErrMediaProgram = errors.New("chaos: injected media program error")
+	// ErrDeviceDead is returned by every path of a device past its FailAt
+	// time: media, protocol front-end, and agent all stop answering.
+	ErrDeviceDead = errors.New("chaos: device failed")
+	// ErrDropped is an agent that received a minion and never answered; the
+	// client sees a failed vendor command, as a timed-out driver would.
+	ErrDropped = errors.New("chaos: agent dropped response")
+)
+
+// DeviceFaults describes the fault behaviour of one device.
+type DeviceFaults struct {
+	// ReadErrProb / ProgramErrProb are per-operation probabilities of a
+	// transient media error (drawn from the device's seeded stream).
+	ReadErrProb    float64
+	ProgramErrProb float64
+	// DropProb is the per-minion probability that the agent drops the
+	// response.
+	DropProb float64
+	// SlowFactor > 1 multiplies the device's per-command controller
+	// overhead: a 4x-slow device pays 3 extra overheads per command. The
+	// extra latency is charged in the protocol front-end, before the
+	// command reaches the media.
+	SlowFactor float64
+	// FailAt, when non-zero, is the virtual time at which the whole device
+	// fails: from then on every media operation, NVMe command, and agent
+	// interaction errors.
+	FailAt time.Duration
+}
+
+// failed reports whether the whole-device failure time has passed.
+func (f DeviceFaults) failed(now sim.Time) bool {
+	return f.FailAt > 0 && now.Duration() >= f.FailAt
+}
+
+// Plan is a complete, seedable fault schedule for a system.
+type Plan struct {
+	// Seed derives every random draw in the run. Two installs of the same
+	// plan produce identical fault schedules.
+	Seed int64
+	// Default applies to devices without an explicit entry.
+	Default DeviceFaults
+	// Devices overrides faults per device index.
+	Devices map[int]DeviceFaults
+}
+
+// NewPlan returns an empty (fault-free) plan with the given seed.
+func NewPlan(seed int64) *Plan {
+	return &Plan{Seed: seed, Devices: make(map[int]DeviceFaults)}
+}
+
+// WithDevice sets device i's faults and returns the plan for chaining.
+func (pl *Plan) WithDevice(i int, f DeviceFaults) *Plan {
+	if pl.Devices == nil {
+		pl.Devices = make(map[int]DeviceFaults)
+	}
+	pl.Devices[i] = f
+	return pl
+}
+
+// WithDefault sets the fault spec for all devices not overridden.
+func (pl *Plan) WithDefault(f DeviceFaults) *Plan {
+	pl.Default = f
+	return pl
+}
+
+// Faults returns the spec that applies to device i.
+func (pl *Plan) Faults(i int) DeviceFaults {
+	if f, ok := pl.Devices[i]; ok {
+		return f
+	}
+	return pl.Default
+}
+
+// RandomPlan derives a randomized-but-seeded plan for n devices: fault
+// probabilities and slowdowns are drawn from the seed, scaled by intensity
+// in [0, 1]. The same (seed, n, intensity) always yields the same plan, so
+// a sweep over seeds explores distinct deterministic schedules.
+func RandomPlan(seed int64, n int, intensity float64) *Plan {
+	if intensity < 0 {
+		intensity = 0
+	}
+	if intensity > 1 {
+		intensity = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pl := NewPlan(seed)
+	for i := 0; i < n; i++ {
+		pl.WithDevice(i, DeviceFaults{
+			ReadErrProb:    intensity * 0.05 * rng.Float64(),
+			ProgramErrProb: intensity * 0.02 * rng.Float64(),
+			DropProb:       intensity * 0.10 * rng.Float64(),
+			SlowFactor:     1 + intensity*3*rng.Float64(),
+		})
+	}
+	return pl
+}
+
+// Stats counts the faults an injector actually delivered.
+type Stats struct {
+	ReadFaults    int64 // transient media read errors injected
+	ProgramFaults int64 // transient media program errors injected
+	Drops         int64 // agent responses dropped
+	SlowWaits     int64 // commands delayed by a SlowFactor
+	DeadRejects   int64 // operations refused because the device had failed
+}
+
+// Injector is a plan installed on a system. It owns the per-device rand
+// streams and fault counters.
+type Injector struct {
+	sys   *core.System
+	plan  *Plan
+	stats Stats
+}
+
+// Install binds plan onto every CompStor device of sys and returns the
+// injector. Hooks are installed at four layers: the NAND array (media
+// errors, dead media), the drive backend (slow device, dead drive), the
+// NVMe front-end (dead protocol path), and the ISPS agent (dropped
+// responses). Install replaces any previously-installed hooks on those
+// devices; Uninstall clears them.
+func Install(sys *core.System, plan *Plan) *Injector {
+	inj := &Injector{sys: sys, plan: plan}
+	for i, unit := range sys.Devices {
+		i, unit := i, unit
+		f := plan.Faults(i)
+		// One stream per device, split per fault site so the draw sequence
+		// at one layer is independent of traffic at another.
+		mix := int64(i+1) * 0x5851F42D4C957F2D // per-device seed spread (LCG multiplier)
+		mediaRng := rand.New(rand.NewSource(plan.Seed ^ mix ^ 0x6D6564696131))
+		agentRng := rand.New(rand.NewSource(plan.Seed ^ mix ^ 0x6167656E7431))
+		eng := sys.Eng
+
+		unit.Drive.Flash().SetFaultHook(func(op flash.FaultOp, a flash.Addr) error {
+			if f.failed(eng.Now()) {
+				inj.stats.DeadRejects++
+				return fmt.Errorf("%w: device %d media %s %v", ErrDeviceDead, i, op, a)
+			}
+			switch op {
+			case flash.FaultRead:
+				if f.ReadErrProb > 0 && mediaRng.Float64() < f.ReadErrProb {
+					inj.stats.ReadFaults++
+					return fmt.Errorf("%w: device %d %v", ErrMediaRead, i, a)
+				}
+			case flash.FaultProgram:
+				if f.ProgramErrProb > 0 && mediaRng.Float64() < f.ProgramErrProb {
+					inj.stats.ProgramFaults++
+					return fmt.Errorf("%w: device %d %v", ErrMediaProgram, i, a)
+				}
+			}
+			return nil
+		})
+
+		unit.Drive.SetFaultHook(func(p *sim.Proc, op nvme.Opcode) error {
+			if f.failed(p.Now()) {
+				inj.stats.DeadRejects++
+				return fmt.Errorf("%w: device %d backend %v", ErrDeviceDead, i, op)
+			}
+			if f.SlowFactor > 1 {
+				inj.stats.SlowWaits++
+				p.Wait(time.Duration(float64(unit.Drive.CmdOverhead()) * (f.SlowFactor - 1)))
+			}
+			return nil
+		})
+
+		unit.Drive.Controller().SetFaultHook(func(p *sim.Proc, cmd *nvme.Command) error {
+			if f.failed(p.Now()) {
+				inj.stats.DeadRejects++
+				return fmt.Errorf("%w: device %d nvme %v", ErrDeviceDead, i, cmd.Op)
+			}
+			return nil
+		})
+
+		unit.Agent.SetFaultHook(func(p *sim.Proc, cmd core.Command) error {
+			if f.failed(p.Now()) {
+				inj.stats.DeadRejects++
+				return fmt.Errorf("%w: device %d agent", ErrDeviceDead, i)
+			}
+			if f.DropProb > 0 && agentRng.Float64() < f.DropProb {
+				inj.stats.Drops++
+				return fmt.Errorf("%w: device %d", ErrDropped, i)
+			}
+			return nil
+		})
+	}
+	return inj
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (inj *Injector) Stats() Stats { return inj.stats }
+
+// FailedDevices returns the devices whose FailAt has passed at virtual
+// time now.
+func (inj *Injector) FailedDevices(now sim.Time) []int {
+	var out []int
+	for i := range inj.sys.Devices {
+		if inj.plan.Faults(i).failed(now) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Uninstall clears every hook the injector installed.
+func (inj *Injector) Uninstall() {
+	for _, unit := range inj.sys.Devices {
+		unit.Drive.Flash().SetFaultHook(nil)
+		unit.Drive.SetFaultHook(nil)
+		unit.Drive.Controller().SetFaultHook(nil)
+		unit.Agent.SetFaultHook(nil)
+	}
+}

@@ -1,0 +1,298 @@
+package chaos_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"compstor/internal/apps/appset"
+	"compstor/internal/chaos"
+	"compstor/internal/cluster"
+	"compstor/internal/core"
+	"compstor/internal/flash"
+	"compstor/internal/sim"
+)
+
+// corpus builds the grep workload's input set: text files that all contain
+// the pattern, sized unevenly so sharding and failover move real bytes.
+func corpus(n int) []cluster.File {
+	var out []cluster.File
+	for i := 0; i < n; i++ {
+		line := fmt.Sprintf("line %d with the searched words in the middle\n", i)
+		out = append(out, cluster.File{
+			Name: fmt.Sprintf("books/book%03d.txt", i),
+			Data: []byte(strings.Repeat(line, 40*(i%5+1))),
+		})
+	}
+	return out
+}
+
+func grepCmd(name string) core.Command {
+	return core.Command{Exec: "grep", Args: []string{"-c", "the", name}}
+}
+
+// runResult is everything a chaos run produces that the suite asserts on.
+type runResult struct {
+	outputs  map[string]string // file -> grep stdout, successful tasks only
+	failed   []string          // files whose final result was an error
+	dead     []int             // devices the pool declared dead
+	finalAt  sim.Time          // final virtual time of the whole run
+	runErr   error             // MapFilesFT error
+	attempts int               // total attempts across all tasks
+	stats    chaos.Stats
+}
+
+// run executes the Fig-7-style grep scatter/gather over `devices` CompStors
+// under the given plan (nil = fault-free) and returns the observables.
+func run(t *testing.T, devices int, files []cluster.File, plan *chaos.Plan) runResult {
+	t.Helper()
+	sys := core.NewSystem(core.SystemConfig{
+		CompStors: devices,
+		Registry:  appset.Base(),
+		Geometry: flash.Geometry{
+			Channels: 8, DiesPerChan: 1, PlanesPerDie: 1,
+			BlocksPerPlan: 128, PagesPerBlock: 32, PageSize: 4096,
+		},
+	})
+	pool := cluster.NewPool(sys.Eng, sys.Devices)
+	res := runResult{outputs: make(map[string]string)}
+	var inj *chaos.Injector
+	if plan != nil {
+		inj = chaos.Install(sys, plan)
+	}
+	sys.Go("driver", func(p *sim.Proc) {
+		results, err := pool.MapFilesFT(p, files, grepCmd)
+		res.runErr = err
+		for _, r := range results {
+			res.attempts += r.Attempts
+			if r.Err == nil && r.Resp != nil && r.Resp.Status == core.StatusOK {
+				res.outputs[r.Name] = string(r.Resp.Stdout)
+			} else {
+				res.failed = append(res.failed, r.Name)
+			}
+		}
+		res.dead = pool.DeadDevices()
+	})
+	res.finalAt = sys.Run()
+	if inj != nil {
+		res.stats = inj.Stats()
+	}
+	return res
+}
+
+// killPlan kills one of the four devices mid-run and stresses the three
+// survivors with transient media errors, drops, and a slowdown.
+func killPlan(seed int64, failAt time.Duration) *chaos.Plan {
+	return chaos.NewPlan(seed).
+		WithDevice(0, chaos.DeviceFaults{ReadErrProb: 0.01, DropProb: 0.15}).
+		WithDevice(1, chaos.DeviceFaults{SlowFactor: 3, DropProb: 0.1}).
+		WithDevice(2, chaos.DeviceFaults{FailAt: failAt, ReadErrProb: 0.005}).
+		WithDevice(3, chaos.DeviceFaults{ProgramErrProb: 0.005, DropProb: 0.1})
+}
+
+// failAtMidRun returns a virtual time inside the fault-free run's map
+// window, so the killed device has tasks both finished and unfinished.
+func failAtMidRun(t *testing.T, devices int, files []cluster.File) time.Duration {
+	base := run(t, devices, files, nil)
+	if base.runErr != nil || len(base.failed) > 0 {
+		t.Fatalf("fault-free run not clean: err=%v failed=%v", base.runErr, base.failed)
+	}
+	return base.finalAt.Duration() / 2
+}
+
+// TestKilledDeviceDoesNotChangeResults is the acceptance scenario: under a
+// seeded plan that kills 1 of 4 devices mid-run, MapFilesFT must return the
+// same aggregate grep results as the fault-free baseline.
+func TestKilledDeviceDoesNotChangeResults(t *testing.T) {
+	files := corpus(24)
+	baseline := run(t, 4, files, nil)
+	if baseline.runErr != nil || len(baseline.failed) > 0 {
+		t.Fatalf("baseline: err=%v failed=%v", baseline.runErr, baseline.failed)
+	}
+	if len(baseline.outputs) != len(files) {
+		t.Fatalf("baseline covered %d/%d files", len(baseline.outputs), len(files))
+	}
+
+	failAt := baseline.finalAt.Duration() / 2
+	faulty := run(t, 4, files, killPlan(7, failAt))
+	if faulty.runErr != nil {
+		t.Fatalf("chaos run error: %v", faulty.runErr)
+	}
+	if len(faulty.failed) > 0 {
+		t.Fatalf("chaos run lost files: %v", faulty.failed)
+	}
+	if len(faulty.outputs) != len(baseline.outputs) {
+		t.Fatalf("chaos covered %d files, baseline %d", len(faulty.outputs), len(baseline.outputs))
+	}
+	for name, want := range baseline.outputs {
+		if got := faulty.outputs[name]; got != want {
+			t.Errorf("%s: chaos output %q, baseline %q", name, got, want)
+		}
+	}
+	if len(faulty.dead) != 1 || faulty.dead[0] != 2 {
+		t.Errorf("dead devices %v, want [2]", faulty.dead)
+	}
+	if faulty.attempts <= len(files) {
+		t.Errorf("attempts %d implies no retries happened", faulty.attempts)
+	}
+	if faulty.finalAt <= baseline.finalAt {
+		t.Errorf("degraded run (%v) not slower than baseline (%v)", faulty.finalAt, baseline.finalAt)
+	}
+}
+
+// TestSameSeedSameVirtualTrace: two runs with the same seed must produce
+// identical final virtual times, fault counts, and outputs; a different
+// seed must produce an observably different schedule.
+func TestSameSeedSameVirtualTrace(t *testing.T) {
+	files := corpus(16)
+	failAt := failAtMidRun(t, 4, files)
+
+	a := run(t, 4, files, killPlan(1234, failAt))
+	b := run(t, 4, files, killPlan(1234, failAt))
+	if a.finalAt != b.finalAt {
+		t.Fatalf("same seed, different final times: %v vs %v", a.finalAt, b.finalAt)
+	}
+	if a.stats != b.stats {
+		t.Fatalf("same seed, different fault schedules: %+v vs %+v", a.stats, b.stats)
+	}
+	if a.attempts != b.attempts {
+		t.Fatalf("same seed, different attempt counts: %d vs %d", a.attempts, b.attempts)
+	}
+	if len(a.outputs) != len(b.outputs) {
+		t.Fatalf("same seed, different coverage: %d vs %d", len(a.outputs), len(b.outputs))
+	}
+	for name, out := range a.outputs {
+		if b.outputs[name] != out {
+			t.Fatalf("same seed, %s differs: %q vs %q", name, out, b.outputs[name])
+		}
+	}
+
+	c := run(t, 4, files, killPlan(4321, failAt))
+	if c.finalAt == a.finalAt && c.stats == a.stats {
+		t.Errorf("different seed produced an identical run (time %v, stats %+v)", c.finalAt, c.stats)
+	}
+}
+
+// TestTransientFaultsAreAbsorbed: probabilistic faults on every device,
+// nobody dies, every result matches the fault-free baseline.
+func TestTransientFaultsAreAbsorbed(t *testing.T) {
+	files := corpus(20)
+	baseline := run(t, 4, files, nil)
+	plan := chaos.NewPlan(99).WithDefault(chaos.DeviceFaults{
+		ReadErrProb: 0.002, ProgramErrProb: 0.001, DropProb: 0.03, SlowFactor: 1.5,
+	})
+	faulty := run(t, 4, files, plan)
+	if faulty.runErr != nil || len(faulty.failed) > 0 {
+		t.Fatalf("transient faults not absorbed: err=%v failed=%v", faulty.runErr, faulty.failed)
+	}
+	if len(faulty.dead) != 0 {
+		t.Fatalf("transient faults killed devices %v", faulty.dead)
+	}
+	if faulty.stats.Drops+faulty.stats.ReadFaults+faulty.stats.ProgramFaults == 0 {
+		t.Fatal("plan injected nothing; test is vacuous")
+	}
+	for name, want := range baseline.outputs {
+		if got := faulty.outputs[name]; got != want {
+			t.Errorf("%s: %q != baseline %q", name, got, want)
+		}
+	}
+}
+
+// TestAllDevicesDead: when every device fails, MapFilesFT reports
+// ErrNoDevices and accounts for every file rather than hanging.
+func TestAllDevicesDead(t *testing.T) {
+	files := corpus(8)
+	plan := chaos.NewPlan(5).WithDefault(chaos.DeviceFaults{FailAt: 1}) // dead from t≈0
+	res := run(t, 2, files, plan)
+	if !errors.Is(res.runErr, cluster.ErrNoDevices) {
+		t.Fatalf("run error %v, want ErrNoDevices", res.runErr)
+	}
+	if len(res.failed) != len(files) {
+		t.Fatalf("%d files accounted failed, want %d", len(res.failed), len(files))
+	}
+	if len(res.outputs) != 0 {
+		t.Fatalf("dead cluster produced outputs: %v", res.outputs)
+	}
+}
+
+// TestRandomPlanIsStable: RandomPlan is a pure function of its arguments.
+func TestRandomPlanIsStable(t *testing.T) {
+	a := chaos.RandomPlan(42, 8, 0.5)
+	b := chaos.RandomPlan(42, 8, 0.5)
+	for i := 0; i < 8; i++ {
+		if a.Faults(i) != b.Faults(i) {
+			t.Fatalf("device %d: %+v vs %+v", i, a.Faults(i), b.Faults(i))
+		}
+	}
+	c := chaos.RandomPlan(43, 8, 0.5)
+	same := true
+	for i := 0; i < 8; i++ {
+		if a.Faults(i) != c.Faults(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+// TestRandomizedSeedSweep runs several seeded random plans; every run must
+// either finish all files or kill devices, never silently drop work.
+func TestRandomizedSeedSweep(t *testing.T) {
+	files := corpus(12)
+	for seed := int64(1); seed <= 5; seed++ {
+		res := run(t, 3, files, chaos.RandomPlan(seed, 3, 0.4))
+		if res.runErr != nil {
+			t.Errorf("seed %d: run error %v", seed, res.runErr)
+			continue
+		}
+		if len(res.outputs)+len(res.failed) != len(files) {
+			t.Errorf("seed %d: %d outputs + %d failed != %d files",
+				seed, len(res.outputs), len(res.failed), len(files))
+		}
+		if len(res.failed) > 0 {
+			t.Errorf("seed %d: lost %v with devices %v dead", seed, res.failed, res.dead)
+		}
+	}
+}
+
+// TestUninstallRestoresFaultFreeRun: after Uninstall, a fresh workload on
+// the same system runs clean.
+func TestUninstallRestoresFaultFreeRun(t *testing.T) {
+	sys := core.NewSystem(core.SystemConfig{
+		CompStors: 1,
+		Registry:  appset.Base(),
+		Geometry: flash.Geometry{
+			Channels: 8, DiesPerChan: 1, PlanesPerDie: 1,
+			BlocksPerPlan: 128, PagesPerBlock: 32, PageSize: 4096,
+		},
+	})
+	pool := cluster.NewPool(sys.Eng, sys.Devices)
+	inj := chaos.Install(sys, chaos.NewPlan(3).WithDefault(chaos.DeviceFaults{DropProb: 1}))
+	var dropped, clean []cluster.TaskResult
+	sys.Go("driver", func(p *sim.Proc) {
+		staged, err := pool.Stage(p, cluster.Shard(corpus(2), 1))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		dropped = pool.MapFiles(p, staged, grepCmd)
+		inj.Uninstall()
+		// The first pool struck the device dead; a fresh pool over the same
+		// (now healthy) hardware must run clean.
+		clean = cluster.NewPool(sys.Eng, sys.Devices).MapFiles(p, staged, grepCmd)
+	})
+	sys.Run()
+	for _, r := range dropped {
+		if r.Err == nil {
+			t.Errorf("DropProb=1 yet task %s succeeded", r.Name)
+		}
+	}
+	for _, r := range clean {
+		if r.Err != nil {
+			t.Errorf("after Uninstall task %s failed: %v", r.Name, r.Err)
+		}
+	}
+}

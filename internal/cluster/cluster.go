@@ -6,12 +6,74 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"compstor/internal/core"
 	"compstor/internal/sim"
 )
+
+// Fault-tolerance errors.
+var (
+	// ErrDeviceDead marks tasks abandoned because their device was declared
+	// dead (too many consecutive transport failures).
+	ErrDeviceDead = errors.New("cluster: device marked dead")
+	// ErrNoDevices is returned when every device in the pool has died.
+	ErrNoDevices = errors.New("cluster: no alive devices")
+	// ErrTaskFailed marks an application-level failure: the device answered
+	// and the task reported a non-OK status. Final under MapFilesFT — a
+	// working device reporting a task failure is not a dying device, and
+	// re-dispatching would recompute the same answer.
+	ErrTaskFailed = errors.New("cluster: task failed")
+)
+
+// RetryPolicy governs per-task retry and device-death marking. Backoff
+// delays are virtual (simulated) time.
+type RetryPolicy struct {
+	// MaxAttempts bounds tries per task on one device (≥1).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// attempt up to MaxBackoff (exponential backoff in sim-time).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// DeadAfter marks a device dead after this many consecutive
+	// transport-level failures (no response came back at all). App-level
+	// failures — a response arrived with a non-OK status — are retried but
+	// never strike the device: its control plane demonstrably works.
+	DeadAfter int
+}
+
+// DefaultRetryPolicy returns the policy the pool starts with: 3 attempts,
+// 200µs base backoff capped at 20ms, death after 6 consecutive transport
+// failures.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 200 * time.Microsecond,
+		MaxBackoff:  20 * time.Millisecond,
+		DeadAfter:   6,
+	}
+}
+
+// backoff returns the delay after the attempt-th failure (1-based).
+func (rp RetryPolicy) backoff(attempt int) time.Duration {
+	d := rp.BaseBackoff
+	if d <= 0 {
+		d = 200 * time.Microsecond
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if rp.MaxBackoff > 0 && d >= rp.MaxBackoff {
+			return rp.MaxBackoff
+		}
+	}
+	if rp.MaxBackoff > 0 && d > rp.MaxBackoff {
+		d = rp.MaxBackoff
+	}
+	return d
+}
 
 // File is one named payload to distribute.
 type File struct {
@@ -26,6 +88,11 @@ type Pool struct {
 	// PerDeviceTasks bounds concurrent minions per device (default: 4, one
 	// per ISPS core).
 	PerDeviceTasks int
+	// Retry is the fault-tolerance policy applied by MapFiles/MapFilesFT.
+	Retry RetryPolicy
+
+	dead    []bool
+	strikes []int // consecutive transport failures per device
 }
 
 // NewPool wraps device units for orchestration.
@@ -33,7 +100,14 @@ func NewPool(eng *sim.Engine, units []*core.DeviceUnit) *Pool {
 	if len(units) == 0 {
 		panic("cluster: empty pool")
 	}
-	return &Pool{eng: eng, units: units, PerDeviceTasks: 4}
+	return &Pool{
+		eng:            eng,
+		units:          units,
+		PerDeviceTasks: 4,
+		Retry:          DefaultRetryPolicy(),
+		dead:           make([]bool, len(units)),
+		strikes:        make([]int, len(units)),
+	}
 }
 
 // Size returns the number of devices.
@@ -41,6 +115,96 @@ func (pl *Pool) Size() int { return len(pl.units) }
 
 // Unit returns the i-th device unit.
 func (pl *Pool) Unit(i int) *core.DeviceUnit { return pl.units[i] }
+
+// IsDead reports whether device i has been marked dead.
+func (pl *Pool) IsDead(i int) bool { return pl.dead[i] }
+
+// MarkDead declares device i failed; schedulers stop routing work to it.
+func (pl *Pool) MarkDead(i int) { pl.dead[i] = true }
+
+// DeadDevices returns the indices of devices declared dead, in order — the
+// degraded-mode record experiments report alongside throughput.
+func (pl *Pool) DeadDevices() []int {
+	var out []int
+	for i, d := range pl.dead {
+		if d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Alive returns the indices of devices still accepting work.
+func (pl *Pool) Alive() []int {
+	var out []int
+	for i, d := range pl.dead {
+		if !d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// strike records a transport-level failure on device i and marks it dead
+// once DeadAfter consecutive failures accumulate.
+func (pl *Pool) strike(i int) {
+	pl.strikes[i]++
+	if pl.Retry.DeadAfter > 0 && pl.strikes[i] >= pl.Retry.DeadAfter {
+		pl.dead[i] = true
+	}
+}
+
+// clearStrikes resets device i's consecutive-failure counter after any
+// successful round trip.
+func (pl *Pool) clearStrikes(i int) { pl.strikes[i] = 0 }
+
+// maxAttempts returns the per-device attempt bound (at least 1).
+func (pl *Pool) maxAttempts() int {
+	if pl.Retry.MaxAttempts < 1 {
+		return 1
+	}
+	return pl.Retry.MaxAttempts
+}
+
+// runTask executes one minion on device dev with per-task retry and
+// exponential backoff in sim-time. It returns the last response (which may
+// be non-OK), the number of attempts made, and the final error: nil on
+// success, the transport or status error otherwise. Transport failures
+// strike the device; once it is marked dead remaining attempts are
+// abandoned.
+func (pl *Pool) runTask(p *sim.Proc, dev int, cmd core.Command) (*core.Response, int, error) {
+	var (
+		lastResp *core.Response
+		lastErr  error
+		attempts int
+	)
+	for attempts < pl.maxAttempts() {
+		if pl.dead[dev] {
+			if lastErr == nil {
+				lastErr = ErrDeviceDead
+			}
+			break
+		}
+		attempts++
+		resp, err := pl.units[dev].Client.Run(p, cmd)
+		if err == nil {
+			lastResp = resp
+			pl.clearStrikes(dev)
+			if resp.Status == core.StatusOK {
+				return resp, attempts, nil
+			}
+			lastErr = fmt.Errorf("%w: device %d: %s: %s", ErrTaskFailed, dev, resp.Status, resp.Error)
+		} else {
+			lastErr = err
+			pl.strike(dev)
+		}
+		if pl.dead[dev] || attempts >= pl.maxAttempts() {
+			break
+		}
+		p.Wait(pl.Retry.backoff(attempts))
+	}
+	return lastResp, attempts, lastErr
+}
 
 // Shard splits files into n size-balanced groups (longest-processing-time
 // greedy): sort by size descending, always assign to the lightest shard.
@@ -65,6 +229,24 @@ func Shard(files []File, n int) [][]File {
 	return shards
 }
 
+// stageOn writes files onto one device through its client view and flushes
+// them durable. It returns the staged names; an error means the device
+// could not accept the shard.
+func (pl *Pool) stageOn(p *sim.Proc, dev int, files []File) ([]string, error) {
+	view := pl.units[dev].Client.FS()
+	var names []string
+	for _, f := range files {
+		if err := view.WriteFile(p, f.Name, f.Data); err != nil {
+			return nil, fmt.Errorf("device %d: %s: %w", dev, f.Name, err)
+		}
+		names = append(names, f.Name)
+	}
+	if err := view.Flush(p); err != nil {
+		return nil, fmt.Errorf("device %d: flush: %w", dev, err)
+	}
+	return names, nil
+}
+
 // Stage writes shard i's files onto device i, all devices in parallel,
 // returning the per-device file-name lists. The caller's process blocks
 // until every device is staged.
@@ -80,15 +262,7 @@ func (pl *Pool) Stage(p *sim.Proc, shards [][]File) ([][]string, error) {
 		i := i
 		pl.eng.Go(fmt.Sprintf("stage%d", i), func(sp *sim.Proc) {
 			defer wg.Done()
-			view := pl.units[i].Client.FS()
-			for _, f := range shards[i] {
-				if err := view.WriteFile(sp, f.Name, f.Data); err != nil {
-					errs[i] = fmt.Errorf("device %d: %s: %w", i, f.Name, err)
-					return
-				}
-				names[i] = append(names[i], f.Name)
-			}
-			view.Flush(sp)
+			names[i], errs[i] = pl.stageOn(sp, i, shards[i])
 		})
 	}
 	wg.Wait(p)
@@ -106,39 +280,168 @@ type TaskResult struct {
 	Name   string
 	Resp   *core.Response
 	Err    error
+	// Attempts counts every try made for this task, across retries and —
+	// under MapFilesFT — across re-dispatches to other devices.
+	Attempts int
 }
 
-// MapFiles runs makeCmd over every staged file, fanning out across devices
-// and, within each device, up to PerDeviceTasks concurrent minions. It
-// gathers all results before returning.
-func (pl *Pool) MapFiles(p *sim.Proc, staged [][]string, makeCmd func(name string) core.Command) []TaskResult {
-	var results []TaskResult
+// mapOn runs makeCmd over files on one device with up to PerDeviceTasks
+// concurrent minions, blocking the calling process until all complete.
+func (pl *Pool) mapOn(p *sim.Proc, dev int, files []string, makeCmd func(name string) core.Command) []TaskResult {
+	if len(files) == 0 {
+		return nil
+	}
+	workers := pl.PerDeviceTasks
+	if workers > len(files) {
+		workers = len(files)
+	}
+	results := make([]TaskResult, len(files))
 	var wg sim.WaitGroup
-	for dev := range staged {
-		dev := dev
-		files := staged[dev]
-		if len(files) == 0 {
-			continue
-		}
-		workers := pl.PerDeviceTasks
-		if workers > len(files) {
-			workers = len(files)
-		}
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			w := w
-			pl.eng.Go(fmt.Sprintf("map%d.%d", dev, w), func(sp *sim.Proc) {
-				defer wg.Done()
-				for fi := w; fi < len(files); fi += pl.PerDeviceTasks {
-					name := files[fi]
-					resp, err := pl.units[dev].Client.Run(sp, makeCmd(name))
-					results = append(results, TaskResult{Device: dev, Name: name, Resp: resp, Err: err})
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		pl.eng.Go(fmt.Sprintf("map%d.%d", dev, w), func(sp *sim.Proc) {
+			defer wg.Done()
+			// The stride is the captured worker count: a mutation of
+			// PerDeviceTasks mid-run must not change which files this
+			// worker visits (it would skip or duplicate work).
+			for fi := w; fi < len(files); fi += workers {
+				name := files[fi]
+				resp, attempts, err := pl.runTask(sp, dev, makeCmd(name))
+				results[fi] = TaskResult{
+					Device: dev, Name: name, Resp: resp, Err: err, Attempts: attempts,
 				}
-			})
-		}
+			}
+		})
 	}
 	wg.Wait(p)
 	return results
+}
+
+// MapFiles runs makeCmd over every staged file, fanning out across devices
+// and, within each device, up to PerDeviceTasks concurrent minions. Each
+// task retries per the pool's RetryPolicy; tasks whose device dies are
+// returned with Err set (use MapFilesFT to re-dispatch them instead). It
+// gathers all results before returning, ordered by device then by file.
+func (pl *Pool) MapFiles(p *sim.Proc, staged [][]string, makeCmd func(name string) core.Command) []TaskResult {
+	perDev := make([][]TaskResult, len(staged))
+	var wg sim.WaitGroup
+	wg.Add(len(staged))
+	for dev := range staged {
+		dev := dev
+		pl.eng.Go(fmt.Sprintf("mapdev%d", dev), func(sp *sim.Proc) {
+			defer wg.Done()
+			perDev[dev] = pl.mapOn(sp, dev, staged[dev], makeCmd)
+		})
+	}
+	wg.Wait(p)
+	var results []TaskResult
+	for _, rs := range perDev {
+		results = append(results, rs...)
+	}
+	return results
+}
+
+// MapFilesFT is the fault-tolerant scatter/gather: it shards files over the
+// alive devices, stages, and maps, and when a device dies mid-run (staging
+// failure, or DeadAfter consecutive transport failures) it re-shards that
+// device's unfinished files over the survivors and repeats. The host
+// retains the file bytes, so failover needs no data from the dead device.
+// It returns one result per file; a task that failed on a healthy device
+// (an application error) is final and is not re-dispatched. The error is
+// ErrNoDevices when every device died with files still unfinished.
+func (pl *Pool) MapFilesFT(p *sim.Proc, files []File, makeCmd func(name string) core.Command) ([]TaskResult, error) {
+	results := make([]TaskResult, 0, len(files))
+	attempts := make(map[string]int, len(files))
+	pending := append([]File(nil), files...)
+	for len(pending) > 0 {
+		alive := pl.Alive()
+		if len(alive) == 0 {
+			for _, f := range pending {
+				results = append(results, TaskResult{
+					Device: -1, Name: f.Name, Err: ErrNoDevices, Attempts: attempts[f.Name],
+				})
+			}
+			return results, ErrNoDevices
+		}
+
+		// Scatter over the survivors: shard i of this round lands on device
+		// alive[i].
+		shards := Shard(pending, len(alive))
+		staged := make([][]string, len(alive))
+		var wg sim.WaitGroup
+		wg.Add(len(alive))
+		for i := range alive {
+			i := i
+			pl.eng.Go(fmt.Sprintf("ftstage%d", alive[i]), func(sp *sim.Proc) {
+				defer wg.Done()
+				// Staging retries like tasks do: a transient write fault
+				// only costs a rewrite. A device that cannot absorb its
+				// shard after MaxAttempts is out of the round; its files go
+				// back to pending.
+				for attempt := 1; ; attempt++ {
+					names, err := pl.stageOn(sp, alive[i], shards[i])
+					if err == nil {
+						staged[i] = names
+						return
+					}
+					if attempt >= pl.maxAttempts() {
+						pl.MarkDead(alive[i])
+						return
+					}
+					sp.Wait(pl.Retry.backoff(attempt))
+				}
+			})
+		}
+		wg.Wait(p)
+
+		byName := make(map[string]File, len(pending))
+		for _, f := range pending {
+			byName[f.Name] = f
+		}
+		var requeue []File
+		for i, shard := range shards {
+			if staged[i] == nil && len(shard) > 0 {
+				requeue = append(requeue, shard...)
+			}
+		}
+
+		// Gather, re-queueing only the files stranded by a device death.
+		done := make([][]TaskResult, len(alive))
+		wg.Add(len(alive))
+		for i := range alive {
+			i := i
+			pl.eng.Go(fmt.Sprintf("ftmap%d", alive[i]), func(sp *sim.Proc) {
+				defer wg.Done()
+				done[i] = pl.mapOn(sp, alive[i], staged[i], makeCmd)
+			})
+		}
+		wg.Wait(p)
+
+		for i := range alive {
+			for _, r := range done[i] {
+				attempts[r.Name] += r.Attempts
+				// Transport-level failures are never final while survivors
+				// exist: the device may be dead in fact long before it
+				// accumulates enough strikes to be dead on record, and the
+				// host still holds the bytes. Only an application-level
+				// failure (the device answered, the task said no) is final.
+				if r.Err != nil && !errors.Is(r.Err, ErrTaskFailed) {
+					requeue = append(requeue, byName[r.Name])
+					continue
+				}
+				r.Attempts = attempts[r.Name]
+				results = append(results, r)
+			}
+		}
+		if len(requeue) >= len(pending) && len(pl.Alive()) == len(alive) {
+			// No progress and nobody died: re-dispatching the same files to
+			// the same devices cannot converge.
+			return results, fmt.Errorf("cluster: failover made no progress on %d files", len(requeue))
+		}
+		pending = requeue
+	}
+	return results, nil
 }
 
 // Broadcast sends one minion to every device in parallel and gathers the
@@ -164,14 +467,19 @@ type Balancer interface {
 	Pick(p *sim.Proc, pool *Pool) (int, error)
 }
 
-// RoundRobin cycles through devices.
+// RoundRobin cycles through devices, skipping any marked dead.
 type RoundRobin struct{ next int }
 
 // Pick implements Balancer.
 func (rr *RoundRobin) Pick(p *sim.Proc, pool *Pool) (int, error) {
-	i := rr.next % pool.Size()
-	rr.next++
-	return i, nil
+	for tries := 0; tries < pool.Size(); tries++ {
+		i := rr.next % pool.Size()
+		rr.next++
+		if !pool.IsDead(i) {
+			return i, nil
+		}
+	}
+	return 0, ErrNoDevices
 }
 
 // LeastBusy queries every device's status and picks the one with the
@@ -179,20 +487,30 @@ func (rr *RoundRobin) Pick(p *sim.Proc, pool *Pool) (int, error) {
 // paper's "this information could be used for load balancing".
 type LeastBusy struct{}
 
-// Pick implements Balancer.
+// Pick implements Balancer. Dead devices are skipped, and a device whose
+// status query fails is struck (and skipped) rather than aborting the pick:
+// an unreachable device must not take the whole scheduler down with it.
 func (LeastBusy) Pick(p *sim.Proc, pool *Pool) (int, error) {
 	best := -1
 	bestLoad := 1 << 30
 	bestTemp := 1e9
 	for i := 0; i < pool.Size(); i++ {
+		if pool.IsDead(i) {
+			continue
+		}
 		st, err := pool.Unit(i).Client.Status(p)
 		if err != nil {
-			return 0, fmt.Errorf("cluster: status of device %d: %w", i, err)
+			pool.strike(i)
+			continue
 		}
+		pool.clearStrikes(i)
 		load := st.CoresBusy + st.QueuedTasks
 		if load < bestLoad || (load == bestLoad && st.TemperatureC < bestTemp) {
 			best, bestLoad, bestTemp = i, load, st.TemperatureC
 		}
+	}
+	if best < 0 {
+		return 0, ErrNoDevices
 	}
 	return best, nil
 }

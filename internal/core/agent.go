@@ -22,7 +22,16 @@ type Agent struct {
 	minions int64
 	queries int64
 	loads   int64
+
+	faultHook func(p *sim.Proc, cmd Command) error
 }
+
+// SetFaultHook installs an agent-level fault injector: it runs when a
+// minion reaches the agent, before the in-storage process is spawned.
+// Returning an error makes the vendor command fail — to the client this is
+// indistinguishable from an agent crash that lost the response. Pass nil to
+// clear.
+func (a *Agent) SetFaultHook(fn func(p *sim.Proc, cmd Command) error) { a.faultHook = fn }
 
 // AttachAgent installs an agent on a CompStor drive. It panics on
 // conventional drives, which have no ISPS to serve.
@@ -49,6 +58,11 @@ func (a *Agent) handle(p *sim.Proc, op nvme.Opcode, payload any) (any, int64, er
 		cmd, ok := payload.(Command)
 		if !ok {
 			return nil, 0, fmt.Errorf("core: minion payload is %T", payload)
+		}
+		if a.faultHook != nil {
+			if err := a.faultHook(p, cmd); err != nil {
+				return nil, 0, err
+			}
 		}
 		resp := a.runMinion(p, cmd)
 		return resp, resp.WireSize(), nil

@@ -39,8 +39,11 @@ func (c *Client) Drive() *ssd.SSD { return c.drive }
 func (c *Client) SendMinion(p *sim.Proc, cmd Command) (*Minion, error) {
 	// fsync barrier: staged input files must be durable before the device
 	// side reads them through its own view.
-	c.view.Flush(p)
 	m := &Minion{Command: cmd, Submitted: p.Now()}
+	if err := c.view.Flush(p); err != nil {
+		m.Returned = p.Now()
+		return m, fmt.Errorf("core: staging flush failed: %w", err)
+	}
 	comp := c.drv.Submit(p, &nvme.Command{
 		Op:           nvme.OpVendorMinion,
 		Payload:      cmd,

@@ -102,9 +102,10 @@ func TestAgentRejectsWrongPayloads(t *testing.T) {
 }
 
 // TestWriteFaultDuringStaging: a program fault during host staging surfaces
-// as a write error, and the write-back flusher propagates it loudly rather
-// than dropping data (the flusher panics the simulation by design; staging
-// through the raw driver shows the clean error path).
+// as a write error rather than dropping data. Staging through the raw
+// driver shows the synchronous error path; the write-back path instead
+// holds the error sticky and reports it at the Flush barrier (see
+// internal/minfs/writeback.go).
 func TestWriteFaultDuringStaging(t *testing.T) {
 	sys := newSystem(t, 1, false)
 	unit := sys.Device(0)

@@ -161,6 +161,19 @@ const (
 	FaultErase
 )
 
+func (op FaultOp) String() string {
+	switch op {
+	case FaultRead:
+		return "read"
+	case FaultProgram:
+		return "program"
+	case FaultErase:
+		return "erase"
+	default:
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+}
+
 // SetFaultHook installs a fault injector: it runs before each media
 // operation (after timing is charged, as a real failed operation still
 // costs its latency) and may force the operation to fail. Used by tests to

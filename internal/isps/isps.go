@@ -220,8 +220,11 @@ func (s *Subsystem) Spawn(p *sim.Proc, spec TaskSpec) TaskResult {
 	}
 	err := prog.Run(ctx, args)
 	if s.fsView != nil {
-		// Task outputs must be durable before the response travels back.
-		s.fsView.Flush(p)
+		// Task outputs must be durable before the response travels back; a
+		// lost background write fails the task rather than vanishing.
+		if ferr := s.fsView.Flush(p); ferr != nil && err == nil {
+			err = ferr
+		}
 	}
 
 	s.running--

@@ -50,8 +50,8 @@ func (v *View) Sync(p *sim.Proc) error {
 	if err := v.write(p, 0, buf); err != nil {
 		return err
 	}
-	v.Flush(p) // metadata must be durable before another view mounts
-	return nil
+	// Metadata must be durable before another view mounts.
+	return v.Flush(p)
 }
 
 // Mount reads metadata from dev's reserved region and returns a fresh FS.

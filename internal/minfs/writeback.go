@@ -27,6 +27,7 @@ type writeBack struct {
 
 	landed  int64
 	dropped int64 // superseded before reaching the device
+	err     error // first background write error; sticky, like an EIO-poisoned page cache
 }
 
 type wbEntry struct {
@@ -121,9 +122,18 @@ func (wb *writeBack) flusher(p *sim.Proc) {
 		err := wb.dev.WritePages(p, item.lpn, ent.data)
 		delete(wb.inFlite, item.lpn)
 		if err != nil {
-			// Background write errors are fatal in the simulation: data
-			// would be silently lost otherwise.
-			panic(fmt.Sprintf("minfs: write-back flush of lpn %d: %v", item.lpn, err))
+			// A background write error poisons the cache: the data is lost,
+			// the error is sticky, and every later write or Flush through
+			// this view reports it — a real page cache surfaces the same
+			// failure as EIO at fsync.
+			if wb.err == nil {
+				wb.err = fmt.Errorf("minfs: write-back flush of lpn %d: %w", item.lpn, err)
+			}
+			if cur := wb.pending[item.lpn]; cur == ent {
+				delete(wb.pending, item.lpn)
+			}
+			wb.resolve()
+			continue
 		}
 		if cur := wb.pending[item.lpn]; cur == ent {
 			delete(wb.pending, item.lpn)
@@ -147,14 +157,23 @@ func (wb *writeBack) resolve() {
 }
 
 // Flush blocks until every write issued through this view so far is on the
-// device. A no-op for views without write-back.
-func (v *View) Flush(p *sim.Proc) {
-	if v.wb == nil || v.wb.outstanding == 0 {
-		return
+// device, and reports any background write error (the fsync contract: a
+// lost write surfaces here, not silently). Like Linux fsync, the error is
+// reported once and then cleared — a caller that rewrites the lost data and
+// flushes again can recover from a transient fault. A no-op for views
+// without write-back.
+func (v *View) Flush(p *sim.Proc) error {
+	if v.wb == nil {
+		return nil
 	}
-	mb := sim.NewMailbox[struct{}]()
-	v.wb.flushers = append(v.wb.flushers, mb)
-	mb.Recv(p)
+	if v.wb.outstanding > 0 {
+		mb := sim.NewMailbox[struct{}]()
+		v.wb.flushers = append(v.wb.flushers, mb)
+		mb.Recv(p)
+	}
+	err := v.wb.err
+	v.wb.err = nil
+	return err
 }
 
 // read routes a page-range read, overlaying dirty pages.

@@ -248,3 +248,58 @@ func TestWriteBackConsistencyProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// faultyDevice fails writes while tripped, modelling a transient media
+// fault window.
+type faultyDevice struct {
+	*memDevice
+	failing bool
+}
+
+func (d *faultyDevice) WritePages(p *sim.Proc, lpn int64, data []byte) error {
+	if d.failing {
+		return fmt.Errorf("faultyDevice: injected write error at lpn %d", lpn)
+	}
+	return d.memDevice.WritePages(p, lpn, data)
+}
+
+// TestWriteBackFlushReportsErrorOnceThenRecovers: a background write error
+// is sticky until the fsync barrier, reported there exactly once (Linux
+// EIO semantics), and a caller that rewrites the lost data after the fault
+// clears gets a clean second flush.
+func TestWriteBackFlushReportsErrorOnceThenRecovers(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &faultyDevice{memDevice: newMemDevice(512, 8192)}
+	v := NewView(NewFS(512, 8192), dev)
+	v.EnableWriteBack(eng, 256, 8)
+	payload := bytes.Repeat([]byte("durable "), 200)
+	eng.Go("w", func(p *sim.Proc) {
+		dev.failing = true
+		if err := v.WriteFile(p, "f", payload); err != nil {
+			t.Errorf("cached write must succeed, got %v", err)
+			return
+		}
+		if err := v.Flush(p); err == nil {
+			t.Error("flush after a lost background write reported no error")
+			return
+		}
+		if err := v.Flush(p); err != nil {
+			t.Errorf("second flush re-reported the consumed error: %v", err)
+			return
+		}
+		dev.failing = false
+		if err := v.WriteFile(p, "f", payload); err != nil {
+			t.Errorf("rewrite: %v", err)
+			return
+		}
+		if err := v.Flush(p); err != nil {
+			t.Errorf("flush after recovery: %v", err)
+			return
+		}
+		got, err := v.ReadFile(p, "f")
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Errorf("recovered file mismatch (err %v)", err)
+		}
+	})
+	eng.Run()
+}

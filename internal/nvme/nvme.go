@@ -174,7 +174,18 @@ type Controller struct {
 	vq      *sim.Mailbox[*Command]
 	qd      *sim.Semaphore
 	stats   Stats
+
+	faultHook func(p *sim.Proc, cmd *Command) error
 }
+
+// SetFaultHook installs a protocol-level fault injector: it runs in the
+// controller front-end after the SQE fetch, before the command is
+// dispatched to the backend. Returning an error fails the command with
+// StatusInternal — the host sees a completed-with-error CQE, which is how a
+// dropped or garbled device response surfaces to a driver with a timeout.
+// The hook runs in device context and may call p.Wait to model a slow
+// front-end. Pass nil to clear.
+func (c *Controller) SetFaultHook(fn func(p *sim.Proc, cmd *Command) error) { c.faultHook = fn }
 
 // Stats counts protocol activity.
 type Stats struct {
@@ -253,6 +264,11 @@ func (c *Controller) execute(p *sim.Proc, cmd *Command) *Completion {
 	// Fetch the SQE from host memory.
 	c.port.FromHost(p, sqeBytes)
 	comp := &Completion{Status: StatusOK, Submitted: cmd.submitted}
+	if c.faultHook != nil {
+		if err := c.faultHook(p, cmd); err != nil {
+			return c.fail(comp, err)
+		}
+	}
 	ps := int64(c.backend.PageSize())
 	switch cmd.Op {
 	case OpRead:

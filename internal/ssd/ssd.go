@@ -95,7 +95,8 @@ type SSD struct {
 	fs       *minfs.FS
 	ispsView *minfs.View
 
-	vendor func(p *sim.Proc, op nvme.Opcode, payload any) (any, int64, error)
+	vendor    func(p *sim.Proc, op nvme.Opcode, payload any) (any, int64, error)
+	faultHook func(p *sim.Proc, op nvme.Opcode) error
 }
 
 // New builds and attaches a drive.
@@ -191,6 +192,24 @@ func (s *SSD) SetVendorHandler(fn func(p *sim.Proc, op nvme.Opcode, payload any)
 	s.vendor = fn
 }
 
+// SetFaultHook installs a drive-level fault injector: it runs at the start
+// of every backend command (Read/Write/Trim/Flush/Vendor), after the
+// controller-CPU overhead is charged. Returning an error fails the command;
+// the hook may call p.Wait to model a degraded (slow) drive. Pass nil to
+// clear.
+func (s *SSD) SetFaultHook(fn func(p *sim.Proc, op nvme.Opcode) error) { s.faultHook = fn }
+
+// CmdOverhead returns the embedded-CPU time charged per NVMe command — the
+// nominal unit fault injectors scale when they model a slow drive.
+func (s *SSD) CmdOverhead() time.Duration { return s.cmdOverhead }
+
+func (s *SSD) fault(p *sim.Proc, op nvme.Opcode) error {
+	if s.faultHook == nil {
+		return nil
+	}
+	return s.faultHook(p, op)
+}
+
 // nvme.Backend implementation -------------------------------------------------
 
 // Model implements nvme.Backend.
@@ -209,6 +228,9 @@ func (s *SSD) InSitu() bool { return s.cfg.InSitu }
 // page fetches.
 func (s *SSD) Read(p *sim.Proc, lba, pages int64) ([]byte, error) {
 	s.useCtrl(p)
+	if err := s.fault(p, nvme.OpRead); err != nil {
+		return nil, err
+	}
 	ps := int64(s.PageSize())
 	out := make([]byte, pages*ps)
 	err := s.forEachPage(p, pages, func(cp *sim.Proc, i int64) error {
@@ -228,6 +250,9 @@ func (s *SSD) Read(p *sim.Proc, lba, pages int64) ([]byte, error) {
 // Write implements nvme.Backend.
 func (s *SSD) Write(p *sim.Proc, lba int64, data []byte) error {
 	s.useCtrl(p)
+	if err := s.fault(p, nvme.OpWrite); err != nil {
+		return err
+	}
 	ps := int64(s.PageSize())
 	pages := int64(len(data)) / ps
 	return s.forEachPage(p, pages, func(cp *sim.Proc, i int64) error {
@@ -238,19 +263,25 @@ func (s *SSD) Write(p *sim.Proc, lba int64, data []byte) error {
 // Trim implements nvme.Backend.
 func (s *SSD) Trim(p *sim.Proc, lba, pages int64) error {
 	s.useCtrl(p)
+	if err := s.fault(p, nvme.OpTrim); err != nil {
+		return err
+	}
 	return s.ftl.Trim(p, lba, pages)
 }
 
 // Flush implements nvme.Backend.
 func (s *SSD) Flush(p *sim.Proc) error {
 	s.useCtrl(p)
-	return nil
+	return s.fault(p, nvme.OpFlush)
 }
 
 // Vendor implements nvme.Backend, delegating to the installed agent.
 func (s *SSD) Vendor(p *sim.Proc, op nvme.Opcode, payload any) (any, int64, error) {
 	if s.vendor == nil {
 		return nil, 0, fmt.Errorf("ssd: %s has no vendor handler (not a CompStor?)", s.cfg.Name)
+	}
+	if err := s.fault(p, op); err != nil {
+		return nil, 0, err
 	}
 	return s.vendor(p, op, payload)
 }
