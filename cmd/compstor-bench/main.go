@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	compstor-bench [-run all|fig1|fig6|fig7|fig8|tables|ablations|degraded]
+//	compstor-bench [-run all|fig1|fig6|fig7|fig8|tables|ablations|degraded|recovery]
 //	               [-books N] [-mean BYTES] [-devices 1,2,4,8] [-v]
 //
 // Results are normalised (MB/s, J/GB) so the paper's shapes carry over to
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, fig1, fig6, fig7, fig8, tables, ablations, degraded")
+	run := flag.String("run", "all", "experiment to run: all, fig1, fig6, fig7, fig8, tables, ablations, degraded, recovery")
 	books := flag.Int("books", 0, "number of corpus files (0 = paper-scale default of 348)")
 	mean := flag.Int("mean", 0, "mean book size in bytes (0 = default)")
 	devices := flag.String("devices", "", "comma-separated device counts for the scaling figures")
@@ -105,6 +105,13 @@ func main() {
 	}
 	if want("degraded") {
 		experiments.RenderDegraded(w, experiments.Degraded(opt))
+		fmt.Fprintln(w)
+		sep()
+	}
+	if want("recovery") {
+		experiments.RenderRecovery(w,
+			experiments.RecoveryIntervals(opt),
+			experiments.RecoveryScanScaling(opt))
 		fmt.Fprintln(w)
 		sep()
 	}

@@ -151,10 +151,14 @@ type chargingFile struct {
 
 func (f *chargingFile) Close() error { return f.f.Close(f.p) }
 
-// ExitError carries a program's non-zero exit code with a message.
+// ExitError carries a program's non-zero exit code with a message. When the
+// failure was caused by another error (an I/O error surfacing through a
+// tool), Err retains it so callers can classify the failure with errors.Is —
+// the cluster uses this to tell a media fault from a bad task.
 type ExitError struct {
 	Code int
 	Msg  string
+	Err  error
 }
 
 func (e *ExitError) Error() string {
@@ -164,9 +168,20 @@ func (e *ExitError) Error() string {
 	return e.Msg
 }
 
-// Exitf builds an ExitError.
+// Unwrap exposes the underlying cause for errors.Is/As.
+func (e *ExitError) Unwrap() error { return e.Err }
+
+// Exitf builds an ExitError. Any error among the format arguments is kept
+// as the ExitError's cause (the last one wins), so tools that report an
+// underlying failure with %v do not sever the error chain.
 func Exitf(code int, format string, args ...any) *ExitError {
-	return &ExitError{Code: code, Msg: fmt.Sprintf(format, args...)}
+	e := &ExitError{Code: code, Msg: fmt.Sprintf(format, args...)}
+	for _, a := range args {
+		if err, ok := a.(error); ok {
+			e.Err = err
+		}
+	}
+	return e
 }
 
 // ExitCode extracts a conventional exit code from a Run error: 0 for nil,

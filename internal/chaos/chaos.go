@@ -41,6 +41,13 @@ var (
 	ErrDropped = errors.New("chaos: agent dropped response")
 )
 
+// ErrPowerLost marks operations refused because the device's power was cut.
+// Unlike ErrDeviceDead, a power-cut device can come back: restore power and
+// remount (ssd.Drive.Remount) and it serves again — with exactly the
+// acknowledged state, courtesy of the FTL's crash recovery. Wraps
+// flash.ErrPowerLoss so errors.Is finds either.
+var ErrPowerLost = fmt.Errorf("chaos: device power cut (%w)", flash.ErrPowerLoss)
+
 // DeviceFaults describes the fault behaviour of one device.
 type DeviceFaults struct {
 	// ReadErrProb / ProgramErrProb are per-operation probabilities of a
@@ -59,6 +66,17 @@ type DeviceFaults struct {
 	// fails: from then on every media operation, NVMe command, and agent
 	// interaction errors.
 	FailAt time.Duration
+	// PowerCutAt, when non-zero, cuts the device's power at that virtual
+	// time: an operation in flight is interrupted (a program is torn), and
+	// every later operation fails with ErrPowerLost until the device is
+	// powered back on and remounted. This is the recoverable cousin of
+	// FailAt, for exercising crash recovery and cluster rejoin.
+	PowerCutAt time.Duration
+	// CorruptProb is the per-read probability that the page's stored payload
+	// is silently corrupted before being served — retention/disturb damage
+	// the device does not notice. The FTL's CRC turns it into a detectable
+	// media error.
+	CorruptProb float64
 }
 
 // failed reports whether the whole-device failure time has passed.
@@ -136,6 +154,9 @@ type Stats struct {
 	Drops         int64 // agent responses dropped
 	SlowWaits     int64 // commands delayed by a SlowFactor
 	DeadRejects   int64 // operations refused because the device had failed
+	PowerCuts     int64 // scheduled power cuts delivered
+	PowerRejects  int64 // operations refused on a powered-off device
+	Corruptions   int64 // pages silently corrupted before a read
 }
 
 // Injector is a plan installed on a system. It owns the per-device rand
@@ -162,15 +183,31 @@ func Install(sys *core.System, plan *Plan) *Injector {
 		mix := int64(i+1) * 0x5851F42D4C957F2D // per-device seed spread (LCG multiplier)
 		mediaRng := rand.New(rand.NewSource(plan.Seed ^ mix ^ 0x6D6564696131))
 		agentRng := rand.New(rand.NewSource(plan.Seed ^ mix ^ 0x6167656E7431))
+		corruptRng := rand.New(rand.NewSource(plan.Seed ^ mix ^ 0x636F727231))
 		eng := sys.Eng
+		nand := unit.Drive.Flash()
 
-		unit.Drive.Flash().SetFaultHook(func(op flash.FaultOp, a flash.Addr) error {
+		if f.PowerCutAt > 0 {
+			eng.At(sim.Time(f.PowerCutAt), func() {
+				nand.PowerOff()
+				inj.stats.PowerCuts++
+			})
+		}
+
+		nand.SetFaultHook(func(op flash.FaultOp, a flash.Addr) error {
 			if f.failed(eng.Now()) {
 				inj.stats.DeadRejects++
 				return fmt.Errorf("%w: device %d media %s %v", ErrDeviceDead, i, op, a)
 			}
 			switch op {
 			case flash.FaultRead:
+				if f.CorruptProb > 0 && corruptRng.Float64() < f.CorruptProb {
+					// Silent: the read succeeds, the payload is damaged. Only
+					// the FTL's CRC stands between this and wrong answers.
+					if nand.CorruptPage(a) {
+						inj.stats.Corruptions++
+					}
+				}
 				if f.ReadErrProb > 0 && mediaRng.Float64() < f.ReadErrProb {
 					inj.stats.ReadFaults++
 					return fmt.Errorf("%w: device %d %v", ErrMediaRead, i, a)
@@ -189,6 +226,10 @@ func Install(sys *core.System, plan *Plan) *Injector {
 				inj.stats.DeadRejects++
 				return fmt.Errorf("%w: device %d backend %v", ErrDeviceDead, i, op)
 			}
+			if nand.PoweredOff() {
+				inj.stats.PowerRejects++
+				return fmt.Errorf("%w: device %d backend %v", ErrPowerLost, i, op)
+			}
 			if f.SlowFactor > 1 {
 				inj.stats.SlowWaits++
 				p.Wait(time.Duration(float64(unit.Drive.CmdOverhead()) * (f.SlowFactor - 1)))
@@ -201,6 +242,10 @@ func Install(sys *core.System, plan *Plan) *Injector {
 				inj.stats.DeadRejects++
 				return fmt.Errorf("%w: device %d nvme %v", ErrDeviceDead, i, cmd.Op)
 			}
+			if nand.PoweredOff() {
+				inj.stats.PowerRejects++
+				return fmt.Errorf("%w: device %d nvme %v", ErrPowerLost, i, cmd.Op)
+			}
 			return nil
 		})
 
@@ -208,6 +253,10 @@ func Install(sys *core.System, plan *Plan) *Injector {
 			if f.failed(p.Now()) {
 				inj.stats.DeadRejects++
 				return fmt.Errorf("%w: device %d agent", ErrDeviceDead, i)
+			}
+			if nand.PoweredOff() {
+				inj.stats.PowerRejects++
+				return fmt.Errorf("%w: device %d agent", ErrPowerLost, i)
 			}
 			if f.DropProb > 0 && agentRng.Float64() < f.DropProb {
 				inj.stats.Drops++

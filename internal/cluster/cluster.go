@@ -27,6 +27,12 @@ var (
 	// working device reporting a task failure is not a dying device, and
 	// re-dispatching would recompute the same answer.
 	ErrTaskFailed = errors.New("cluster: task failed")
+	// ErrMediaFailure marks a task failure the device itself blamed on its
+	// media (CRC-detected corruption, power loss mid-task). Unlike
+	// ErrTaskFailed it is transport-class: it strikes the device and
+	// MapFilesFT re-dispatches the shard elsewhere, because the same task
+	// can succeed on a healthy replica.
+	ErrMediaFailure = errors.New("cluster: device media failure")
 )
 
 // RetryPolicy governs per-task retry and device-death marking. Backoff
@@ -122,6 +128,14 @@ func (pl *Pool) IsDead(i int) bool { return pl.dead[i] }
 // MarkDead declares device i failed; schedulers stop routing work to it.
 func (pl *Pool) MarkDead(i int) { pl.dead[i] = true }
 
+// Revive returns device i to service after it recovered — powered back on
+// and remounted (ssd.SSD.Remount), its acknowledged state intact. Strikes
+// are forgiven; schedulers may route new work to it immediately.
+func (pl *Pool) Revive(i int) {
+	pl.dead[i] = false
+	pl.strikes[i] = 0
+}
+
 // DeadDevices returns the indices of devices declared dead, in order — the
 // degraded-mode record experiments report alongside throughput.
 func (pl *Pool) DeadDevices() []int {
@@ -187,14 +201,23 @@ func (pl *Pool) runTask(p *sim.Proc, dev int, cmd core.Command) (*core.Response,
 		}
 		attempts++
 		resp, err := pl.units[dev].Client.Run(p, cmd)
-		if err == nil {
+		switch {
+		case err == nil && resp.Status == core.StatusOK:
+			pl.clearStrikes(dev)
+			return resp, attempts, nil
+		case err == nil && resp.Retryable:
+			// The device answered but blamed its media (CRC-detected
+			// corruption, power loss mid-task). That is a sick device, not a
+			// bad task: strike it and keep the error transport-class so the
+			// scheduler re-dispatches the work elsewhere.
+			lastResp = resp
+			lastErr = fmt.Errorf("%w: device %d: %s", ErrMediaFailure, dev, resp.Error)
+			pl.strike(dev)
+		case err == nil:
 			lastResp = resp
 			pl.clearStrikes(dev)
-			if resp.Status == core.StatusOK {
-				return resp, attempts, nil
-			}
 			lastErr = fmt.Errorf("%w: device %d: %s: %s", ErrTaskFailed, dev, resp.Status, resp.Error)
-		} else {
+		default:
 			lastErr = err
 			pl.strike(dev)
 		}

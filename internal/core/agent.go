@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"compstor/internal/flash"
+	"compstor/internal/ftl"
 	"compstor/internal/isps"
 	"compstor/internal/minfs"
 	"compstor/internal/nvme"
@@ -128,6 +131,10 @@ func (a *Agent) runMinion(p *sim.Proc, cmd Command) *Response {
 	if res.Err != nil {
 		resp.Status = StatusFailed
 		resp.Error = res.Err.Error()
+		// Media-rooted failures are the device's fault, not the task's: a
+		// CRC-caught corrupt page or a power cut mid-task. Mark them so the
+		// cluster retries elsewhere instead of declaring the task bad.
+		resp.Retryable = errors.Is(res.Err, ftl.ErrCorrupt) || errors.Is(res.Err, flash.ErrPowerLoss)
 	}
 	return resp
 }

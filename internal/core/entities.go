@@ -83,6 +83,12 @@ type Response struct {
 	Elapsed time.Duration
 	// Error holds failure detail.
 	Error string
+	// Retryable marks a failure rooted in the device's media — detected
+	// corruption (a CRC-failed read) or a power cut mid-task — rather than
+	// in the task itself. A retry elsewhere, or after the device recovers,
+	// can succeed; cluster schedulers treat these like transport faults
+	// instead of poisoning the task.
+	Retryable bool
 
 	// Trace timestamps for the minion lifetime (Table III).
 	AgentReceived sim.Time

@@ -119,13 +119,37 @@ var (
 	ErrNotErased  = errors.New("flash: programming a non-erased page")
 	ErrUnwritten  = errors.New("flash: reading an unwritten page")
 	ErrPageSize   = errors.New("flash: data does not match page size")
+	// ErrPowerLoss is returned by operations on a powered-off device, and by
+	// operations the power cut interrupted mid-flight. A program interrupted
+	// mid-flight leaves a torn page behind: partially-written cells with the
+	// OOB area recorded, which only the payload CRC can expose.
+	ErrPowerLoss = errors.New("flash: device power lost")
 )
+
+// OOB is the out-of-band (spare) area programmed atomically with its page.
+// The FTL journals recovery metadata here: the logical page the data belongs
+// to, a device-wide monotonically increasing sequence number, and a CRC32C
+// of the page payload.
+type OOB struct {
+	LPN int64
+	Seq uint64
+	CRC uint32
+}
+
+// OOBBytes is the modelled size of the spare area: what an OOB-only scan
+// read moves across the channel bus instead of a whole page.
+const OOBBytes = 20
+
+// NoLPN marks OOB written through the plain ProgramPage path (no journal
+// metadata).
+const NoLPN int64 = -1
 
 // Stats counts media operations.
 type Stats struct {
 	Reads    int64
 	Programs int64
 	Erases   int64
+	OOBReads int64 // spare-area-only reads (recovery scans)
 }
 
 // Device is a NAND array attached to a simulation engine. All operations
@@ -139,8 +163,12 @@ type Device struct {
 	dies    []*sim.Resource // per-die occupancy (channels*diesPerChan)
 
 	pages      map[int64][]byte // linear page -> data
+	oob        map[int64]OOB    // linear page -> spare area
 	written    map[int64]bool   // linear page -> programmed since last erase
 	eraseCount map[int64]int64  // linear block -> erase cycles
+
+	powered bool
+	lastOff sim.Time // most recent power-off instant; -1 if never cut
 
 	stats Stats
 	meter *energy.Component
@@ -202,8 +230,11 @@ func NewDevice(eng *sim.Engine, name string, geo Geometry, timing Timing) *Devic
 		geo:        geo,
 		timing:     timing,
 		pages:      make(map[int64][]byte),
+		oob:        make(map[int64]OOB),
 		written:    make(map[int64]bool),
 		eraseCount: make(map[int64]int64),
+		powered:    true,
+		lastOff:    -1,
 	}
 	for c := 0; c < geo.Channels; c++ {
 		d.chanBus = append(d.chanBus, sim.NewLink(eng, fmt.Sprintf("%s/ch%d", name, c), timing.ChannelBytesPerSec, 0))
@@ -260,14 +291,49 @@ func (d *Device) chargeDie(dur time.Duration) {
 	}
 }
 
-// ReadPage reads one page: the die is busy for tR, then the page crosses
-// the channel bus. Returns a copy of the stored data. Reading an unwritten
-// page returns ErrUnwritten (raw NAND would return all-0xFF; surfacing it as
-// an error catches FTL bugs).
-func (d *Device) ReadPage(p *sim.Proc, a Addr) ([]byte, error) {
-	if err := d.check(a); err != nil {
-		return nil, err
+// PowerOff cuts the device's power immediately. Operations in flight at the
+// cut fail with ErrPowerLoss when their timing completes; a program caught
+// mid-flight leaves a torn page behind. Idempotent.
+func (d *Device) PowerOff() {
+	if d.powered {
+		d.powered = false
+		d.lastOff = d.eng.Now()
 	}
+}
+
+// PowerOn restores power. The media keeps whatever state the cut left —
+// including torn pages — which is exactly what mount-time recovery must
+// cope with.
+func (d *Device) PowerOn() { d.powered = true }
+
+// PoweredOff reports whether the device is currently without power.
+func (d *Device) PoweredOff() bool { return !d.powered }
+
+// cutDuring reports whether an operation started at `start` was interrupted
+// by a power cut (the device is off now, or it was cut and restored while
+// the operation's timing elapsed).
+func (d *Device) cutDuring(start sim.Time) bool {
+	return !d.powered || (d.lastOff >= 0 && d.lastOff >= start)
+}
+
+// ReadPage reads one page's payload; see ReadPageOOB.
+func (d *Device) ReadPage(p *sim.Proc, a Addr) ([]byte, error) {
+	data, _, err := d.ReadPageOOB(p, a)
+	return data, err
+}
+
+// ReadPageOOB reads one page and its spare area: the die is busy for tR,
+// then the page crosses the channel bus. Returns a copy of the stored data.
+// Reading an unwritten page returns ErrUnwritten (raw NAND would return
+// all-0xFF; surfacing it as an error catches FTL bugs).
+func (d *Device) ReadPageOOB(p *sim.Proc, a Addr) ([]byte, OOB, error) {
+	if err := d.check(a); err != nil {
+		return nil, OOB{}, err
+	}
+	if !d.powered {
+		return nil, OOB{}, fmt.Errorf("%w: read %v", ErrPowerLoss, a)
+	}
+	start := p.Now()
 	idx := d.pageIndex(a)
 	die := d.die(a)
 	die.Acquire(p)
@@ -276,33 +342,79 @@ func (d *Device) ReadPage(p *sim.Proc, a Addr) ([]byte, error) {
 	die.Release()
 	d.chargeDie(d.timing.ReadPage)
 	d.chanBus[a.Channel].Transfer(p, int64(d.geo.PageSize))
+	if d.cutDuring(start) {
+		return nil, OOB{}, fmt.Errorf("%w: read %v", ErrPowerLoss, a)
+	}
 	d.stats.Reads++
 	if err := d.fault(FaultRead, a); err != nil {
-		return nil, err
+		return nil, OOB{}, err
 	}
 	data, ok := d.pages[idx]
 	if !ok {
-		return nil, fmt.Errorf("%w: %v", ErrUnwritten, a)
+		return nil, OOB{}, fmt.Errorf("%w: %v", ErrUnwritten, a)
 	}
 	out := make([]byte, len(data))
 	copy(out, data)
-	return out, nil
+	return out, d.oob[idx], nil
 }
 
-// ProgramPage writes one page: data crosses the channel bus, then the die
-// is busy for tProg. data must be exactly one page. Programming a page that
-// has not been erased since its last program returns ErrNotErased.
+// ReadOOB reads only the spare area of a page — the fast scan primitive
+// recovery uses to walk the whole media without paying full page transfers.
+// The die is still busy for tR (NAND senses the whole page), but only
+// OOBBytes cross the bus. ok is false when the page holds no OOB record
+// (unwritten, or torn so badly the spare area is unreadable).
+func (d *Device) ReadOOB(p *sim.Proc, a Addr) (oob OOB, ok bool, err error) {
+	if err := d.check(a); err != nil {
+		return OOB{}, false, err
+	}
+	if !d.powered {
+		return OOB{}, false, fmt.Errorf("%w: oob read %v", ErrPowerLoss, a)
+	}
+	start := p.Now()
+	die := d.die(a)
+	die.Acquire(p)
+	p.Wait(d.timing.ReadPage)
+	die.AddBusy(d.timing.ReadPage)
+	die.Release()
+	d.chargeDie(d.timing.ReadPage)
+	d.chanBus[a.Channel].Transfer(p, OOBBytes)
+	if d.cutDuring(start) {
+		return OOB{}, false, fmt.Errorf("%w: oob read %v", ErrPowerLoss, a)
+	}
+	d.stats.OOBReads++
+	if err := d.fault(FaultRead, a); err != nil {
+		return OOB{}, false, err
+	}
+	oob, ok = d.oob[d.pageIndex(a)]
+	return oob, ok, nil
+}
+
+// ProgramPage writes one page with an empty spare area; see ProgramPageOOB.
 func (d *Device) ProgramPage(p *sim.Proc, a Addr, data []byte) error {
+	return d.ProgramPageOOB(p, a, data, OOB{LPN: NoLPN})
+}
+
+// ProgramPageOOB writes one page and its spare area atomically: data
+// crosses the channel bus, then the die is busy for tProg. data must be
+// exactly one page. Programming a page that has not been erased since its
+// last program returns ErrNotErased. A power cut during the program leaves
+// a torn page: cells were mid-write, so the payload is corrupted while the
+// spare area reads back — the condition oob.CRC exists to expose.
+func (d *Device) ProgramPageOOB(p *sim.Proc, a Addr, data []byte, oob OOB) error {
 	if err := d.check(a); err != nil {
 		return err
 	}
 	if len(data) != d.geo.PageSize {
 		return fmt.Errorf("%w: got %d bytes, page is %d", ErrPageSize, len(data), d.geo.PageSize)
 	}
+	if !d.powered {
+		return fmt.Errorf("%w: program %v", ErrPowerLoss, a)
+	}
 	idx := d.pageIndex(a)
 	if d.written[idx] {
 		return fmt.Errorf("%w: %v", ErrNotErased, a)
 	}
+	start := p.Now()
 	d.chanBus[a.Channel].Transfer(p, int64(d.geo.PageSize))
 	die := d.die(a)
 	die.Acquire(p)
@@ -310,6 +422,18 @@ func (d *Device) ProgramPage(p *sim.Proc, a Addr, data []byte) error {
 	die.AddBusy(d.timing.ProgramPage)
 	die.Release()
 	d.chargeDie(d.timing.ProgramPage)
+	if d.cutDuring(start) {
+		torn := make([]byte, len(data))
+		copy(torn, data)
+		for i := len(torn) / 2; i < len(torn); i++ {
+			torn[i] ^= 0xFF // cells that never finished programming
+		}
+		d.pages[idx] = torn
+		d.oob[idx] = oob
+		d.written[idx] = true
+		d.stats.Programs++
+		return fmt.Errorf("%w: torn program %v", ErrPowerLoss, a)
+	}
 	if err := d.fault(FaultProgram, a); err != nil {
 		// A failed program leaves the page in an indeterminate, non-erased
 		// state; mark it written so the FTL must erase before retrying here.
@@ -320,24 +444,35 @@ func (d *Device) ProgramPage(p *sim.Proc, a Addr, data []byte) error {
 	stored := make([]byte, len(data))
 	copy(stored, data)
 	d.pages[idx] = stored
+	d.oob[idx] = oob
 	d.written[idx] = true
 	d.stats.Programs++
 	return nil
 }
 
 // EraseBlock erases the whole block containing a (a.Page is ignored),
-// clearing all its pages and bumping the block's wear counter.
+// clearing all its pages and bumping the block's wear counter. A power cut
+// during the erase leaves the block's old contents intact (the model
+// resolves a half-erased block to "not erased", the conservative outcome
+// for recovery).
 func (d *Device) EraseBlock(p *sim.Proc, a Addr) error {
 	a.Page = 0
 	if err := d.check(a); err != nil {
 		return err
 	}
+	if !d.powered {
+		return fmt.Errorf("%w: erase %v", ErrPowerLoss, a)
+	}
+	start := p.Now()
 	die := d.die(a)
 	die.Acquire(p)
 	p.Wait(d.timing.EraseBlock)
 	die.AddBusy(d.timing.EraseBlock)
 	die.Release()
 	d.chargeDie(d.timing.EraseBlock)
+	if d.cutDuring(start) {
+		return fmt.Errorf("%w: erase %v", ErrPowerLoss, a)
+	}
 	if err := d.fault(FaultErase, a); err != nil {
 		return err
 	}
@@ -345,6 +480,7 @@ func (d *Device) EraseBlock(p *sim.Proc, a Addr) error {
 	base := blk * int64(d.geo.PagesPerBlock)
 	for i := 0; i < d.geo.PagesPerBlock; i++ {
 		delete(d.pages, base+int64(i))
+		delete(d.oob, base+int64(i))
 		delete(d.written, base+int64(i))
 	}
 	d.eraseCount[blk]++
@@ -372,6 +508,57 @@ func (d *Device) IsWritten(a Addr) bool {
 		return false
 	}
 	return d.written[d.pageIndex(a)]
+}
+
+// CorruptPage silently flips bits in the stored payload of a (the spare
+// area is untouched), modelling retention/disturb corruption that only a
+// payload CRC can catch. Reports whether there was data to corrupt. No
+// timing is charged: corruption is a state change, not an operation.
+func (d *Device) CorruptPage(a Addr) bool {
+	if d.check(a) != nil {
+		return false
+	}
+	data, ok := d.pages[d.pageIndex(a)]
+	if !ok || len(data) == 0 {
+		return false
+	}
+	n := len(data)
+	if n > 64 {
+		n = 64
+	}
+	// Overwrite rather than xor: damage must be sticky, so corrupting the
+	// same page again (e.g. on a read retry) cannot undo itself.
+	for i := 0; i < n; i++ {
+		data[i] = 0x5A ^ byte(i)
+	}
+	return true
+}
+
+// InjectRaw force-stores payload bytes and an OOB record at a, bypassing
+// programming rules and timing. Test/fuzz seam for planting malformed
+// on-media state that recovery must survive. Short payloads are
+// zero-padded; long ones truncated.
+func (d *Device) InjectRaw(a Addr, data []byte, oob OOB) error {
+	if err := d.check(a); err != nil {
+		return err
+	}
+	idx := d.pageIndex(a)
+	page := make([]byte, d.geo.PageSize)
+	copy(page, data)
+	d.pages[idx] = page
+	d.oob[idx] = oob
+	d.written[idx] = true
+	return nil
+}
+
+// OOBAt returns the spare area stored at a without charging timing (test
+// inspection seam).
+func (d *Device) OOBAt(a Addr) (OOB, bool) {
+	if d.check(a) != nil {
+		return OOB{}, false
+	}
+	oob, ok := d.oob[d.pageIndex(a)]
+	return oob, ok
 }
 
 // ChannelBus exposes channel c's bus link for utilisation reporting.

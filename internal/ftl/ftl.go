@@ -3,6 +3,14 @@
 // allocation, greedy garbage collection with wear-aware victim selection,
 // over-provisioning, and TRIM.
 //
+// The layer is crash-consistent: every program carries an OOB journal
+// record (LPN, device-wide sequence number, payload CRC32C), the L2P map is
+// periodically checkpointed into a reserved block region, TRIMs are
+// journaled before they unmap, and Recover rebuilds the exact
+// acknowledged state from media after a power cut. Every host read is
+// CRC-verified, so corruption surfaces as ErrCorrupt rather than silent
+// wrong bytes.
+//
 // It is the "SSD controller software ... responsible for the flash
 // management, garbage collections, and table keeping tasks" of the paper's
 // software stack, and serves both the NVMe front-end (host reads/writes)
@@ -30,26 +38,45 @@ type Config struct {
 	// single channel — the ablation baseline for the media-parallelism
 	// benches.
 	Striping bool
+	// CheckpointEvery is the journal-record count (host page writes plus
+	// TRIM records) between automatic L2P checkpoints. The effective
+	// trigger also scales with the mapped-page count so serialising the
+	// full map stays a bounded fraction of write work. Zero selects the
+	// default (4096); negative disables automatic checkpoints (explicit
+	// Checkpoint/Sync still work).
+	CheckpointEvery int
 }
 
-// DefaultConfig returns 7% over-provisioning with striping on.
+// DefaultConfig returns 7% over-provisioning with striping on and
+// checkpoints every 4096 journal records.
 func DefaultConfig() Config {
-	return Config{OverProvision: 0.07, Striping: true}
+	return Config{OverProvision: 0.07, Striping: true, CheckpointEvery: 4096}
 }
 
 // Errors returned by FTL operations.
 var (
 	ErrCapacity = errors.New("ftl: logical address beyond exported capacity")
 	ErrFull     = errors.New("ftl: no free blocks (over-provisioning exhausted)")
+	// ErrCorrupt is a read whose payload failed CRC verification against the
+	// page's OOB record (or whose OOB names a different logical page):
+	// uncorrectable media corruption, surfaced as a media error so upper
+	// layers can retry or fail over — never as silent wrong bytes.
+	ErrCorrupt = errors.New("ftl: page failed CRC verification (uncorrectable corruption)")
 )
 
 // Stats describes FTL activity.
 type Stats struct {
-	HostWrites int64 // pages written on behalf of the host / ISPS
-	HostReads  int64 // pages read on behalf of the host / ISPS
-	GCWrites   int64 // pages relocated by garbage collection
-	GCRuns     int64 // victim blocks collected
-	Trims      int64 // pages unmapped by TRIM
+	HostWrites       int64 // pages written on behalf of the host / ISPS
+	HostReads        int64 // pages read on behalf of the host / ISPS
+	GCWrites         int64 // pages relocated by garbage collection / retirement
+	GCRuns           int64 // victim blocks collected
+	Trims            int64 // pages unmapped by TRIM
+	TrimRecords      int64 // TRIM journal records written
+	Checkpoints      int64 // L2P checkpoints committed
+	CheckpointWrites int64 // pages programmed into checkpoint regions
+	CheckpointFails  int64 // background checkpoints abandoned on a media fault
+	RetiredBlocks    int64 // grown-bad blocks taken out of service
+	CorruptReads     int64 // host reads that failed CRC verification
 }
 
 // WriteAmplification returns (host+GC)/host page writes; 1.0 when GC never
@@ -63,8 +90,9 @@ func (s Stats) WriteAmplification() float64 {
 
 type blockState struct {
 	nextPage int // next unwritten page slot; == PagesPerBlock when sealed
-	valid    int // pages holding live data
+	valid    int // pages holding live data (mapped data + live TRIM records)
 	active   bool
+	bad      bool // grown-bad: read-only, never erased or reused
 }
 
 // FTL is a page-mapping translation layer. It is not safe for concurrent
@@ -77,6 +105,10 @@ type FTL struct {
 
 	l2p map[int64]int64 // logical page -> physical page
 	p2l map[int64]int64 // physical page -> logical page (valid pages only)
+	// mapSeq records the journal sequence that produced each logical page's
+	// current mapping (or its most recent TRIM), so a slow concurrent
+	// program can never roll a newer write or TRIM back.
+	mapSeq map[int64]uint64
 
 	blocks   []blockState
 	free     [][]int64 // per-allocation-unit (channel x die) free block stacks
@@ -91,39 +123,67 @@ type FTL struct {
 	// inflight counts programs issued but not yet mapped, per block, so
 	// concurrent writers' target blocks are never GC victims.
 	inflight map[int64]int
+
+	// Durability state: seq is the next journal sequence number (strictly
+	// increasing across writes, TRIM records, and checkpoints); ckptSeq is
+	// the newest durable checkpoint's sequence (0 = none); records counts
+	// journal records since it. trimPages tracks TRIM journal records not
+	// yet superseded by a checkpoint (their pages count as valid so GC
+	// relocates instead of erasing them). The reserved checkpoint regions
+	// ping-pong: regions[nextRegion] takes the next checkpoint.
+	seq             uint64
+	ckptSeq         uint64
+	records         int
+	inCkpt          bool
+	trimPages       map[int64]uint64
+	regions         [2][]int64
+	nextRegion      int
+	reservedPerUnit int
 }
 
 // New builds an FTL over dev. All blocks start free (the device is assumed
-// fresh; pages of a fresh device are unwritten, matching erased state).
+// fresh; pages of a fresh device are unwritten, matching erased state). To
+// mount a device that already holds data — e.g. after a power cut — use
+// Recover instead.
 func New(dev *flash.Device, cfg Config) *FTL {
 	geo := dev.Geometry()
 	if cfg.OverProvision < 0 || cfg.OverProvision >= 0.9 {
 		panic(fmt.Sprintf("ftl: unreasonable over-provisioning %g", cfg.OverProvision))
 	}
-	units := geo.Channels * geo.DiesPerChan
-	f := &FTL{
-		dev:      dev,
-		geo:      geo,
-		cfg:      cfg,
-		l2p:      make(map[int64]int64),
-		p2l:      make(map[int64]int64),
-		blocks:   make([]blockState, geo.Blocks()),
-		active:   make([]int64, units),
-		free:     make([][]int64, units),
-		inflight: make(map[int64]int),
-		units:    units,
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = DefaultConfig().CheckpointEvery
 	}
-	perUnit := int64(geo.PlanesPerDie) * int64(geo.BlocksPerPlan)
+	units := geo.Channels * geo.DiesPerChan
+	reserved, regions := reservedLayout(geo, cfg.OverProvision)
+	f := &FTL{
+		dev:             dev,
+		geo:             geo,
+		cfg:             cfg,
+		l2p:             make(map[int64]int64),
+		p2l:             make(map[int64]int64),
+		mapSeq:          make(map[int64]uint64),
+		blocks:          make([]blockState, geo.Blocks()),
+		active:          make([]int64, units),
+		free:            make([][]int64, units),
+		inflight:        make(map[int64]int),
+		units:           units,
+		seq:             1,
+		trimPages:       make(map[int64]uint64),
+		regions:         regions,
+		reservedPerUnit: reserved,
+	}
+	perUnit := f.perUnitBlocks()
 	for u := 0; u < units; u++ {
 		f.active[u] = -1
 		f.free[u] = make([]int64, 0, perUnit)
 		base := int64(u) * perUnit
-		// Push in reverse so blocks pop in ascending order.
-		for b := perUnit - 1; b >= 0; b-- {
+		// Push in reverse so blocks pop in ascending order; the first
+		// reservedPerUnit slots of every unit belong to checkpoint regions.
+		for b := perUnit - 1; b >= int64(reserved); b-- {
 			f.free[u] = append(f.free[u], base+b)
 		}
 	}
-	f.logicalPages = int64(float64(geo.Pages()) * (1 - cfg.OverProvision))
+	f.logicalPages = int64(float64((geo.Blocks()-int64(units)*int64(reserved))*int64(geo.PagesPerBlock)) * (1 - cfg.OverProvision))
 	f.minFree = cfg.MinFreeBlocks
 	if f.minFree <= 0 {
 		f.minFree = units + 2
@@ -131,10 +191,19 @@ func New(dev *flash.Device, cfg Config) *FTL {
 	return f
 }
 
+// perUnitBlocks returns the number of blocks per allocation unit.
+func (f *FTL) perUnitBlocks() int64 {
+	return int64(f.geo.PlanesPerDie) * int64(f.geo.BlocksPerPlan)
+}
+
 // unitOf returns the allocation unit (channel x die) of a flat block index.
 func (f *FTL) unitOf(blk int64) int {
-	perUnit := int64(f.geo.PlanesPerDie) * int64(f.geo.BlocksPerPlan)
-	return int(blk / perUnit)
+	return int(blk / f.perUnitBlocks())
+}
+
+// isReserved reports whether blk belongs to a checkpoint region.
+func (f *FTL) isReserved(blk int64) bool {
+	return blk%f.perUnitBlocks() < int64(f.reservedPerUnit)
 }
 
 // Device returns the underlying flash device.
@@ -171,8 +240,10 @@ func (f *FTL) checkLPN(lpn int64) error {
 	return nil
 }
 
-// ReadPage returns the data of logical page lpn. Unmapped pages read as
-// zeroes without touching the media, as on a real SSD.
+// ReadPage returns the data of logical page lpn, verified against the
+// page's OOB record: a payload CRC mismatch, or an OOB naming a different
+// logical page, returns ErrCorrupt. Unmapped pages read as zeroes without
+// touching the media, as on a real SSD.
 func (f *FTL) ReadPage(p *sim.Proc, lpn int64) ([]byte, error) {
 	if err := f.checkLPN(lpn); err != nil {
 		return nil, err
@@ -182,12 +253,22 @@ func (f *FTL) ReadPage(p *sim.Proc, lpn int64) ([]byte, error) {
 		return make([]byte, f.geo.PageSize), nil
 	}
 	f.stats.HostReads++
-	return f.dev.ReadPage(p, f.geo.AddrOfPage(ppn))
+	data, oob, err := f.dev.ReadPageOOB(p, f.geo.AddrOfPage(ppn))
+	if err != nil {
+		return nil, err
+	}
+	if oob.LPN != lpn || pageCRC(data) != oob.CRC {
+		f.stats.CorruptReads++
+		return nil, fmt.Errorf("%w: lpn %d at %v", ErrCorrupt, lpn, f.geo.AddrOfPage(ppn))
+	}
+	return data, nil
 }
 
 // WritePage stores data (exactly one page) at logical page lpn, allocating
-// a fresh physical page and invalidating any previous mapping. Foreground
-// GC runs first if the free pool is low.
+// a fresh physical page and invalidating any previous mapping. The program
+// carries a journal OOB record, so an acknowledged write is durable across
+// power loss once it returns. Foreground GC runs first if the free pool is
+// low, and a checkpoint if the journal has grown long.
 func (f *FTL) WritePage(p *sim.Proc, lpn int64, data []byte) error {
 	if err := f.checkLPN(lpn); err != nil {
 		return err
@@ -195,30 +276,69 @@ func (f *FTL) WritePage(p *sim.Proc, lpn int64, data []byte) error {
 	if len(data) != f.geo.PageSize {
 		return fmt.Errorf("ftl: write of %d bytes, page is %d", len(data), f.geo.PageSize)
 	}
+	f.waitCheckpoint(p)
+	if err := f.maybeCheckpoint(p); err != nil {
+		return err
+	}
 	if err := f.maybeGC(p); err != nil {
 		return err
 	}
-	ppn, err := f.alloc()
+	s := f.seq
+	f.seq++
+	oob := flash.OOB{LPN: lpn, Seq: s, CRC: pageCRC(data)}
+	ppn, err := f.appendRecord(p, data, oob, true)
 	if err != nil {
 		return err
 	}
-	blk := ppn / int64(f.geo.PagesPerBlock)
-	f.inflight[blk]++
-	err = f.dev.ProgramPage(p, f.geo.AddrOfPage(ppn), data)
-	f.inflight[blk]--
-	if f.inflight[blk] == 0 {
-		delete(f.inflight, blk)
-	}
-	if err != nil {
-		return err
-	}
-	f.remap(lpn, ppn)
+	f.remap(lpn, ppn, s)
+	f.records++
 	f.stats.HostWrites++
 	return nil
 }
 
-// remap points lpn at ppn, invalidating the old physical page if any.
-func (f *FTL) remap(lpn, ppn int64) {
+// appendRecord allocates a physical page and programs data+oob into it.
+// On a program fault it retires the grown-bad block and retries on a fresh
+// one (bounded), so a single bad block never fails a host write. The
+// inflight guard keeps GC off the target block for the program's duration.
+// Sequence numbers are allocated by the caller immediately before this
+// call, with no intervening yield, so a checkpoint's inflight drain is a
+// complete barrier for records older than its snapshot.
+func (f *FTL) appendRecord(p *sim.Proc, data []byte, oob flash.OOB, allowRetire bool) (int64, error) {
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		ppn, err := f.alloc()
+		if err != nil {
+			return -1, err
+		}
+		blk := ppn / int64(f.geo.PagesPerBlock)
+		f.inflight[blk]++
+		err = f.dev.ProgramPageOOB(p, f.geo.AddrOfPage(ppn), data, oob)
+		f.inflight[blk]--
+		if f.inflight[blk] == 0 {
+			delete(f.inflight, blk)
+		}
+		if err == nil {
+			return ppn, nil
+		}
+		lastErr = err
+		if !allowRetire || errors.Is(err, flash.ErrPowerLoss) {
+			return -1, err
+		}
+		if rerr := f.retireBlock(p, blk); rerr != nil {
+			return -1, errors.Join(err, rerr)
+		}
+	}
+	return -1, lastErr
+}
+
+// remap points lpn at ppn for the journal record with sequence seq,
+// invalidating the old physical page if any. A record superseded while its
+// program was in flight (a newer write or TRIM won the race) is left
+// unmapped garbage for GC.
+func (f *FTL) remap(lpn, ppn int64, seq uint64) {
+	if cur, ok := f.mapSeq[lpn]; ok && cur >= seq {
+		return
+	}
 	if old, ok := f.l2p[lpn]; ok {
 		f.blocks[old/int64(f.geo.PagesPerBlock)].valid--
 		delete(f.p2l, old)
@@ -226,22 +346,67 @@ func (f *FTL) remap(lpn, ppn int64) {
 	f.l2p[lpn] = ppn
 	f.p2l[ppn] = lpn
 	f.blocks[ppn/int64(f.geo.PagesPerBlock)].valid++
+	f.mapSeq[lpn] = seq
 }
 
-// Trim unmaps count logical pages starting at lpn. Later reads return
-// zeroes; the freed pages become GC fodder.
+// moveMapping repoints lpn from oldPPN to newPPN after a relocation that
+// copied the journal record verbatim (same OOB, same sequence), so mapSeq
+// is deliberately untouched.
+func (f *FTL) moveMapping(lpn, oldPPN, newPPN int64) {
+	f.blocks[oldPPN/int64(f.geo.PagesPerBlock)].valid--
+	delete(f.p2l, oldPPN)
+	f.l2p[lpn] = newPPN
+	f.p2l[newPPN] = lpn
+	f.blocks[newPPN/int64(f.geo.PagesPerBlock)].valid++
+}
+
+// Trim unmaps count logical pages starting at lpn. The revocation is
+// journaled to media before any mapping is dropped, so an acknowledged TRIM
+// is never resurrected by recovery. Later reads return zeroes; the freed
+// pages become GC fodder.
 func (f *FTL) Trim(p *sim.Proc, lpn, count int64) error {
+	if count <= 0 {
+		return nil
+	}
+	if err := f.checkLPN(lpn); err != nil {
+		return err
+	}
+	if err := f.checkLPN(lpn + count - 1); err != nil {
+		return err
+	}
+	mapped := false
+	for i := int64(0); i < count && !mapped; i++ {
+		_, mapped = f.l2p[lpn+i]
+	}
+	if !mapped {
+		return nil // nothing durable to revoke
+	}
+	f.waitCheckpoint(p)
+	if err := f.maybeGC(p); err != nil {
+		return err
+	}
+	s := f.seq
+	f.seq++
+	rec := encodeTrimRecord(f.geo.PageSize, lpn, count)
+	ppn, err := f.appendRecord(p, rec, flash.OOB{LPN: oobTrim, Seq: s, CRC: pageCRC(rec)}, true)
+	if err != nil {
+		return err // record not durable: the TRIM never happened
+	}
+	f.trimPages[ppn] = s
+	f.blocks[ppn/int64(f.geo.PagesPerBlock)].valid++
+	ppb := int64(f.geo.PagesPerBlock)
 	for i := int64(0); i < count; i++ {
-		if err := f.checkLPN(lpn + i); err != nil {
-			return err
-		}
-		if ppn, ok := f.l2p[lpn+i]; ok {
-			f.blocks[ppn/int64(f.geo.PagesPerBlock)].valid--
-			delete(f.p2l, ppn)
-			delete(f.l2p, lpn+i)
+		l := lpn + i
+		if old, ok := f.l2p[l]; ok {
+			f.blocks[old/ppb].valid--
+			delete(f.p2l, old)
+			delete(f.l2p, l)
 			f.stats.Trims++
 		}
+		f.mapSeq[l] = s
 	}
+	f.records++
+	f.stats.TrimRecords++
 	return nil
 }
 
@@ -331,14 +496,19 @@ var errNoVictim = errors.New("ftl: no GC victim")
 // gcOnce picks the sealed block with the fewest valid pages (ties broken by
 // lowest wear, then index, for deterministic, wear-levelling behaviour),
 // relocates its live pages, and erases it back into the free pool.
+// Relocation copies each journal record verbatim — payload and OOB,
+// original sequence number included — so a relocated stale copy can never
+// outrank the newest acknowledged write during recovery. TRIM records not
+// yet covered by a checkpoint are relocated the same way; checkpointed ones
+// are dropped with the garbage.
 func (f *FTL) gcOnce(p *sim.Proc) error {
 	victim := int64(-1)
 	bestValid := f.geo.PagesPerBlock + 1
 	var bestWear int64
 	for blk := int64(0); blk < f.geo.Blocks(); blk++ {
 		st := &f.blocks[blk]
-		if st.active || st.nextPage == 0 || f.inflight[blk] > 0 {
-			continue // active, still free, or holding an in-flight program
+		if st.active || st.bad || st.nextPage == 0 || f.inflight[blk] > 0 {
+			continue // active, retired, still free, or holding an in-flight program
 		}
 		if st.nextPage < f.geo.PagesPerBlock {
 			continue // partially-filled active-channel block not yet sealed
@@ -358,25 +528,69 @@ func (f *FTL) gcOnce(p *sim.Proc) error {
 	}
 	f.inGC = true
 	defer func() { f.inGC = false }()
-	base := victim * int64(f.geo.PagesPerBlock)
+	if err := f.relocateBlock(p, victim); err != nil {
+		return err
+	}
+	if err := f.dev.EraseBlock(p, f.geo.AddrOfBlock(victim)); err != nil {
+		if errors.Is(err, flash.ErrPowerLoss) {
+			return fmt.Errorf("ftl: gc erase: %w", err)
+		}
+		// Erase fault: the block has grown bad. Its live pages are already
+		// relocated, so retire it in place — read-only, never reused.
+		f.blocks[victim].bad = true
+		f.blocks[victim].nextPage = f.geo.PagesPerBlock
+		f.stats.RetiredBlocks++
+		return nil
+	}
+	f.blocks[victim] = blockState{}
+	u := f.unitOf(victim)
+	f.free[u] = append(f.free[u], victim)
+	f.stats.GCRuns++
+	return nil
+}
+
+// relocateBlock copies every live record (mapped data pages and un-
+// checkpointed TRIM records) off blk, preserving each record's OOB
+// verbatim.
+func (f *FTL) relocateBlock(p *sim.Proc, blk int64) error {
+	base := blk * int64(f.geo.PagesPerBlock)
 	for i := 0; i < f.geo.PagesPerBlock; i++ {
 		ppn := base + int64(i)
+		if ts, isTrim := f.trimPages[ppn]; isTrim {
+			if ts <= f.ckptSeq {
+				// Superseded by a checkpoint while sitting here; drop it.
+				delete(f.trimPages, ppn)
+				f.blocks[blk].valid--
+				continue
+			}
+			data, oob, err := f.readForRelocate(p, ppn)
+			if err != nil {
+				return fmt.Errorf("ftl: gc read trim record: %w", err)
+			}
+			newPPN, err := f.appendRecord(p, data, oob, false)
+			if err != nil {
+				return fmt.Errorf("ftl: gc relocate trim record: %w", err)
+			}
+			delete(f.trimPages, ppn)
+			f.blocks[blk].valid--
+			f.trimPages[newPPN] = oob.Seq
+			f.blocks[newPPN/int64(f.geo.PagesPerBlock)].valid++
+			f.stats.GCWrites++
+			continue
+		}
 		lpn, ok := f.p2l[ppn]
 		if !ok {
 			continue
 		}
-		data, err := f.dev.ReadPage(p, f.geo.AddrOfPage(ppn))
+		data, oob, err := f.readForRelocate(p, ppn)
 		if err != nil {
 			return fmt.Errorf("ftl: gc read: %w", err)
 		}
 		if cur, still := f.p2l[ppn]; !still || cur != lpn {
 			continue // a concurrent host write superseded this page mid-read
 		}
-		newPPN, err := f.alloc()
+		newPPN, err := f.appendRecord(p, data, oob, false)
 		if err != nil {
-			return fmt.Errorf("ftl: gc alloc: %w", err)
-		}
-		if err := f.dev.ProgramPage(p, f.geo.AddrOfPage(newPPN), data); err != nil {
 			return fmt.Errorf("ftl: gc program: %w", err)
 		}
 		if cur, still := f.p2l[ppn]; !still || cur != lpn {
@@ -384,15 +598,52 @@ func (f *FTL) gcOnce(p *sim.Proc) error {
 			// (it stays unmapped and is collected as garbage later).
 			continue
 		}
-		f.remap(lpn, newPPN)
+		f.moveMapping(lpn, ppn, newPPN)
 		f.stats.GCWrites++
 	}
-	if err := f.dev.EraseBlock(p, f.geo.AddrOfBlock(victim)); err != nil {
-		return fmt.Errorf("ftl: gc erase: %w", err)
-	}
-	f.blocks[victim] = blockState{}
-	u := f.unitOf(victim)
-	f.free[u] = append(f.free[u], victim)
-	f.stats.GCRuns++
 	return nil
+}
+
+// readForRelocate reads a page raw — payload plus OOB, no CRC verification,
+// since relocation must move even a corrupt page verbatim so the corruption
+// stays detectable — absorbing transient read faults with bounded retries.
+func (f *FTL) readForRelocate(p *sim.Proc, ppn int64) ([]byte, flash.OOB, error) {
+	var lastErr error
+	for try := 0; try < 3; try++ {
+		data, oob, err := f.dev.ReadPageOOB(p, f.geo.AddrOfPage(ppn))
+		if err == nil {
+			return data, oob, nil
+		}
+		lastErr = err
+		if errors.Is(err, flash.ErrPowerLoss) {
+			break
+		}
+	}
+	return nil, flash.OOB{}, lastErr
+}
+
+// retireBlock takes a grown-bad block out of service: it is sealed, marked
+// bad (read-only — never erased, never a GC victim), and its live records
+// are relocated to healthy blocks. Host writes proceed on fresh blocks
+// instead of failing.
+func (f *FTL) retireBlock(p *sim.Proc, blk int64) error {
+	st := &f.blocks[blk]
+	if st.bad {
+		return nil
+	}
+	st.bad = true
+	f.stats.RetiredBlocks++
+	u := f.unitOf(blk)
+	if f.active[u] == blk {
+		f.active[u] = -1
+	}
+	st.active = false
+	st.nextPage = f.geo.PagesPerBlock
+	for i, b := range f.free[u] {
+		if b == blk {
+			f.free[u] = append(f.free[u][:i], f.free[u][i+1:]...)
+			break
+		}
+	}
+	return f.relocateBlock(p, blk)
 }

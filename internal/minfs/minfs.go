@@ -34,6 +34,14 @@ type BlockDevice interface {
 	TrimPages(p *sim.Proc, lpn, count int64) error
 }
 
+// Syncer is an optional BlockDevice capability: Sync is the device-level
+// durability barrier (an NVMe FLUSH, or the FTL checkpoint on the dedicated
+// in-storage path). View.Flush invokes it after draining the write-back
+// cache, completing the fsync contract down to the media.
+type Syncer interface {
+	Sync(p *sim.Proc) error
+}
+
 // Filesystem errors.
 var (
 	ErrNotExist = errors.New("minfs: file does not exist")

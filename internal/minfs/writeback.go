@@ -160,19 +160,26 @@ func (wb *writeBack) resolve() {
 // device, and reports any background write error (the fsync contract: a
 // lost write surfaces here, not silently). Like Linux fsync, the error is
 // reported once and then cleared — a caller that rewrites the lost data and
-// flushes again can recover from a transient fault. A no-op for views
-// without write-back.
+// flushes again can recover from a transient fault. When the device
+// implements Syncer the drained data is then made power-loss durable with a
+// device barrier, so Flush is fsync all the way to the media. Views without
+// write-back still issue the device barrier.
 func (v *View) Flush(p *sim.Proc) error {
-	if v.wb == nil {
-		return nil
+	var err error
+	if v.wb != nil {
+		if v.wb.outstanding > 0 {
+			mb := sim.NewMailbox[struct{}]()
+			v.wb.flushers = append(v.wb.flushers, mb)
+			mb.Recv(p)
+		}
+		err = v.wb.err
+		v.wb.err = nil
 	}
-	if v.wb.outstanding > 0 {
-		mb := sim.NewMailbox[struct{}]()
-		v.wb.flushers = append(v.wb.flushers, mb)
-		mb.Recv(p)
+	if s, ok := v.dev.(Syncer); ok {
+		if serr := s.Sync(p); serr != nil && err == nil {
+			err = serr
+		}
 	}
-	err := v.wb.err
-	v.wb.err = nil
 	return err
 }
 

@@ -391,6 +391,18 @@ func (d *Driver) Write(p *sim.Proc, lba int64, data []byte) error {
 	return nil
 }
 
+// Flush is a convenience wrapper issuing an OpFlush — the durability
+// barrier: when it completes, every write this controller previously
+// acknowledged is recoverable after power loss without journal replay (the
+// FTL commits an L2P checkpoint covering them).
+func (d *Driver) Flush(p *sim.Proc) error {
+	comp := d.Submit(p, &Command{Op: OpFlush})
+	if comp.Status != StatusOK {
+		return comp.Err
+	}
+	return nil
+}
+
 // Trim is a convenience wrapper issuing an OpTrim.
 func (d *Driver) Trim(p *sim.Proc, lba, pages int64) error {
 	comp := d.Submit(p, &Command{Op: OpTrim, LBA: lba, Pages: pages})

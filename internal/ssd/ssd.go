@@ -150,6 +150,21 @@ func New(eng *sim.Engine, port *pcie.Port, cfg Config) *SSD {
 	return s
 }
 
+// Remount recovers the drive after a power cut: it restores power to the
+// NAND array and rebuilds the FTL from media (checkpoint load + OOB journal
+// scan), so the drive serves exactly the writes it acknowledged before the
+// cut. The replacement FTL is swapped in for every path — host NVMe and the
+// ISPS flash-access driver alike. Returns the recovery report.
+func (s *SSD) Remount(p *sim.Proc) (ftl.RecoveryStats, error) {
+	s.dev.PowerOn()
+	f, rs, err := ftl.Recover(p, s.dev, s.cfg.FTL)
+	if err != nil {
+		return rs, fmt.Errorf("ssd: remount %s: %w", s.cfg.Name, err)
+	}
+	s.ftl = f
+	return rs, nil
+}
+
 // Controller returns the NVMe controller.
 func (s *SSD) Controller() *nvme.Controller { return s.ctrl }
 
@@ -269,10 +284,17 @@ func (s *SSD) Trim(p *sim.Proc, lba, pages int64) error {
 	return s.ftl.Trim(p, lba, pages)
 }
 
-// Flush implements nvme.Backend.
+// Flush implements nvme.Backend as a durability barrier. The FTL programs
+// every write (payload + OOB journal record) before acknowledging it, so
+// there is no volatile cache to drain: the barrier only waits out an L2P
+// checkpoint in progress. Replay bounding happens on the FTL's periodic
+// checkpoint schedule, not per FLUSH.
 func (s *SSD) Flush(p *sim.Proc) error {
 	s.useCtrl(p)
-	return s.fault(p, nvme.OpFlush)
+	if err := s.fault(p, nvme.OpFlush); err != nil {
+		return err
+	}
+	return s.ftl.Flush(p)
 }
 
 // Vendor implements nvme.Backend, delegating to the installed agent.
@@ -358,6 +380,11 @@ func (d *hostBlockDevice) TrimPages(p *sim.Proc, lpn, count int64) error {
 	return d.drv.Trim(p, lpn, count)
 }
 
+// Sync implements minfs.Syncer: an NVMe FLUSH, the host's fsync tail.
+func (d *hostBlockDevice) Sync(p *sim.Proc) error {
+	return d.drv.Flush(p)
+}
+
 // ispsBlockDevice is the flash-access device driver: the dedicated
 // high-bandwidth, low-latency path from the ISPS to the media.
 type ispsBlockDevice struct {
@@ -427,4 +454,12 @@ func (d *ispsBlockDevice) WritePages(p *sim.Proc, lpn int64, data []byte) error 
 func (d *ispsBlockDevice) TrimPages(p *sim.Proc, lpn, count int64) error {
 	p.Wait(d.lat)
 	return d.s.ftl.Trim(p, lpn, count)
+}
+
+// Sync implements minfs.Syncer over the dedicated path: the driver call
+// goes straight to the FTL's flush barrier (writes are acknowledged only
+// once programmed, so there is no cache to drain).
+func (d *ispsBlockDevice) Sync(p *sim.Proc) error {
+	p.Wait(d.lat)
+	return d.s.ftl.Flush(p)
 }
