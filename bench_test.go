@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"compstor/internal/experiments"
+	"compstor/internal/obs"
 )
 
 // benchOptions returns a corpus scale that keeps the full suite under a
@@ -133,6 +134,34 @@ func BenchmarkAblationDirectPath(b *testing.B) {
 		b.ReportMetric(r.DirectMBps, "direct-MB/s")
 		b.ReportMetric(r.ViaMBps, "via-nvme-MB/s")
 	}
+}
+
+// BenchmarkObservability measures what the obs layer costs the simulator:
+// the same Fig-6 grep point with no Obs wired, with metrics registered but
+// tracing disabled (the compstor-bench default), and with full span tracing.
+// The first two sub-benchmarks should be indistinguishable — every
+// instrumentation site is nil-safe and tracing gates on a single bool.
+func BenchmarkObservability(b *testing.B) {
+	point := func(b *testing.B, mode string) {
+		o := benchOptions()
+		o.Books = 12
+		o.DeviceCounts = []int{2}
+		for i := 0; i < b.N; i++ {
+			switch mode {
+			case "metrics":
+				o.Obs = obs.New()
+			case "trace":
+				root := obs.New()
+				root.EnableTrace()
+				o.Obs = root
+			}
+			series := experiments.Fig6(o, []string{"grep"})
+			b.ReportMetric(series[0].MBps[0], "MB/s")
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { point(b, "disabled") })
+	b.Run("metrics", func(b *testing.B) { point(b, "metrics") })
+	b.Run("trace", func(b *testing.B) { point(b, "trace") })
 }
 
 // discard is an io.Writer sink for benchmark table rendering.

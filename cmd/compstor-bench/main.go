@@ -5,20 +5,31 @@
 //
 //	compstor-bench [-run all|fig1|fig6|fig7|fig8|tables|ablations|degraded|recovery]
 //	               [-books N] [-mean BYTES] [-devices 1,2,4,8] [-v]
+//	               [-outdir DIR] [-trace out.json] [-metrics out.json]
+//	               [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // Results are normalised (MB/s, J/GB) so the paper's shapes carry over to
 // the scaled corpus; EXPERIMENTS.md records paper-vs-measured values.
+//
+// Every experiment additionally writes BENCH_<name>.json — a machine-
+// readable metrics snapshot (per-layer latency histograms, counters,
+// utilization timelines). -metrics writes the combined snapshot of the
+// whole invocation; -trace enables sim-time span tracing and writes a
+// Chrome trace-event file loadable in Perfetto (ui.perfetto.dev).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"compstor/internal/experiments"
+	"compstor/internal/obs"
 )
 
 func main() {
@@ -27,6 +38,11 @@ func main() {
 	mean := flag.Int("mean", 0, "mean book size in bytes (0 = default)")
 	devices := flag.String("devices", "", "comma-separated device counts for the scaling figures")
 	verbose := flag.Bool("v", false, "log progress")
+	outDir := flag.String("outdir", ".", "directory for BENCH_<name>.json snapshots")
+	tracePath := flag.String("trace", "", "enable span tracing and write Chrome trace-event JSON here")
+	metricsPath := flag.String("metrics", "", "write the combined metrics snapshot JSON here")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile here")
+	memProfile := flag.String("memprofile", "", "write a heap profile here")
 	flag.Parse()
 
 	opt := experiments.PaperScaleOptions()
@@ -52,6 +68,25 @@ func main() {
 		opt.Log = os.Stderr
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	root := obs.New()
+	if *tracePath != "" {
+		root.EnableTrace()
+	}
+
 	w := os.Stdout
 	ran := false
 	sep := func() { fmt.Fprintln(w, strings.Repeat("=", 78)) }
@@ -62,9 +97,38 @@ func main() {
 		}
 		return false
 	}
+	// finish snapshots one experiment's scope: BENCH_<name>.json plus a
+	// utilization chart on stdout when any timeline recorded data.
+	finish := func(name string, scope *obs.Obs) {
+		snap := scope.Snapshot(name)
+		snap.RenderUtilization(w, name+" — mean utilization %")
+		path := filepath.Join(*outDir, "BENCH_"+name+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if err := snap.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+		sep()
+	}
+	scoped := func(name string) experiments.Options {
+		o := opt
+		o.Obs = root.Scope(name)
+		return o
+	}
 
 	if want("tables") || *run == "table1" || *run == "table2" || *run == "table3" || *run == "table4" {
 		ran = true
+		o := scoped("tables")
 		if *run != "table2" && *run != "table3" && *run != "table4" {
 			experiments.Table1(w)
 			fmt.Fprintln(w)
@@ -74,59 +138,112 @@ func main() {
 			fmt.Fprintln(w)
 		}
 		if *run == "all" || *run == "tables" || *run == "table3" {
-			experiments.Table3(opt, w)
+			experiments.Table3(o, w)
 			fmt.Fprintln(w)
 		}
 		if *run == "all" || *run == "tables" || *run == "table4" {
 			experiments.Table4(w)
 			fmt.Fprintln(w)
 		}
-		sep()
+		finish("tables", o.Obs)
 	}
 	if want("fig1") {
-		experiments.Fig1(opt).Render(w)
+		o := scoped("fig1")
+		experiments.Fig1(o).Render(w)
 		fmt.Fprintln(w)
-		sep()
+		finish("fig1", o.Obs)
 	}
 	if want("fig6") {
-		experiments.RenderFig6(w, experiments.Fig6(opt, nil))
+		o := scoped("fig6")
+		experiments.RenderFig6(w, experiments.Fig6(o, nil))
 		fmt.Fprintln(w)
-		sep()
+		finish("fig6", o.Obs)
 	}
 	if want("fig7") {
-		experiments.RenderFig7(w, experiments.Fig7(opt))
+		o := scoped("fig7")
+		experiments.RenderFig7(w, experiments.Fig7(o))
 		fmt.Fprintln(w)
-		sep()
+		finish("fig7", o.Obs)
 	}
 	if want("fig8") {
-		experiments.RenderFig8(w, experiments.Fig8(opt))
+		o := scoped("fig8")
+		experiments.RenderFig8(w, experiments.Fig8(o))
 		fmt.Fprintln(w)
-		sep()
+		finish("fig8", o.Obs)
 	}
 	if want("degraded") {
-		experiments.RenderDegraded(w, experiments.Degraded(opt))
+		o := scoped("degraded")
+		experiments.RenderDegraded(w, experiments.Degraded(o))
 		fmt.Fprintln(w)
-		sep()
+		finish("degraded", o.Obs)
 	}
 	if want("recovery") {
+		o := scoped("recovery")
 		experiments.RenderRecovery(w,
-			experiments.RecoveryIntervals(opt),
-			experiments.RecoveryScanScaling(opt))
+			experiments.RecoveryIntervals(o),
+			experiments.RecoveryScanScaling(o))
 		fmt.Fprintln(w)
-		sep()
+		finish("recovery", o.Obs)
 	}
 	if want("ablations") {
-		experiments.AblationInterference(opt).Render(w)
+		o := scoped("ablations")
+		experiments.AblationInterference(o).Render(w)
 		fmt.Fprintln(w)
-		experiments.AblationStriping(opt).Render(w)
+		experiments.AblationStriping(o).Render(w)
 		fmt.Fprintln(w)
-		experiments.AblationDirectPath(opt).Render(w)
+		experiments.AblationDirectPath(o).Render(w)
 		fmt.Fprintln(w)
-		sep()
+		finish("ablations", o.Obs)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
 		os.Exit(2)
 	}
-	_ = io.Discard
+
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+		err = root.Snapshot(*run).WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		err = root.WriteTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		err = pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

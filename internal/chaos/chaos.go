@@ -175,6 +175,18 @@ type Injector struct {
 // devices; Uninstall clears them.
 func Install(sys *core.System, plan *Plan) *Injector {
 	inj := &Injector{sys: sys, plan: plan}
+	// Surface the injected-fault counters in snapshots; Instant calls below
+	// put the fault moments on the trace so retries and failovers can be
+	// read causally against them. All obs methods are nil-safe.
+	o := sys.Obs
+	o.CounterFunc("chaos.read_faults", func() int64 { return inj.stats.ReadFaults })
+	o.CounterFunc("chaos.program_faults", func() int64 { return inj.stats.ProgramFaults })
+	o.CounterFunc("chaos.drops", func() int64 { return inj.stats.Drops })
+	o.CounterFunc("chaos.slow_waits", func() int64 { return inj.stats.SlowWaits })
+	o.CounterFunc("chaos.dead_rejects", func() int64 { return inj.stats.DeadRejects })
+	o.CounterFunc("chaos.power_cuts", func() int64 { return inj.stats.PowerCuts })
+	o.CounterFunc("chaos.power_rejects", func() int64 { return inj.stats.PowerRejects })
+	o.CounterFunc("chaos.corruptions", func() int64 { return inj.stats.Corruptions })
 	for i, unit := range sys.Devices {
 		i, unit := i, unit
 		f := plan.Faults(i)
@@ -187,10 +199,17 @@ func Install(sys *core.System, plan *Plan) *Injector {
 		eng := sys.Eng
 		nand := unit.Drive.Flash()
 
+		dev := fmt.Sprint(i)
 		if f.PowerCutAt > 0 {
 			eng.At(sim.Time(f.PowerCutAt), func() {
 				nand.PowerOff()
 				inj.stats.PowerCuts++
+				o.InstantAt(eng.Now(), "chaos", "power_cut", "device", dev)
+			})
+		}
+		if f.FailAt > 0 {
+			eng.At(sim.Time(f.FailAt), func() {
+				o.InstantAt(eng.Now(), "chaos", "device_failed", "device", dev)
 			})
 		}
 
@@ -206,15 +225,18 @@ func Install(sys *core.System, plan *Plan) *Injector {
 					// the FTL's CRC stands between this and wrong answers.
 					if nand.CorruptPage(a) {
 						inj.stats.Corruptions++
+						o.InstantAt(eng.Now(), "chaos", "silent_corruption", "device", dev)
 					}
 				}
 				if f.ReadErrProb > 0 && mediaRng.Float64() < f.ReadErrProb {
 					inj.stats.ReadFaults++
+					o.InstantAt(eng.Now(), "chaos", "media_read_fault", "device", dev)
 					return fmt.Errorf("%w: device %d %v", ErrMediaRead, i, a)
 				}
 			case flash.FaultProgram:
 				if f.ProgramErrProb > 0 && mediaRng.Float64() < f.ProgramErrProb {
 					inj.stats.ProgramFaults++
+					o.InstantAt(eng.Now(), "chaos", "media_program_fault", "device", dev)
 					return fmt.Errorf("%w: device %d %v", ErrMediaProgram, i, a)
 				}
 			}
@@ -260,6 +282,7 @@ func Install(sys *core.System, plan *Plan) *Injector {
 			}
 			if f.DropProb > 0 && agentRng.Float64() < f.DropProb {
 				inj.stats.Drops++
+				o.Instant(p, "chaos", "drop", "device", dev)
 				return fmt.Errorf("%w: device %d", ErrDropped, i)
 			}
 			return nil

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"compstor/internal/core"
+	"compstor/internal/obs"
 	"compstor/internal/sim"
 )
 
@@ -99,6 +100,15 @@ type Pool struct {
 
 	dead    []bool
 	strikes []int // consecutive transport failures per device
+
+	obs        *obs.Obs
+	cAttempts  *obs.Counter
+	cRetries   *obs.Counter
+	cStrikes   *obs.Counter
+	cDeaths    *obs.Counter
+	cRevives   *obs.Counter
+	cFailovers *obs.Counter // failover rounds triggered by re-queued files
+	cRequeued  *obs.Counter // files re-dispatched to a surviving device
 }
 
 // NewPool wraps device units for orchestration.
@@ -114,6 +124,22 @@ func NewPool(eng *sim.Engine, units []*core.DeviceUnit) *Pool {
 		dead:           make([]bool, len(units)),
 		strikes:        make([]int, len(units)),
 	}
+}
+
+// SetObs attaches fault-tolerance counters and trace instants. Counters
+// land under the cluster.* prefix of o; retry, strike, death, and failover
+// moments become trace instants on the "cluster" track, causally positioned
+// against the chaos faults that provoked them. All obs methods are
+// nil-safe, so an uninstrumented pool pays nothing.
+func (pl *Pool) SetObs(o *obs.Obs) {
+	pl.obs = o
+	pl.cAttempts = o.Counter("cluster.task_attempts")
+	pl.cRetries = o.Counter("cluster.retries")
+	pl.cStrikes = o.Counter("cluster.strikes")
+	pl.cDeaths = o.Counter("cluster.deaths")
+	pl.cRevives = o.Counter("cluster.revives")
+	pl.cFailovers = o.Counter("cluster.failover_rounds")
+	pl.cRequeued = o.Counter("cluster.requeued_files")
 }
 
 // Size returns the number of devices.
@@ -132,6 +158,9 @@ func (pl *Pool) MarkDead(i int) { pl.dead[i] = true }
 // and remounted (ssd.SSD.Remount), its acknowledged state intact. Strikes
 // are forgiven; schedulers may route new work to it immediately.
 func (pl *Pool) Revive(i int) {
+	if pl.dead[i] {
+		pl.cRevives.Add(1)
+	}
 	pl.dead[i] = false
 	pl.strikes[i] = 0
 }
@@ -163,8 +192,10 @@ func (pl *Pool) Alive() []int {
 // once DeadAfter consecutive failures accumulate.
 func (pl *Pool) strike(i int) {
 	pl.strikes[i]++
-	if pl.Retry.DeadAfter > 0 && pl.strikes[i] >= pl.Retry.DeadAfter {
+	pl.cStrikes.Add(1)
+	if pl.Retry.DeadAfter > 0 && pl.strikes[i] >= pl.Retry.DeadAfter && !pl.dead[i] {
 		pl.dead[i] = true
+		pl.cDeaths.Add(1)
 	}
 }
 
@@ -200,6 +231,11 @@ func (pl *Pool) runTask(p *sim.Proc, dev int, cmd core.Command) (*core.Response,
 			break
 		}
 		attempts++
+		pl.cAttempts.Add(1)
+		if attempts > 1 {
+			pl.cRetries.Add(1)
+			pl.obs.Instant(p, "cluster", "retry", "device", fmt.Sprint(dev), "attempt", fmt.Sprint(attempts))
+		}
 		resp, err := pl.units[dev].Client.Run(p, cmd)
 		switch {
 		case err == nil && resp.Status == core.StatusOK:
@@ -213,6 +249,9 @@ func (pl *Pool) runTask(p *sim.Proc, dev int, cmd core.Command) (*core.Response,
 			lastResp = resp
 			lastErr = fmt.Errorf("%w: device %d: %s", ErrMediaFailure, dev, resp.Error)
 			pl.strike(dev)
+			if pl.dead[dev] {
+				pl.obs.Instant(p, "cluster", "device_dead", "device", fmt.Sprint(dev))
+			}
 		case err == nil:
 			lastResp = resp
 			pl.clearStrikes(dev)
@@ -220,6 +259,9 @@ func (pl *Pool) runTask(p *sim.Proc, dev int, cmd core.Command) (*core.Response,
 		default:
 			lastErr = err
 			pl.strike(dev)
+			if pl.dead[dev] {
+				pl.obs.Instant(p, "cluster", "device_dead", "device", fmt.Sprint(dev))
+			}
 		}
 		if pl.dead[dev] || attempts >= pl.maxAttempts() {
 			break
@@ -410,6 +452,8 @@ func (pl *Pool) MapFilesFT(p *sim.Proc, files []File, makeCmd func(name string) 
 					}
 					if attempt >= pl.maxAttempts() {
 						pl.MarkDead(alive[i])
+						pl.cDeaths.Add(1)
+						pl.obs.Instant(sp, "cluster", "device_dead", "device", fmt.Sprint(alive[i]))
 						return
 					}
 					sp.Wait(pl.Retry.backoff(attempt))
@@ -456,6 +500,11 @@ func (pl *Pool) MapFilesFT(p *sim.Proc, files []File, makeCmd func(name string) 
 				r.Attempts = attempts[r.Name]
 				results = append(results, r)
 			}
+		}
+		if len(requeue) > 0 {
+			pl.cFailovers.Add(1)
+			pl.cRequeued.Add(int64(len(requeue)))
+			pl.obs.Instant(p, "cluster", "failover", "files", fmt.Sprint(len(requeue)))
 		}
 		if len(requeue) >= len(pending) && len(pl.Alive()) == len(alive) {
 			// No progress and nobody died: re-dispatching the same files to

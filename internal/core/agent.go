@@ -45,6 +45,11 @@ func AttachAgent(drive *ssd.SSD) *Agent {
 	}
 	a := &Agent{drive: drive, sub: sub}
 	drive.SetVendorHandler(a.handle)
+	if o := drive.Obs(); o != nil {
+		o.CounterFunc("agent.minions", func() int64 { return a.minions })
+		o.CounterFunc("agent.queries", func() int64 { return a.queries })
+		o.CounterFunc("agent.task_loads", func() int64 { return a.loads })
+	}
 	return a
 }
 
@@ -99,6 +104,10 @@ func (a *Agent) handle(p *sim.Proc, op nvme.Opcode, payload any) (any, int64, er
 // runMinion executes steps 2-6 of the minion lifetime (Table III).
 func (a *Agent) runMinion(p *sim.Proc, cmd Command) *Response {
 	a.minions++
+	if o := a.drive.Obs(); o != nil {
+		sp := o.Begin(p, "agent", "dispatch "+cmd.Name())
+		defer sp.End()
+	}
 	resp := &Response{AgentReceived: p.Now()}
 
 	// Access check: declared inputs must exist in the namespace.

@@ -37,6 +37,12 @@ func (c *Client) Drive() *ssd.SSD { return c.drive }
 // in-situ processing to finish, and returns the minion with its response
 // populated (steps 1 and 6 of Table III).
 func (c *Client) SendMinion(p *sim.Proc, cmd Command) (*Minion, error) {
+	if o := c.drive.Obs(); o != nil {
+		// Root of the minion's causal tree: everything below (NVMe queueing,
+		// agent dispatch, in-situ execution, flash ops) parents back here.
+		sp := o.Begin(p, "client", "minion "+cmd.Name())
+		defer sp.End()
+	}
 	// fsync barrier: staged input files must be durable before the device
 	// side reads them through its own view.
 	m := &Minion{Command: cmd, Submitted: p.Now()}

@@ -41,6 +41,18 @@ type Command struct {
 
 // WireSize estimates the serialised size of the command as it crosses the
 // fabric.
+// Name is a short display label for traces: the program name, or "sh" for
+// script commands.
+func (c Command) Name() string {
+	if c.Exec != "" {
+		return c.Exec
+	}
+	if c.Script != "" {
+		return "sh"
+	}
+	return "task"
+}
+
 func (c Command) WireSize() int64 {
 	b, err := json.Marshal(c)
 	if err != nil {

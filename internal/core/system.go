@@ -9,6 +9,7 @@ import (
 	"compstor/internal/flash"
 	"compstor/internal/isps"
 	"compstor/internal/minfs"
+	"compstor/internal/obs"
 	"compstor/internal/pcie"
 	"compstor/internal/sim"
 	"compstor/internal/ssd"
@@ -75,6 +76,10 @@ type SystemConfig struct {
 	// CompStor.
 	SharedCores     bool
 	ISPSViaNVMePath bool
+	// Obs, when set, instruments the whole testbed. Each drive gets its own
+	// scope named after it (compstor0, conv0, ...); fabric timelines and
+	// host metrics live on the handle passed here.
+	Obs *obs.Obs
 }
 
 // System is an assembled testbed: one engine, one meter, one fabric, the
@@ -83,6 +88,7 @@ type System struct {
 	Eng    *sim.Engine
 	Meter  *energy.Meter
 	Fabric *pcie.Fabric
+	Obs    *obs.Obs
 
 	Devices      []*DeviceUnit
 	Conventional *ssd.SSD
@@ -108,7 +114,9 @@ func NewSystem(cfg SystemConfig) *System {
 		Eng:    eng,
 		Meter:  meter,
 		Fabric: pcie.NewFabric(eng, fcfg),
+		Obs:    cfg.Obs,
 	}
+	sys.Fabric.SetObs(cfg.Obs)
 	// PCIe transport energy: ~10 pJ/bit while moving data. At 16 GB/s that
 	// is ~1.3 W of incremental draw on the uplink — small next to the CPUs,
 	// but it makes the data-movement cost the paper argues about visible in
@@ -126,6 +134,7 @@ func NewSystem(cfg SystemConfig) *System {
 		dcfg.Meter = meter
 		dcfg.SharedCores = cfg.SharedCores
 		dcfg.ISPSViaNVMePath = cfg.ISPSViaNVMePath
+		dcfg.Obs = cfg.Obs.Scope(dcfg.Name)
 		port := sys.Fabric.AddPort()
 		meterPort(fmt.Sprintf("pcie/port%d", port.ID()), port)
 		drive := ssd.New(eng, port, dcfg)
@@ -139,12 +148,14 @@ func NewSystem(cfg SystemConfig) *System {
 	if cfg.ConventionalSSD {
 		dcfg := ssd.DefaultConfig("conv0")
 		dcfg.Geometry = geo
+		dcfg.Obs = cfg.Obs.Scope(dcfg.Name)
 		port := sys.Fabric.AddPort()
 		meterPort(fmt.Sprintf("pcie/port%d", port.ID()), port)
 		sys.Conventional = ssd.New(eng, port, dcfg)
 	}
 	if cfg.WithHost {
 		sys.Host = NewHost(eng, meter, cfg.Registry)
+		sys.Host.Sub.SetObs(cfg.Obs.Scope("host"))
 		if sys.Conventional != nil {
 			sys.Host.Mount(sys.Conventional.HostView())
 		} else if len(sys.Devices) > 0 {

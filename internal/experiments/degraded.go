@@ -54,12 +54,19 @@ type degradedRun struct {
 }
 
 func (o Options) degradedRun(devices int, w Workload, files []cluster.File, plan *chaos.Plan) degradedRun {
+	label := "healthy"
+	if plan != nil {
+		label = "degraded"
+	}
+	scope := o.Obs.Scope(fmt.Sprintf("%s.n%d", label, devices))
 	sys := core.NewSystem(core.SystemConfig{
 		CompStors: devices,
 		Registry:  appset.Base(),
 		Geometry:  o.Geometry,
+		Obs:       scope,
 	})
 	pool := cluster.NewPool(sys.Eng, sys.Devices)
+	pool.SetObs(scope)
 	if plan != nil {
 		chaos.Install(sys, plan)
 	}

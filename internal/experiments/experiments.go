@@ -18,6 +18,7 @@ import (
 	"compstor/internal/apps/gzipx"
 	"compstor/internal/cluster"
 	"compstor/internal/flash"
+	"compstor/internal/obs"
 	"compstor/internal/textgen"
 )
 
@@ -33,6 +34,11 @@ type Options struct {
 	Geometry flash.Geometry
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// Obs, when non-nil, instruments every system the experiment builds.
+	// Callers usually pass a per-experiment scope (root.Scope("fig7")) so
+	// metric names from different experiments stay apart; each measurement
+	// point derives a further sub-scope (e.g. "fig7.n4.compstor0.ftl.read").
+	Obs *obs.Obs
 }
 
 // DefaultOptions returns the fast laptop-scale configuration used by tests

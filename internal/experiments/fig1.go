@@ -64,6 +64,7 @@ func Fig1(o Options) Fig1Result {
 		CompStors: devices,
 		Registry:  appset.Base(),
 		Geometry:  o.Geometry,
+		Obs:       o.Obs.Scope("scan"),
 	})
 	payload := make([]byte, fileBytes)
 	for i := range payload {

@@ -38,14 +38,17 @@ func Fig7(o Options) []Fig7Point {
 
 func (o Options) fig7Point(devices int, w Workload) Fig7Point {
 	files := w.Dataset(o.corpus())
+	scope := o.Obs.Scope(fmt.Sprintf("n%d", devices))
 	sys := core.NewSystem(core.SystemConfig{
 		CompStors:       devices,
 		ConventionalSSD: true,
 		WithHost:        true,
 		Registry:        appset.Base(),
 		Geometry:        o.Geometry,
+		Obs:             scope,
 	})
 	pool := cluster.NewPool(sys.Eng, sys.Devices)
+	pool.SetObs(scope)
 
 	// Split the corpus proportionally to the calibrated aggregate
 	// throughputs, as the paper "distributed the whole set of the input

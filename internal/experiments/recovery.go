@@ -7,6 +7,7 @@ import (
 
 	"compstor/internal/flash"
 	"compstor/internal/ftl"
+	"compstor/internal/obs"
 	"compstor/internal/sim"
 	"compstor/internal/trace"
 )
@@ -20,18 +21,19 @@ type RecoveryPoint struct {
 	MediaMB         float64 // raw NAND size
 	Writes          int     // acknowledged host writes before the cut
 	CheckpointFound bool
-	ReplayedWrites  int64         // journal records replayed past the checkpoint
-	ScannedPages    int64         // OOB records examined during the scan
-	RecoveredPages  int64         // mapped pages after remount
-	RemountTime     sim.Duration  // virtual time of the whole remount
+	ReplayedWrites  int64        // journal records replayed past the checkpoint
+	ScannedPages    int64        // OOB records examined during the scan
+	RecoveredPages  int64        // mapped pages after remount
+	RemountTime     sim.Duration // virtual time of the whole remount
 }
 
 // recoveryPoint runs writes seeded page writes, cuts power, remounts, and
 // reports the recovery statistics.
-func recoveryPoint(geo flash.Geometry, ckptEvery, writes int, seed int64) RecoveryPoint {
+func recoveryPoint(geo flash.Geometry, ckptEvery, writes int, seed int64, ob *obs.Obs) RecoveryPoint {
 	eng := sim.NewEngine()
 	dev := flash.NewDevice(eng, "nand", geo, flash.DefaultTiming())
-	cfg := ftl.Config{OverProvision: 0.25, Striping: true, CheckpointEvery: ckptEvery}
+	dev.SetObs(ob)
+	cfg := ftl.Config{OverProvision: 0.25, Striping: true, CheckpointEvery: ckptEvery, Obs: ob}
 	f := ftl.New(dev, cfg)
 	span := f.LogicalPages() / 2
 	data := make([]byte, f.PageSize())
@@ -80,7 +82,7 @@ func RecoveryIntervals(o Options) []RecoveryPoint {
 	var out []RecoveryPoint
 	for _, every := range []int{-1, 4096, 1024, 256, 64} {
 		o.logf("recovery: checkpoint interval %d...", every)
-		out = append(out, recoveryPoint(geo, every, writes, o.Seed))
+		out = append(out, recoveryPoint(geo, every, writes, o.Seed, o.Obs.Scope(fmt.Sprintf("ckpt%d", every))))
 	}
 	return out
 }
@@ -94,7 +96,7 @@ func RecoveryScanScaling(o Options) []RecoveryPoint {
 	for i := 0; i < 4; i++ {
 		o.logf("recovery: media scale %dx...", 1<<i)
 		writes := int(geo.Pages() / 4)
-		out = append(out, recoveryPoint(geo, 1024, writes, o.Seed))
+		out = append(out, recoveryPoint(geo, 1024, writes, o.Seed, o.Obs.Scope(fmt.Sprintf("scale%d", 1<<i))))
 		geo.BlocksPerPlan *= 2
 	}
 	return out

@@ -109,12 +109,15 @@ type poolRunResult struct {
 func (o Options) poolRun(n int, w Workload) poolRunResult {
 	plain := o.corpus()
 	files := w.Dataset(plain)
+	scope := o.Obs.Scope(fmt.Sprintf("%s.n%d", w.Name, n))
 	sys := core.NewSystem(core.SystemConfig{
 		CompStors: n,
 		Registry:  appset.Base(),
 		Geometry:  o.Geometry,
+		Obs:       scope,
 	})
 	pool := cluster.NewPool(sys.Eng, sys.Devices)
+	pool.SetObs(scope)
 	// Throughput and energy are normalised per byte of *plain* corpus (the
 	// paper's "per gigabyte data"), regardless of whether the staged files
 	// are the compressed variants.
@@ -161,6 +164,7 @@ func (o Options) hostRun(w Workload) hostRunResult {
 		WithHost:        true,
 		Registry:        appset.Base(),
 		Geometry:        o.Geometry,
+		Obs:             o.Obs.Scope(w.Name + ".host"),
 	})
 	res := hostRunResult{sys: sys, inBytes: totalBytes(plain)}
 	view := sys.Conventional.HostView()

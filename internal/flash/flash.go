@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"compstor/internal/energy"
+	"compstor/internal/obs"
 	"compstor/internal/sim"
 )
 
@@ -144,7 +145,9 @@ const OOBBytes = 20
 // metadata).
 const NoLPN int64 = -1
 
-// Stats counts media operations.
+// Stats counts media operations. Like all model state it is mutated only
+// from engine context; reading it mid-run is safe when scheduled as an
+// engine event (see the single-goroutine invariant in package obs).
 type Stats struct {
 	Reads    int64
 	Programs int64
@@ -177,6 +180,13 @@ type Device struct {
 	dieActiveW float64
 
 	faultHook func(op FaultOp, a Addr) error
+
+	obs       *obs.Obs
+	histRead  *obs.Histogram
+	histProg  *obs.Histogram
+	histErase *obs.Histogram
+	histOOB   *obs.Histogram
+	chTracks  []string // per-channel span track names
 }
 
 // FaultOp identifies the media operation a fault hook intercepts.
@@ -253,6 +263,30 @@ func (d *Device) Timing() Timing { return d.timing }
 
 // Stats returns the operation counters.
 func (d *Device) Stats() Stats { return d.stats }
+
+// SetObs attaches an observability scope: per-operation latency histograms
+// (flash.read/program/erase/oob_read), per-channel bus utilisation
+// timelines, snapshot-time counters pulled from Stats, and — when tracing
+// is enabled — one span per media operation on its channel's track. A nil
+// scope detaches everything except already-installed link hooks.
+func (d *Device) SetObs(o *obs.Obs) {
+	d.obs = o
+	d.histRead = o.Histogram("flash.read")
+	d.histProg = o.Histogram("flash.program")
+	d.histErase = o.Histogram("flash.erase")
+	d.histOOB = o.Histogram("flash.oob_read")
+	d.chTracks = d.chTracks[:0]
+	for c, bus := range d.chanBus {
+		d.chTracks = append(d.chTracks, fmt.Sprintf("flash.ch%d", c))
+		if o != nil {
+			o.WatchLink(fmt.Sprintf("flash.ch%d.busy", c), time.Millisecond, bus)
+		}
+	}
+	o.CounterFunc("flash.reads", func() int64 { return d.stats.Reads })
+	o.CounterFunc("flash.programs", func() int64 { return d.stats.Programs })
+	o.CounterFunc("flash.erases", func() int64 { return d.stats.Erases })
+	o.CounterFunc("flash.oob_reads", func() int64 { return d.stats.OOBReads })
+}
 
 // SetEnergy attaches an energy component: die-busy time is charged at
 // activeWatts, and channel-bus occupancy at busWatts per channel.
@@ -334,6 +368,13 @@ func (d *Device) ReadPageOOB(p *sim.Proc, a Addr) ([]byte, OOB, error) {
 		return nil, OOB{}, fmt.Errorf("%w: read %v", ErrPowerLoss, a)
 	}
 	start := p.Now()
+	if d.obs != nil {
+		sp := d.obs.Begin(p, d.chTracks[a.Channel], "read")
+		defer func() {
+			d.histRead.Observe(p.Now().Sub(start))
+			sp.End()
+		}()
+	}
 	idx := d.pageIndex(a)
 	die := d.die(a)
 	die.Acquire(p)
@@ -371,6 +412,13 @@ func (d *Device) ReadOOB(p *sim.Proc, a Addr) (oob OOB, ok bool, err error) {
 		return OOB{}, false, fmt.Errorf("%w: oob read %v", ErrPowerLoss, a)
 	}
 	start := p.Now()
+	if d.obs != nil {
+		sp := d.obs.Begin(p, d.chTracks[a.Channel], "oob_read")
+		defer func() {
+			d.histOOB.Observe(p.Now().Sub(start))
+			sp.End()
+		}()
+	}
 	die := d.die(a)
 	die.Acquire(p)
 	p.Wait(d.timing.ReadPage)
@@ -415,6 +463,13 @@ func (d *Device) ProgramPageOOB(p *sim.Proc, a Addr, data []byte, oob OOB) error
 		return fmt.Errorf("%w: %v", ErrNotErased, a)
 	}
 	start := p.Now()
+	if d.obs != nil {
+		sp := d.obs.Begin(p, d.chTracks[a.Channel], "program")
+		defer func() {
+			d.histProg.Observe(p.Now().Sub(start))
+			sp.End()
+		}()
+	}
 	d.chanBus[a.Channel].Transfer(p, int64(d.geo.PageSize))
 	die := d.die(a)
 	die.Acquire(p)
@@ -464,6 +519,13 @@ func (d *Device) EraseBlock(p *sim.Proc, a Addr) error {
 		return fmt.Errorf("%w: erase %v", ErrPowerLoss, a)
 	}
 	start := p.Now()
+	if d.obs != nil {
+		sp := d.obs.Begin(p, d.chTracks[a.Channel], "erase")
+		defer func() {
+			d.histErase.Observe(p.Now().Sub(start))
+			sp.End()
+		}()
+	}
 	die := d.die(a)
 	die.Acquire(p)
 	p.Wait(d.timing.EraseBlock)

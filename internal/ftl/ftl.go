@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"compstor/internal/flash"
+	"compstor/internal/obs"
 	"compstor/internal/sim"
 )
 
@@ -45,6 +46,11 @@ type Config struct {
 	// default (4096); negative disables automatic checkpoints (explicit
 	// Checkpoint/Sync still work).
 	CheckpointEvery int
+	// Obs optionally attaches an observability scope: read/write latency
+	// histograms, GC-pause and checkpoint histograms, stats counters, and
+	// spans for GC, checkpoints, and mount-time recovery. Living in Config
+	// means Recover-built FTLs are instrumented from the first scan read.
+	Obs *obs.Obs
 }
 
 // DefaultConfig returns 7% over-provisioning with striping on and
@@ -64,7 +70,8 @@ var (
 	ErrCorrupt = errors.New("ftl: page failed CRC verification (uncorrectable corruption)")
 )
 
-// Stats describes FTL activity.
+// Stats describes FTL activity. Mutated only from engine context; see the
+// single-goroutine invariant in package obs for how to read it mid-run.
 type Stats struct {
 	HostWrites       int64 // pages written on behalf of the host / ISPS
 	HostReads        int64 // pages read on behalf of the host / ISPS
@@ -139,6 +146,12 @@ type FTL struct {
 	regions         [2][]int64
 	nextRegion      int
 	reservedPerUnit int
+
+	obs       *obs.Obs
+	histRead  *obs.Histogram
+	histWrite *obs.Histogram
+	histGC    *obs.Histogram
+	histCkpt  *obs.Histogram
 }
 
 // New builds an FTL over dev. All blocks start free (the device is assumed
@@ -188,6 +201,22 @@ func New(dev *flash.Device, cfg Config) *FTL {
 	if f.minFree <= 0 {
 		f.minFree = units + 2
 	}
+	f.obs = cfg.Obs
+	f.histRead = f.obs.Histogram("ftl.read")
+	f.histWrite = f.obs.Histogram("ftl.write")
+	f.histGC = f.obs.Histogram("ftl.gc_pause")
+	f.histCkpt = f.obs.Histogram("ftl.checkpoint")
+	// Pull-style counters read the live struct at snapshot time; a remount
+	// re-registers under the same names, so the newest FTL wins.
+	f.obs.CounterFunc("ftl.host_writes", func() int64 { return f.stats.HostWrites })
+	f.obs.CounterFunc("ftl.host_reads", func() int64 { return f.stats.HostReads })
+	f.obs.CounterFunc("ftl.gc_writes", func() int64 { return f.stats.GCWrites })
+	f.obs.CounterFunc("ftl.gc_runs", func() int64 { return f.stats.GCRuns })
+	f.obs.CounterFunc("ftl.trims", func() int64 { return f.stats.Trims })
+	f.obs.CounterFunc("ftl.checkpoints", func() int64 { return f.stats.Checkpoints })
+	f.obs.CounterFunc("ftl.checkpoint_fails", func() int64 { return f.stats.CheckpointFails })
+	f.obs.CounterFunc("ftl.retired_blocks", func() int64 { return f.stats.RetiredBlocks })
+	f.obs.CounterFunc("ftl.corrupt_reads", func() int64 { return f.stats.CorruptReads })
 	return f
 }
 
@@ -252,6 +281,14 @@ func (f *FTL) ReadPage(p *sim.Proc, lpn int64) ([]byte, error) {
 	if !ok {
 		return make([]byte, f.geo.PageSize), nil
 	}
+	if f.obs != nil {
+		start := p.Now()
+		sp := f.obs.Begin(p, "ftl", "read")
+		defer func() {
+			f.histRead.Observe(p.Now().Sub(start))
+			sp.End()
+		}()
+	}
 	f.stats.HostReads++
 	data, oob, err := f.dev.ReadPageOOB(p, f.geo.AddrOfPage(ppn))
 	if err != nil {
@@ -275,6 +312,14 @@ func (f *FTL) WritePage(p *sim.Proc, lpn int64, data []byte) error {
 	}
 	if len(data) != f.geo.PageSize {
 		return fmt.Errorf("ftl: write of %d bytes, page is %d", len(data), f.geo.PageSize)
+	}
+	if f.obs != nil {
+		start := p.Now()
+		sp := f.obs.Begin(p, "ftl", "write")
+		defer func() {
+			f.histWrite.Observe(p.Now().Sub(start))
+			sp.End()
+		}()
 	}
 	f.waitCheckpoint(p)
 	if err := f.maybeCheckpoint(p); err != nil {
@@ -528,6 +573,14 @@ func (f *FTL) gcOnce(p *sim.Proc) error {
 	}
 	f.inGC = true
 	defer func() { f.inGC = false }()
+	if f.obs != nil {
+		start := p.Now()
+		sp := f.obs.Begin(p, "ftl", "gc")
+		defer func() {
+			f.histGC.Observe(p.Now().Sub(start))
+			sp.End()
+		}()
+	}
 	if err := f.relocateBlock(p, victim); err != nil {
 		return err
 	}

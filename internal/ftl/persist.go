@@ -242,6 +242,14 @@ func (f *FTL) Checkpoint(p *sim.Proc) error {
 	f.waitCheckpoint(p)
 	f.inCkpt = true
 	defer func() { f.inCkpt = false }()
+	if f.obs != nil {
+		start := p.Now()
+		sp := f.obs.Begin(p, "ftl", "checkpoint")
+		defer func() {
+			f.histCkpt.Observe(p.Now().Sub(start))
+			sp.End()
+		}()
+	}
 	// Drain programs whose sequence predates the snapshot; new mutators are
 	// stalled, so this terminates.
 	for len(f.inflight) > 0 {

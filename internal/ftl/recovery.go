@@ -59,6 +59,13 @@ func Recover(p *sim.Proc, dev *flash.Device, cfg Config) (*FTL, RecoveryStats, e
 		return nil, rs, fmt.Errorf("ftl: recover: %w", flash.ErrPowerLoss)
 	}
 	f := New(dev, cfg)
+	if f.obs != nil {
+		sp := f.obs.Begin(p, "ftl", "recovery")
+		defer func() {
+			f.obs.Histogram("ftl.recovery_scan").Observe(p.Now().Sub(start))
+			sp.End()
+		}()
+	}
 
 	// 1. Newest valid checkpoint wins; a torn checkpoint simply has no valid
 	// commit page and loses to the other region (or to no checkpoint at all).
@@ -89,10 +96,12 @@ func Recover(p *sim.Proc, dev *flash.Device, cfg Config) (*FTL, RecoveryStats, e
 	results := make([]*unitScan, f.units)
 	var wg sim.WaitGroup
 	wg.Add(f.units)
+	obsCtx := p.ObsCtx()
 	for u := 0; u < f.units; u++ {
 		u := u
 		p.Engine().Go(fmt.Sprintf("ftl-recover-scan-%d", u), func(sp *sim.Proc) {
 			defer wg.Done()
+			sp.SetObsCtx(obsCtx) // media-op spans parent under the recovery span
 			results[u] = f.scanUnit(sp, u)
 		})
 	}

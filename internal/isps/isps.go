@@ -14,11 +14,13 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"time"
 
 	"compstor/internal/apps"
 	"compstor/internal/cpu"
 	"compstor/internal/energy"
 	"compstor/internal/minfs"
+	"compstor/internal/obs"
 	"compstor/internal/sim"
 )
 
@@ -94,6 +96,9 @@ type Subsystem struct {
 	completed int64
 	failed    int64
 	loaded    int64
+
+	obs      *obs.Obs
+	histExec *obs.Histogram
 }
 
 // New builds a subsystem. The filesystem view is attached later (after
@@ -147,6 +152,24 @@ func (s *Subsystem) Registry() *apps.Registry { return s.registry }
 // Cores exposes the execution stations (for utilisation reporting).
 func (s *Subsystem) Cores() *sim.Resource { return s.cores }
 
+// SetObs attaches metrics, a core-utilisation timeline, and per-task spans.
+// In the shared-core ablation the cores Resource belongs to the SSD
+// controller, so the isps.cores.busy timeline then reflects all work on
+// those cores, not just task execution.
+func (s *Subsystem) SetObs(o *obs.Obs) {
+	s.obs = o
+	if o == nil {
+		return
+	}
+	s.histExec = o.Histogram("isps.task_exec")
+	queueWait := o.Histogram("isps.core_queue")
+	s.cores.SetQueueTimeHook(queueWait.Observe)
+	o.WatchResource("isps.cores.busy", time.Millisecond, s.cores)
+	o.CounterFunc("isps.completed", func() int64 { return s.completed })
+	o.CounterFunc("isps.failed", func() int64 { return s.failed })
+	o.CounterFunc("isps.loaded", func() int64 { return s.loaded })
+}
+
 // LoadTask installs a program at runtime (dynamic task loading). It
 // reports whether an existing program was replaced.
 func (s *Subsystem) LoadTask(prog apps.Program) bool {
@@ -165,6 +188,15 @@ var (
 // platform model, and captures stdout/stderr.
 func (s *Subsystem) Spawn(p *sim.Proc, spec TaskSpec) TaskResult {
 	res := TaskResult{Started: p.Now()}
+
+	if s.obs != nil {
+		name := spec.Exec
+		if spec.Script != "" {
+			name = "sh"
+		}
+		sp := s.obs.Begin(p, "isps", name)
+		defer func() { s.histExec.Observe(p.Now().Sub(res.Started)); sp.End() }()
+	}
 
 	mem := spec.MemBytes
 	if mem <= 0 {

@@ -11,7 +11,9 @@ package nvme
 import (
 	"errors"
 	"fmt"
+	"strings"
 
+	"compstor/internal/obs"
 	"compstor/internal/pcie"
 	"compstor/internal/sim"
 )
@@ -101,6 +103,7 @@ type Command struct {
 
 	resp      *sim.Mailbox[*Completion]
 	submitted sim.Time
+	obsCtx    obs.Ctx // submitter's span, so device-side handling parents to it
 }
 
 // Completion is the controller's answer to one command.
@@ -176,6 +179,9 @@ type Controller struct {
 	stats   Stats
 
 	faultHook func(p *sim.Proc, cmd *Command) error
+
+	obs   *obs.Obs
+	hists [8]*obs.Histogram // per-opcode host-observed latency
 }
 
 // SetFaultHook installs a protocol-level fault injector: it runs in the
@@ -229,6 +235,37 @@ func NewController(eng *sim.Engine, port *pcie.Port, backend Backend, cfg Config
 // Stats returns protocol counters.
 func (c *Controller) Stats() Stats { return c.stats }
 
+// SetObs attaches an observability scope: per-opcode host-observed latency
+// histograms (nvme.read … nvme.vendor_minion), a queue-depth admission wait
+// histogram (nvme.qd_wait), snapshot-time counters from Stats, and — when
+// tracing is on — a host-side span per Submit plus a device-side span per
+// command, parented across the submission queue.
+func (c *Controller) SetObs(o *obs.Obs) {
+	c.obs = o
+	for op := OpRead; op <= OpVendorTaskLoad; op++ {
+		c.hists[op] = o.Histogram("nvme." + strings.ToLower(op.String()))
+	}
+	qdWait := o.Histogram("nvme.qd_wait")
+	if o != nil {
+		c.qd.SetQueueTimeHook(qdWait.Observe)
+	}
+	o.CounterFunc("nvme.commands", func() int64 { return c.stats.Commands })
+	o.CounterFunc("nvme.read_pages", func() int64 { return c.stats.ReadPages })
+	o.CounterFunc("nvme.write_pages", func() int64 { return c.stats.WritePages })
+	o.CounterFunc("nvme.trim_pages", func() int64 { return c.stats.TrimPages })
+	o.CounterFunc("nvme.vendor_cmds", func() int64 { return c.stats.VendorCmds })
+	o.CounterFunc("nvme.failures", func() int64 { return c.stats.Failures })
+	o.CounterFunc("nvme.bytes_to_host", func() int64 { return c.stats.BytesToHost })
+	o.CounterFunc("nvme.bytes_from_host", func() int64 { return c.stats.BytesFromHo })
+}
+
+func (c *Controller) hist(op Opcode) *obs.Histogram {
+	if int(op) < len(c.hists) {
+		return c.hists[op]
+	}
+	return nil
+}
+
 // Backend returns the controller's backend.
 func (c *Controller) Backend() Backend { return c.backend }
 
@@ -250,8 +287,16 @@ func (c *Controller) serve(p *sim.Proc, q *sim.Mailbox[*Command]) {
 		if !ok {
 			return
 		}
+		var sp *obs.Span
+		if c.obs != nil {
+			sp = c.obs.BeginCtx(p, cmd.obsCtx, "nvme", cmd.Op.String())
+		}
 		comp := c.execute(p, cmd)
 		comp.Completed = p.Now()
+		sp.End()
+		if c.obs != nil {
+			c.hist(cmd.Op).Observe(comp.Latency())
+		}
 		// Post CQE and raise the interrupt.
 		c.port.ToHost(p, cqeBytes)
 		c.port.Message(p)
@@ -358,8 +403,13 @@ func (c *Controller) Driver() *Driver { return &Driver{ctrl: c} }
 // honouring the queue-depth limit.
 func (d *Driver) Submit(p *sim.Proc, cmd *Command) *Completion {
 	c := d.ctrl
+	if c.obs != nil {
+		sp := c.obs.Begin(p, "nvme.host", cmd.Op.String())
+		defer sp.End()
+	}
 	c.qd.Acquire(p, 1)
 	defer c.qd.Release(1)
+	cmd.obsCtx = obs.CtxOf(p)
 	cmd.resp = sim.NewMailbox[*Completion]()
 	cmd.submitted = p.Now()
 	// Doorbell write.

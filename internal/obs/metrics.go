@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+
+	"compstor/internal/sim"
+)
+
+// Registry holds metrics by hierarchical name. All methods are engine-
+// context only (see the package doc); none takes a lock. A nil *Registry
+// is inert.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	funcs      map[string]func() int64
+	collectors []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() int64),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterFunc registers a pull-style counter whose value is read from fn at
+// snapshot time. An owned counter of the same name wins over a function.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.funcs[name] = fn
+}
+
+// AddCollector registers fn to run at the start of every snapshot.
+func (r *Registry) AddCollector(fn func()) {
+	if r == nil {
+		return
+	}
+	r.collectors = append(r.collectors, fn)
+}
+
+// Counter is a monotonically interpreted event count. Negative deltas clamp
+// at zero and positive deltas saturate at MaxInt64 rather than wrapping, so
+// a buggy caller distorts one metric instead of poisoning a whole snapshot
+// with a wrapped value.
+type Counter struct {
+	v int64
+}
+
+// Add applies a delta. Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	switch {
+	case n > 0 && c.v > math.MaxInt64-n:
+		c.v = math.MaxInt64
+	case n < 0 && c.v+n < 0:
+		c.v = 0
+	default:
+		c.v += n
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-write-wins instantaneous value.
+type Gauge struct {
+	v float64
+}
+
+// Set stores v. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Value returns the stored value (zero on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// histBuckets is one bucket per power of two of nanoseconds (bucket 0 holds
+// exact zeros, bucket i holds [2^(i-1), 2^i) ns), covering the full int64
+// duration range.
+const histBuckets = 65
+
+// Histogram accumulates sim-time durations into log-scaled buckets and
+// reports interpolated quantiles plus the exact min/max/sum. Negative
+// observations clamp to zero.
+type Histogram struct {
+	count   int64
+	sumNS   int64
+	minNS   int64
+	maxNS   int64
+	buckets [histBuckets]int64
+}
+
+// Observe records one duration. Nil-safe.
+func (h *Histogram) Observe(d sim.Duration) {
+	if h == nil {
+		return
+	}
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.minNS {
+		h.minNS = v
+	}
+	if v > h.maxNS {
+		h.maxNS = v
+	}
+	h.count++
+	if h.sumNS > math.MaxInt64-v {
+		h.sumNS = math.MaxInt64
+	} else {
+		h.sumNS += v
+	}
+	h.buckets[bits.Len64(uint64(v))]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() sim.Duration {
+	if h == nil {
+		return 0
+	}
+	return sim.Duration(h.sumNS)
+}
+
+// Min returns the smallest observation (zero when empty).
+func (h *Histogram) Min() sim.Duration {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return sim.Duration(h.minNS)
+}
+
+// Max returns the largest observation (zero when empty).
+func (h *Histogram) Max() sim.Duration {
+	if h == nil {
+		return 0
+	}
+	return sim.Duration(h.maxNS)
+}
+
+// Quantile returns the q-quantile (q in [0,1]), linearly interpolated
+// within the containing bucket and clamped to the observed min/max. Zero
+// when the histogram is empty.
+func (h *Histogram) Quantile(q float64) sim.Duration {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i]
+		if n == 0 {
+			continue
+		}
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		if i == 0 {
+			return 0
+		}
+		lo := int64(1) << (i - 1)
+		hi := int64(1)<<i - 1
+		if i == 64 {
+			hi = math.MaxInt64
+		}
+		if hi > h.maxNS {
+			hi = h.maxNS
+		}
+		if lo < h.minNS {
+			lo = h.minNS
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := float64(rank-cum) / float64(n)
+		return sim.Duration(lo + int64(frac*float64(hi-lo)))
+	}
+	return sim.Duration(h.maxNS)
+}

@@ -1,0 +1,224 @@
+// Package obs is the sim-time observability layer: a metrics registry
+// (counters, gauges, log-scaled latency histograms), a span tracer that
+// exports Chrome trace-event JSON loadable in Perfetto, and windowed
+// utilisation timelines for links and resources. Everything is driven off
+// virtual time, so with a fixed seed two runs produce byte-identical
+// snapshots and traces.
+//
+// # Thread safety: the single-goroutine sim invariant
+//
+// This is the canonical statement of the invariant every Stats()/Snapshot()
+// reader relies on: the sim kernel runs exactly one process or event
+// callback at a time (see package sim), and all model state — including
+// every metric, span, and timeline in this package — is mutated only from
+// engine context. Nothing here takes a lock, and none is needed: to read a
+// consistent snapshot mid-run, schedule the read as an engine event
+// (eng.At(t, func() { snap = o.Snapshot(...) })) instead of reading from a
+// foreign goroutine. flash.Device.Stats, ftl.FTL.Stats, and Obs.Snapshot
+// are all safe under the race detector when used this way.
+//
+// # Naming
+//
+// Metrics are registered by hierarchical dot-separated name. Components use
+// names relative to their scope ("ftl.gc_pause", "flash.ch3.read"); Scope
+// prepends a prefix per device or experiment point, yielding full names
+// like "fig7.n4.compstor0.ftl.gc_pause". Each scope also owns a Chrome
+// trace "process" (pid) so Perfetto groups one device's tracks together.
+//
+// All entry points are nil-safe: calling any method on a nil *Obs (or on
+// the nil metric handles it returns) is a cheap no-op, so instrumented
+// model code pays only a pointer test when observability is off.
+package obs
+
+import (
+	"io"
+
+	"compstor/internal/sim"
+)
+
+// Obs bundles a metrics registry, a span tracer, and a timeline store under
+// a hierarchical name prefix. The zero value is not useful; create a root
+// with New and derive per-component handles with Scope. A nil *Obs disables
+// everything.
+type Obs struct {
+	shared *shared
+	prefix string // "" at the root, else "fig7.n4." style with trailing dot
+	pid    int    // Chrome trace process id for this scope
+}
+
+// shared is the state common to a root Obs and every scope derived from it.
+type shared struct {
+	reg     *Registry
+	tracer  *Tracer
+	tls     *timelineStore
+	nextPid int
+}
+
+// New creates a root Obs with metrics and timelines enabled and span
+// tracing off (enable it with EnableTrace). The root scope's trace process
+// is named "host".
+func New() *Obs {
+	sh := &shared{
+		reg:     NewRegistry(),
+		tracer:  newTracer(),
+		tls:     newTimelineStore(),
+		nextPid: 2,
+	}
+	o := &Obs{shared: sh, pid: 1}
+	sh.tracer.processName(1, "host")
+	return o
+}
+
+// EnableTrace turns on span and instant recording. Before this is called
+// (and always on a nil Obs) Begin/Instant are no-ops.
+func (o *Obs) EnableTrace() {
+	if o == nil {
+		return
+	}
+	o.shared.tracer.enabled = true
+}
+
+// TraceEnabled reports whether span recording is on.
+func (o *Obs) TraceEnabled() bool {
+	return o != nil && o.shared.tracer.enabled
+}
+
+// Scope derives a child handle whose metric names gain the prefix
+// "name." and whose spans render under a fresh Chrome trace process named
+// after the full prefix. Registry, tracer, and timelines stay shared, so a
+// root snapshot sees every scope's data.
+func (o *Obs) Scope(name string) *Obs {
+	if o == nil {
+		return nil
+	}
+	c := &Obs{shared: o.shared, prefix: o.prefix + name + ".", pid: o.shared.nextPid}
+	o.shared.nextPid++
+	o.shared.tracer.processName(c.pid, c.prefix[:len(c.prefix)-1])
+	return c
+}
+
+// Counter returns the counter registered under the scope's prefix + name,
+// creating it on first use. Nil-safe: a nil Obs returns a nil handle whose
+// methods no-op.
+func (o *Obs) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.shared.reg.Counter(o.prefix + name)
+}
+
+// Gauge returns the gauge registered under the scope's prefix + name.
+func (o *Obs) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.shared.reg.Gauge(o.prefix + name)
+}
+
+// Histogram returns the sim-time histogram registered under the scope's
+// prefix + name.
+func (o *Obs) Histogram(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.shared.reg.Histogram(o.prefix + name)
+}
+
+// CounterFunc registers a counter whose value is pulled from fn at snapshot
+// time. This is how existing per-layer Stats structs surface uniformly
+// without double bookkeeping.
+func (o *Obs) CounterFunc(name string, fn func() int64) {
+	if o == nil {
+		return
+	}
+	o.shared.reg.CounterFunc(o.prefix+name, fn)
+}
+
+// AddCollector registers fn to run at the start of every Snapshot, for
+// setting gauges from live model state.
+func (o *Obs) AddCollector(fn func()) {
+	if o == nil {
+		return
+	}
+	o.shared.reg.AddCollector(fn)
+}
+
+// Timeline returns the utilisation timeline registered under the scope's
+// prefix + name, creating it with the given window width and capacity
+// divisor on first use.
+func (o *Obs) Timeline(name string, window sim.Duration, capacity int) *Timeline {
+	if o == nil {
+		return nil
+	}
+	return o.shared.tls.get(o.prefix+name, window, capacity)
+}
+
+// WatchLink attaches a utilisation timeline to a link's busy hook.
+func (o *Obs) WatchLink(name string, window sim.Duration, l *sim.Link) {
+	tl := o.Timeline(name, window, 1)
+	if tl == nil {
+		return
+	}
+	l.SetBusyHook(tl.Add)
+}
+
+// WatchResource attaches a utilisation timeline to a resource's busy hook,
+// normalising by its server count.
+func (o *Obs) WatchResource(name string, window sim.Duration, r *sim.Resource) {
+	tl := o.Timeline(name, window, r.Capacity())
+	if tl == nil {
+		return
+	}
+	r.SetBusyHook(tl.Add)
+}
+
+// Begin opens a span on track within this scope's trace process, parented
+// to the process's current span (if any), and makes the new span p's
+// current context until End. Returns nil (a no-op span) when tracing is
+// off.
+func (o *Obs) Begin(p *sim.Proc, track, name string) *Span {
+	if o == nil || !o.shared.tracer.enabled {
+		return nil
+	}
+	return o.shared.tracer.begin(p, CtxOf(p), o.pid, track, name)
+}
+
+// BeginCtx is Begin with an explicit parent, for spans whose causal parent
+// crossed a mailbox or queue rather than the process's call stack (e.g. the
+// device-side handling of an NVMe command parents to the submitter's span).
+func (o *Obs) BeginCtx(p *sim.Proc, parent Ctx, track, name string) *Span {
+	if o == nil || !o.shared.tracer.enabled {
+		return nil
+	}
+	return o.shared.tracer.begin(p, parent, o.pid, track, name)
+}
+
+// Instant records a zero-duration trace event (a chaos fault, a retry, a
+// failover decision) on track, associated with the process's current span.
+// args are alternating key, value detail strings.
+func (o *Obs) Instant(p *sim.Proc, track, name string, args ...string) {
+	if o == nil || !o.shared.tracer.enabled {
+		return
+	}
+	o.shared.tracer.instant(p, o.pid, track, name, args)
+}
+
+// InstantAt records a zero-duration trace event at an explicit virtual
+// time, for sites with no process handle (engine callbacks, media fault
+// hooks). The event is not associated with any span.
+func (o *Obs) InstantAt(t sim.Time, track, name string, args ...string) {
+	if o == nil || !o.shared.tracer.enabled {
+		return
+	}
+	o.shared.tracer.instantAt(o.pid, track, name, t, 0, args)
+}
+
+// WriteTrace writes the whole shared trace (all scopes) as Chrome
+// trace-event JSON. Safe on a nil Obs and on an empty run: both produce a
+// valid, empty trace.
+func (o *Obs) WriteTrace(w io.Writer) error {
+	if o == nil {
+		return writeChromeTrace(w, nil)
+	}
+	return writeChromeTrace(w, o.shared.tracer)
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"compstor/internal/obs"
 	"compstor/internal/sim"
 )
 
@@ -47,6 +48,7 @@ type Fabric struct {
 	cfg    Config
 	uplink *sim.Link
 	ports  []*Port
+	obs    *obs.Obs
 }
 
 // NewFabric builds a fabric with no ports; attach devices with AddPort.
@@ -65,6 +67,19 @@ func NewFabric(eng *sim.Engine, cfg Config) *Fabric {
 // utilisation reports).
 func (f *Fabric) Uplink() *sim.Link { return f.uplink }
 
+// SetObs attaches utilisation timelines to the uplink and every port,
+// including ports added later.
+func (f *Fabric) SetObs(o *obs.Obs) {
+	f.obs = o
+	if o == nil {
+		return
+	}
+	o.WatchLink("pcie.uplink.busy", time.Millisecond, f.uplink)
+	for _, p := range f.ports {
+		o.WatchLink(fmt.Sprintf("pcie.port%d.busy", p.id), time.Millisecond, p.link)
+	}
+}
+
 // Config returns the fabric configuration.
 func (f *Fabric) Config() Config { return f.cfg }
 
@@ -77,6 +92,9 @@ func (f *Fabric) AddPort() *Port {
 		link:   sim.NewLink(f.eng, fmt.Sprintf("pcie/port%d", id), f.cfg.PortBytesPerSec, f.cfg.PortLatency),
 	}
 	f.ports = append(f.ports, p)
+	if f.obs != nil {
+		f.obs.WatchLink(fmt.Sprintf("pcie.port%d.busy", id), time.Millisecond, p.link)
+	}
 	return p
 }
 

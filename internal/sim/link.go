@@ -17,7 +17,8 @@ type Link struct {
 	busyNS   int64
 	bytes    int64
 	xfers    int64
-	onActive func(d Duration) // optional energy hook: pipe busy for d
+	onActive func(d Duration)             // optional energy hook: pipe busy for d
+	onBusy   func(start Time, d Duration) // optional utilisation-timeline hook
 }
 
 // NewLink creates a pipe with the given bandwidth (bytes/second) and
@@ -42,6 +43,12 @@ func (l *Link) Bandwidth() float64 { return l.bps }
 // used for energy accounting.
 func (l *Link) SetOnActive(fn func(d Duration)) { l.onActive = fn }
 
+// SetBusyHook installs a hook invoked with each transfer's occupancy
+// interval (start time and serialisation duration), used for utilisation
+// timelines. Independent of SetOnActive so energy accounting and
+// observability can coexist.
+func (l *Link) SetBusyHook(fn func(start Time, d Duration)) { l.onBusy = fn }
+
 // Transfer moves n bytes through the pipe, blocking the process for queueing
 // delay + serialisation time + latency. Zero-byte transfers incur only the
 // latency.
@@ -62,6 +69,9 @@ func (l *Link) Transfer(p *Proc, n int64) {
 	l.xfers++
 	if l.onActive != nil && ser > 0 {
 		l.onActive(ser)
+	}
+	if l.onBusy != nil && ser > 0 {
+		l.onBusy(start, ser)
 	}
 	p.WaitUntil(done)
 }

@@ -14,6 +14,7 @@ type Proc struct {
 	resume chan struct{}
 	yield  chan struct{}
 	done   bool
+	obsCtx any
 }
 
 // Go starts a new simulated process executing body. The process begins at
@@ -47,6 +48,17 @@ func (p *Proc) Now() Time { return p.eng.Now() }
 
 // Done reports whether the process body has returned.
 func (p *Proc) Done() bool { return p.done }
+
+// ObsCtx returns the process's observability context, an opaque value owned
+// by the obs package (the currently open span). The sim kernel never
+// interprets it; it exists so tracers can follow a request across blocking
+// calls without sim importing obs.
+func (p *Proc) ObsCtx() any { return p.obsCtx }
+
+// SetObsCtx replaces the process's observability context. Fan-out helpers
+// that spawn worker processes on behalf of a request should copy the
+// parent's context onto the workers so child spans parent correctly.
+func (p *Proc) SetObsCtx(v any) { p.obsCtx = v }
 
 // step hands control to the process goroutine and waits for it to block or
 // finish. It runs on the engine side, inside an event callback.

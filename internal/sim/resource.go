@@ -9,10 +9,11 @@ type Duration = time.Duration
 // Semaphore is a counted semaphore with FIFO granting. It is the basic
 // mutual-exclusion and admission-control primitive for simulated processes.
 type Semaphore struct {
-	eng     *Engine
-	tokens  int
-	cap     int
-	waiters []*semWaiter
+	eng       *Engine
+	tokens    int
+	cap       int
+	waiters   []*semWaiter
+	queueTime func(wait Duration)
 }
 
 type semWaiter struct {
@@ -41,11 +42,24 @@ func (s *Semaphore) Acquire(p *Proc, n int) {
 	// FIFO: even if tokens are free, queue behind existing waiters.
 	if len(s.waiters) == 0 && s.tokens >= n {
 		s.tokens -= n
+		if s.queueTime != nil {
+			s.queueTime(0)
+		}
 		return
 	}
 	s.waiters = append(s.waiters, &semWaiter{p: p, n: n})
+	t0 := s.eng.Now()
 	p.park()
+	if s.queueTime != nil {
+		s.queueTime(s.eng.Now().Sub(t0))
+	}
 }
+
+// SetQueueTimeHook installs a hook invoked on every successful Acquire with
+// the virtual time the acquirer spent queued (zero for immediate grants).
+// Histogram-friendly: immediate grants are reported too, so quantiles over
+// the hook's stream reflect the full arrival population.
+func (s *Semaphore) SetQueueTimeHook(fn func(wait Duration)) { s.queueTime = fn }
 
 // Release returns n tokens and wakes any waiters that can now proceed.
 func (s *Semaphore) Release(n int) {
@@ -79,6 +93,7 @@ type Resource struct {
 	busyNS   int64 // accumulated busy time across all servers
 	acquires int64
 	eng      *Engine
+	onBusy   func(start Time, d Duration)
 }
 
 // NewResource creates a station with the given number of servers.
@@ -111,7 +126,7 @@ func (r *Resource) Release() { r.sem.Release(1) }
 func (r *Resource) Use(p *Proc, d Duration) {
 	r.Acquire(p)
 	p.Wait(d)
-	r.busyNS += int64(d)
+	r.addBusy(d)
 	r.Release()
 }
 
@@ -119,8 +134,25 @@ func (r *Resource) Use(p *Proc, d Duration) {
 func (r *Resource) BusyTime() Duration { return Duration(r.busyNS) }
 
 // AddBusy records externally-managed busy time (for callers that use
-// Acquire/Release directly but still want utilisation accounted).
-func (r *Resource) AddBusy(d Duration) { r.busyNS += int64(d) }
+// Acquire/Release directly but still want utilisation accounted). Callers
+// report a busy period immediately after waiting it out, so the interval is
+// taken to end at the current virtual time.
+func (r *Resource) AddBusy(d Duration) { r.addBusy(d) }
+
+func (r *Resource) addBusy(d Duration) {
+	r.busyNS += int64(d)
+	if r.onBusy != nil && d > 0 {
+		r.onBusy(r.eng.Now().Add(-d), d)
+	}
+}
+
+// SetBusyHook installs a hook invoked with each busy interval's start time
+// and duration, used for utilisation timelines.
+func (r *Resource) SetBusyHook(fn func(start Time, d Duration)) { r.onBusy = fn }
+
+// SetQueueTimeHook installs a hook invoked on every successful Acquire with
+// the virtual time spent queued for a server (zero for immediate grants).
+func (r *Resource) SetQueueTimeHook(fn func(wait Duration)) { r.sem.SetQueueTimeHook(fn) }
 
 // Acquires returns the number of successful acquisitions.
 func (r *Resource) Acquires() int64 { return r.acquires }

@@ -21,6 +21,7 @@ import (
 	"compstor/internal/isps"
 	"compstor/internal/minfs"
 	"compstor/internal/nvme"
+	"compstor/internal/obs"
 	"compstor/internal/pcie"
 	"compstor/internal/sim"
 )
@@ -47,6 +48,11 @@ type Config struct {
 
 	// Meter, when set, registers the device's ISPS energy component.
 	Meter *energy.Meter
+
+	// Obs, when set, instruments every layer of the drive (flash, FTL,
+	// NVMe, ISPS). Pass a per-drive scope (e.g. root.Scope(name)) so metric
+	// names from different drives do not collide.
+	Obs *obs.Obs
 
 	// CtrlCmdOverhead is embedded-CPU time per NVMe command (default 8µs).
 	CtrlCmdOverhead time.Duration
@@ -110,6 +116,9 @@ func New(eng *sim.Engine, port *pcie.Port, cfg Config) *SSD {
 	if cfg.ISPSDriverLatency <= 0 {
 		cfg.ISPSDriverLatency = 3 * time.Microsecond
 	}
+	// Carrying Obs inside the FTL config means Remount's Recover-built
+	// replacement FTL is instrumented too.
+	cfg.FTL.Obs = cfg.Obs
 	s := &SSD{
 		eng:         eng,
 		cfg:         cfg,
@@ -118,8 +127,12 @@ func New(eng *sim.Engine, port *pcie.Port, cfg Config) *SSD {
 		ctrlCPU:     sim.NewResource(eng, cfg.CtrlCores),
 		cmdOverhead: cfg.CtrlCmdOverhead,
 	}
+	s.dev.SetObs(cfg.Obs)
 	s.ftl = ftl.New(s.dev, cfg.FTL)
 	s.fs = minfs.NewFS(cfg.Geometry.PageSize, s.ftl.LogicalPages())
+	if cfg.Obs != nil {
+		cfg.Obs.WatchResource("ctrl.busy", time.Millisecond, s.ctrlCPU)
+	}
 
 	if cfg.InSitu {
 		if cfg.Registry == nil {
@@ -140,6 +153,7 @@ func New(eng *sim.Engine, port *pcie.Port, cfg Config) *SSD {
 			icfg.TimeSlice = time.Millisecond // preemptive firmware scheduler
 		}
 		s.sub = isps.New(eng, icfg)
+		s.sub.SetObs(cfg.Obs)
 		s.ispsView = minfs.NewView(s.fs, s.ispsBlockDevice())
 		// The in-SSD Linux has a page cache of its own.
 		s.ispsView.EnableWriteBack(eng, 16384, 32)
@@ -147,6 +161,7 @@ func New(eng *sim.Engine, port *pcie.Port, cfg Config) *SSD {
 	}
 
 	s.ctrl = nvme.NewController(eng, port, s, cfg.NVMe)
+	s.ctrl.SetObs(cfg.Obs)
 	return s
 }
 
@@ -156,6 +171,10 @@ func New(eng *sim.Engine, port *pcie.Port, cfg Config) *SSD {
 // cut. The replacement FTL is swapped in for every path — host NVMe and the
 // ISPS flash-access driver alike. Returns the recovery report.
 func (s *SSD) Remount(p *sim.Proc) (ftl.RecoveryStats, error) {
+	if s.cfg.Obs != nil {
+		sp := s.cfg.Obs.Begin(p, "ssd", "remount")
+		defer sp.End()
+	}
 	s.dev.PowerOn()
 	f, rs, err := ftl.Recover(p, s.dev, s.cfg.FTL)
 	if err != nil {
@@ -164,6 +183,9 @@ func (s *SSD) Remount(p *sim.Proc) (ftl.RecoveryStats, error) {
 	s.ftl = f
 	return rs, nil
 }
+
+// Obs returns the drive's observability scope (nil when not instrumented).
+func (s *SSD) Obs() *obs.Obs { return s.cfg.Obs }
 
 // Controller returns the NVMe controller.
 func (s *SSD) Controller() *nvme.Controller { return s.ctrl }
@@ -334,10 +356,12 @@ func (s *SSD) forEachPage(p *sim.Proc, n int64, fn func(cp *sim.Proc, i int64) e
 	var wg sim.WaitGroup
 	var firstErr error
 	wg.Add(int(workers))
+	obsCtx := p.ObsCtx() // workers inherit the issuing command's span
 	for w := int64(0); w < workers; w++ {
 		w := w
 		s.eng.Go(fmt.Sprintf("%s/io%d", s.cfg.Name, w), func(cp *sim.Proc) {
 			defer wg.Done()
+			cp.SetObsCtx(obsCtx)
 			for i := w; i < n; i += workers {
 				if firstErr != nil {
 					return

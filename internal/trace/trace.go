@@ -90,8 +90,16 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
-// Bar renders one labelled horizontal bar scaled against max.
+// Bar renders one labelled horizontal bar scaled against max. The label
+// column is sized for the single label; BarChart aligns a whole series.
 func Bar(label string, value, max float64, width int) string {
+	return bar(label, len(label), value, max, width)
+}
+
+// bar renders one bar with an explicit label-column width, so a chart's
+// rows align on the widest label (the same auto-sizing Table.Render does
+// for its columns) instead of truncating at a fixed width.
+func bar(label string, labelW int, value, max float64, width int) string {
 	if width <= 0 {
 		width = 40
 	}
@@ -105,20 +113,27 @@ func Bar(label string, value, max float64, width int) string {
 	if n < 0 {
 		n = 0
 	}
-	return fmt.Sprintf("%-22s %8s |%s", label, fmtFloat(value), strings.Repeat("#", n))
+	return fmt.Sprintf("%-*s %8s |%s", labelW, label, fmtFloat(value), strings.Repeat("#", n))
 }
 
-// BarChart renders a series of labelled bars, auto-scaled.
+// BarChart renders a series of labelled bars, auto-scaled against the
+// largest value and aligned on the longest label.
 func BarChart(w io.Writer, title string, labels []string, values []float64) {
 	fmt.Fprintln(w, title)
 	max := 0.0
+	labelW := 0
 	for _, v := range values {
 		if v > max {
 			max = v
 		}
 	}
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
 	for i, v := range values {
-		fmt.Fprintln(w, Bar(labels[i], v, max, 40))
+		fmt.Fprintln(w, bar(labels[i], labelW, v, max, 40))
 	}
 }
 

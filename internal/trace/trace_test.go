@@ -53,6 +53,47 @@ func TestBarChart(t *testing.T) {
 	}
 }
 
+// Golden outputs pin the exact rendered bytes: alignment regressions show
+// up as a diff, not just a property-check failure.
+
+func TestTableGolden(t *testing.T) {
+	tb := NewTable("T", "a", "bb")
+	tb.AddRow("x", 1)
+	tb.AddRow("longer", 2.5)
+	want := "" +
+		"T\n" +
+		"a       bb \n" +
+		"------  ---\n" +
+		"x       1  \n" +
+		"longer  2.5\n"
+	if got := tb.String(); got != want {
+		t.Fatalf("table golden mismatch:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestBarGolden(t *testing.T) {
+	if got, want := Bar("cpu", 5, 10, 10), "cpu        5 |#####"; got != want {
+		t.Fatalf("Bar = %q, want %q", got, want)
+	}
+	// The label column sizes to the label — no truncation at a fixed width.
+	long := "a.very.long.hierarchical.metric.name.busy"
+	if got := Bar(long, 5, 10, 10); !strings.HasPrefix(got, long+" ") {
+		t.Fatalf("long label mangled: %q", got)
+	}
+}
+
+func TestBarChartGoldenAlignment(t *testing.T) {
+	var sb strings.Builder
+	BarChart(&sb, "util", []string{"ch0", "compstor0.isps.cores.busy"}, []float64{1, 2})
+	want := "" +
+		"util\n" +
+		"ch0                              1 |####################\n" +
+		"compstor0.isps.cores.busy        2 |########################################\n"
+	if got := sb.String(); got != want {
+		t.Fatalf("barchart golden mismatch:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
 func TestBytesFormatting(t *testing.T) {
 	cases := map[int64]string{
 		512:     "512 B",
