@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"compstor/internal/cpu"
@@ -85,7 +86,12 @@ func (c *Context) In() io.Reader {
 // mounted in its context.
 var ErrNoFS = errors.New("apps: no filesystem in context")
 
-// Open opens a named file for reading, wrapped for cost charging.
+// Open opens a named file for reading, wrapped for cost charging. When the
+// view's device serves reads through a caching/prefetching pipeline, file
+// streams charge only the CPU share of the class's calibrated end-to-end
+// rate (cpu.StreamCPUFraction): the stall share the end-to-end measurement
+// bundled in is then paid as explicit, overlapped flash I/O instead of
+// being double-counted as core time.
 func (c *Context) Open(name string) (io.ReadCloser, error) {
 	if c.FS == nil {
 		return nil, ErrNoFS
@@ -94,10 +100,20 @@ func (c *Context) Open(name string) (io.ReadCloser, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &chargingFile{chargingReader: chargingReader{ctx: c, r: fsReader{f: f, p: c.Proc}}, f: f, p: c.Proc}, nil
+	scale := 1.0
+	if c.FS.Pipelined() {
+		scale = cpu.StreamCPUFraction(c.Class)
+	}
+	return &chargingFile{chargingReader: chargingReader{ctx: c, r: fsReader{f: f, p: c.Proc}, scale: scale}, f: f, p: c.Proc}, nil
 }
 
-// Create creates (or replaces) a named output file.
+// Create creates (or replaces) a named output file. Output bytes charge the
+// platform's streaming-copy class (cpu.ClassCat) — moving produced bytes
+// into the filesystem costs core time just like consuming input does.
+// The program's algorithmic cost stays calibrated on *input* bytes (the
+// paper's per-GB normalisation), so writes deliberately do not charge the
+// program's own class: that would double-count work the input calibration
+// already covers.
 func (c *Context) Create(name string) (io.WriteCloser, error) {
 	if c.FS == nil {
 		return nil, ErrNoFS
@@ -111,7 +127,7 @@ func (c *Context) Create(name string) (io.WriteCloser, error) {
 	if err != nil {
 		return nil, err
 	}
-	return fsWriter{f: f, p: c.Proc}, nil
+	return &chargingWriter{ctx: c, w: fsWriter{f: f, p: c.Proc}}, nil
 }
 
 // fsReader adapts a minfs file to io.Reader with a pinned proc.
@@ -132,16 +148,41 @@ func (w fsWriter) Write(b []byte) (int, error) { return w.f.Write(w.p, b) }
 func (w fsWriter) Close() error                { return w.f.Close(w.p) }
 
 // chargingReader charges the context for every byte read through it.
+// A scale in (0,1) charges only that fraction of each byte — the streaming
+// CPU share used for pipelined file reads; zero means unscaled (1.0).
 type chargingReader struct {
-	ctx *Context
-	r   io.Reader
+	ctx   *Context
+	r     io.Reader
+	scale float64
 }
 
 func (r *chargingReader) Read(b []byte) (int, error) {
 	n, err := r.r.Read(b)
-	r.ctx.chargeBytes(n)
+	charged := n
+	if r.scale > 0 && r.scale < 1 && n > 0 {
+		charged = int(math.Ceil(float64(n) * r.scale))
+	}
+	r.ctx.chargeBytes(charged)
 	return n, err
 }
+
+// chargingWriter charges the streaming-copy rate for every byte written
+// through it (see Context.Create for why writes do not charge the
+// program's own class).
+type chargingWriter struct {
+	ctx *Context
+	w   io.WriteCloser
+}
+
+func (w *chargingWriter) Write(b []byte) (int, error) {
+	n, err := w.w.Write(b)
+	if w.ctx.Charge != nil && n > 0 {
+		w.ctx.Charge(cpu.ClassCat, int64(n))
+	}
+	return n, err
+}
+
+func (w *chargingWriter) Close() error { return w.w.Close() }
 
 type chargingFile struct {
 	chargingReader

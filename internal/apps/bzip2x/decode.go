@@ -29,7 +29,7 @@ func Decompress(src []byte) ([]byte, error) {
 func DecompressReader(r io.Reader) ([]byte, error) {
 	br, ok := r.(io.ByteReader)
 	if !ok {
-		br = bufio.NewReader(r)
+		br = bufio.NewReaderSize(r, 64*1024)
 	}
 	bits := newMSBReader(br)
 	var out bytes.Buffer

@@ -92,9 +92,11 @@ func TestContextCreateOpenRoundTrip(t *testing.T) {
 		if err != nil || !bytes.Equal(got, payload) {
 			t.Errorf("round trip failed: %v", err)
 		}
-		// Reading through ctx.Open must auto-charge the input bytes.
-		if *charged != int64(len(payload)) {
-			t.Errorf("charged %d bytes, want %d", *charged, len(payload))
+		// Writing through ctx.Create charges the streamed output bytes
+		// (at the copy class) and reading through ctx.Open auto-charges
+		// the input bytes: one payload each way.
+		if *charged != 2*int64(len(payload)) {
+			t.Errorf("charged %d bytes, want %d", *charged, 2*len(payload))
 		}
 	})
 }

@@ -118,7 +118,9 @@ func (WC) Run(ctx *apps.Context, args []string) error {
 	}
 	for i, r := range rs {
 		var l, w, b int64
-		br := bufio.NewReader(r)
+		// Stream in 64 KiB chunks (like the scanners): bufio's default
+		// 4 KiB buffer would issue a device read per page.
+		br := bufio.NewReaderSize(r, 64*1024)
 		inWord := false
 		for {
 			c, err := br.ReadByte()

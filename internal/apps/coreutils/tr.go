@@ -61,7 +61,7 @@ func (Tr) Run(ctx *apps.Context, args []string) error {
 			table[c] = int16(set2[j])
 		}
 	}
-	r := bufio.NewReader(ctx.In())
+	r := bufio.NewReaderSize(ctx.In(), 64*1024)
 	w := bufio.NewWriter(ctx.Stdout)
 	defer w.Flush()
 	for {

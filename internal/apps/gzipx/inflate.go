@@ -44,7 +44,7 @@ func init() {
 func Inflate(r io.Reader) ([]byte, error) {
 	br, ok := r.(io.ByteReader)
 	if !ok {
-		br = bufio.NewReader(r)
+		br = bufio.NewReaderSize(r, 64*1024)
 	}
 	d := &inflater{br: newBitReader(br), raw: br}
 	if err := d.run(); err != nil {

@@ -13,6 +13,7 @@ import (
 	"compstor/internal/core"
 	"compstor/internal/flash"
 	"compstor/internal/sim"
+	"compstor/internal/ssd"
 )
 
 // corpus builds the grep workload's input set: text files that all contain
@@ -48,6 +49,13 @@ type runResult struct {
 // under the given plan (nil = fault-free) and returns the observables.
 func run(t *testing.T, devices int, files []cluster.File, plan *chaos.Plan) runResult {
 	t.Helper()
+	return runWith(t, devices, files, plan, false)
+}
+
+// runWith is run with the streaming read pipeline toggled, so the chaos
+// scenarios cover the cached+prefetched read path as well as the stock one.
+func runWith(t *testing.T, devices int, files []cluster.File, plan *chaos.Plan, pipeline bool) runResult {
+	t.Helper()
 	sys := core.NewSystem(core.SystemConfig{
 		CompStors: devices,
 		Registry:  appset.Base(),
@@ -55,6 +63,7 @@ func run(t *testing.T, devices int, files []cluster.File, plan *chaos.Plan) runR
 			Channels: 8, DiesPerChan: 1, PlanesPerDie: 1,
 			BlocksPerPlan: 128, PagesPerBlock: 32, PageSize: 4096,
 		},
+		ReadPipeline: ssd.PipelineConfig{Enabled: pipeline},
 	})
 	pool := cluster.NewPool(sys.Eng, sys.Devices)
 	res := runResult{outputs: make(map[string]string)}
@@ -172,6 +181,51 @@ func TestSameSeedSameVirtualTrace(t *testing.T) {
 	c := run(t, 4, files, killPlan(4321, failAt))
 	if c.finalAt == a.finalAt && c.stats == a.stats {
 		t.Errorf("different seed produced an identical run (time %v, stats %+v)", c.finalAt, c.stats)
+	}
+}
+
+// TestPipelineUnderChaosMatchesFaultFree: with the streaming read pipeline
+// enabled, a chaos run that kills a device and peppers the survivors with
+// transient faults must still produce the stock fault-free answers — cache
+// invalidation under failover and device death never changes results. Same
+// seed twice must also replay identically, prefetch procs included.
+func TestPipelineUnderChaosMatchesFaultFree(t *testing.T) {
+	files := corpus(24)
+	baseline := run(t, 4, files, nil) // stock path, fault-free: ground truth
+	if baseline.runErr != nil || len(baseline.failed) > 0 {
+		t.Fatalf("baseline: err=%v failed=%v", baseline.runErr, baseline.failed)
+	}
+
+	clean := runWith(t, 4, files, nil, true)
+	if clean.runErr != nil || len(clean.failed) > 0 {
+		t.Fatalf("pipelined fault-free run: err=%v failed=%v", clean.runErr, clean.failed)
+	}
+	if clean.finalAt >= baseline.finalAt {
+		t.Errorf("pipelined run (%v) not faster than stock (%v)", clean.finalAt, baseline.finalAt)
+	}
+
+	failAt := clean.finalAt.Duration() / 2
+	faulty := runWith(t, 4, files, killPlan(7, failAt), true)
+	if faulty.runErr != nil || len(faulty.failed) > 0 {
+		t.Fatalf("pipelined chaos run: err=%v failed=%v", faulty.runErr, faulty.failed)
+	}
+	for name, want := range baseline.outputs {
+		if clean.outputs[name] != want {
+			t.Errorf("%s: pipelined output %q, stock %q", name, clean.outputs[name], want)
+		}
+		if faulty.outputs[name] != want {
+			t.Errorf("%s: pipelined chaos output %q, stock %q", name, faulty.outputs[name], want)
+		}
+	}
+	if len(faulty.dead) != 1 || faulty.dead[0] != 2 {
+		t.Errorf("dead devices %v, want [2]", faulty.dead)
+	}
+
+	again := runWith(t, 4, files, killPlan(7, failAt), true)
+	if again.finalAt != faulty.finalAt || again.stats != faulty.stats || again.attempts != faulty.attempts {
+		t.Errorf("same seed diverged: %v/%+v/%d vs %v/%+v/%d",
+			again.finalAt, again.stats, again.attempts,
+			faulty.finalAt, faulty.stats, faulty.attempts)
 	}
 }
 

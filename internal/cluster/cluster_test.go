@@ -11,9 +11,16 @@ import (
 	"compstor/internal/core"
 	"compstor/internal/flash"
 	"compstor/internal/sim"
+	"compstor/internal/ssd"
 )
 
 func newSystem(t *testing.T, devices int) (*core.System, *Pool) {
+	t.Helper()
+	return newSystemWith(t, devices, false)
+}
+
+// newSystemWith is newSystem with the streaming read pipeline toggled.
+func newSystemWith(t *testing.T, devices int, pipeline bool) (*core.System, *Pool) {
 	t.Helper()
 	sys := core.NewSystem(core.SystemConfig{
 		CompStors: devices,
@@ -22,6 +29,7 @@ func newSystem(t *testing.T, devices int) (*core.System, *Pool) {
 			Channels: 8, DiesPerChan: 1, PlanesPerDie: 1,
 			BlocksPerPlan: 128, PagesPerBlock: 32, PageSize: 4096,
 		},
+		ReadPipeline: ssd.PipelineConfig{Enabled: pipeline},
 	})
 	return sys, NewPool(sys.Eng, sys.Devices)
 }

@@ -76,6 +76,9 @@ type SystemConfig struct {
 	// CompStor.
 	SharedCores     bool
 	ISPSViaNVMePath bool
+	// ReadPipeline forwards the streaming read-pipeline configuration
+	// (ISPS page cache + read-ahead) to every CompStor. Zero value = off.
+	ReadPipeline ssd.PipelineConfig
 	// Obs, when set, instruments the whole testbed. Each drive gets its own
 	// scope named after it (compstor0, conv0, ...); fabric timelines and
 	// host metrics live on the handle passed here.
@@ -134,6 +137,7 @@ func NewSystem(cfg SystemConfig) *System {
 		dcfg.Meter = meter
 		dcfg.SharedCores = cfg.SharedCores
 		dcfg.ISPSViaNVMePath = cfg.ISPSViaNVMePath
+		dcfg.Pipeline = cfg.ReadPipeline
 		dcfg.Obs = cfg.Obs.Scope(dcfg.Name)
 		port := sys.Fabric.AddPort()
 		meterPort(fmt.Sprintf("pcie/port%d", port.ID()), port)

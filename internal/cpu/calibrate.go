@@ -94,6 +94,45 @@ func Xeon() *Platform {
 	}
 }
 
+// StreamCPUFraction returns the share of a class's calibrated end-to-end
+// per-byte cost that is core-bound computation; the remainder is the memory
+// and I/O-stack stall time the wall measurements behind the Fig 8 table
+// could not separate from compute.
+//
+// The stock execution path charges the full end-to-end rate as core time
+// while *also* paying the modelled flash reads, reproducing the paper's
+// synchronous read loop (and its throughputs) exactly. The streaming read
+// pipeline (ssd.PipelineConfig) removes that double count: demand reads hit
+// the ISPS-DRAM cache that the read-ahead prefetcher fills in the
+// background, so the stall share turns into explicit, overlapped flash
+// time and the core charge drops to the CPU share below. This is the
+// effect HeydariGorji et al. (arXiv:2112.12415) measure when pipelining
+// I/O with in-storage compute on real CSDs: scan-class tools roughly
+// double their end-to-end rate because they were stall-dominated, while
+// compressors barely move because they are genuinely compute-bound.
+//
+// Fractions are modelling choices, ordered by arithmetic intensity:
+// pure data movement (cat) is almost all stall, pattern scan (grep) and
+// field splitting (gawk/wc) sit in between, sort does real comparison
+// work per byte, and the (de)compressors are pure CPU (fraction 1), which
+// keeps the Fig 8 energy decomposition intact on the stock path.
+func StreamCPUFraction(c Class) float64 {
+	switch c {
+	case ClassCat:
+		return 0.25
+	case ClassGrep:
+		return 0.40
+	case ClassGawk:
+		return 0.45
+	case ClassWC:
+		return 0.50
+	case ClassSort:
+		return 0.70
+	default:
+		return 1.0
+	}
+}
+
 // PaperFig8 returns the paper's reported J/GB for a class on each platform
 // (compstor, xeon), with ok=false for classes the paper did not measure.
 // It is used by tests and by EXPERIMENTS.md generation to compare measured

@@ -170,6 +170,21 @@ func (s *Subsystem) SetObs(o *obs.Obs) {
 	o.CounterFunc("isps.loaded", func() int64 { return s.loaded })
 }
 
+// ReserveDRAM permanently claims n bytes of the subsystem's DRAM for a
+// platform service (the drive wires the read-pipeline page cache through
+// here), shrinking what tasks can reserve. The claim shows up in Status as
+// used memory, exactly like task reservations.
+func (s *Subsystem) ReserveDRAM(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("isps: negative DRAM reservation %d", n)
+	}
+	if s.memUsed+n > s.memTotal {
+		return fmt.Errorf("%w: reserve %d with %d/%d used", ErrNoMemory, n, s.memUsed, s.memTotal)
+	}
+	s.memUsed += n
+	return nil
+}
+
 // LoadTask installs a program at runtime (dynamic task loading). It
 // reports whether an existing program was replaced.
 func (s *Subsystem) LoadTask(prog apps.Program) bool {

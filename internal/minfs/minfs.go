@@ -42,6 +42,30 @@ type Syncer interface {
 	Sync(p *sim.Proc) error
 }
 
+// Prefetcher is an optional BlockDevice capability: a device with a read
+// pipeline accepts asynchronous read-ahead hints. File readers detect
+// extent-sequential access and offer upcoming page runs; the device warms
+// them into its cache from background processes, bounded by its in-flight
+// window.
+type Prefetcher interface {
+	// ReadAheadPages is the advised read-ahead distance in pages
+	// (0 = prefetching disabled).
+	ReadAheadPages() int64
+	// Prefetch schedules up to count pages starting at lpn to be warmed
+	// asynchronously and returns how many pages were accepted (0 when the
+	// in-flight window is full). It never blocks on media; it is a hint
+	// and carries no completion or error semantics.
+	Prefetch(p *sim.Proc, lpn, count int64) int64
+}
+
+// PipelinedDevice is an optional BlockDevice capability reporting that the
+// device serves reads through a caching/prefetching pipeline. Cost models
+// above the filesystem use it to pick the streaming charge split (see
+// cpu.StreamCPUFraction).
+type PipelinedDevice interface {
+	Pipelined() bool
+}
+
 // Filesystem errors.
 var (
 	ErrNotExist = errors.New("minfs: file does not exist")

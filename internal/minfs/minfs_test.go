@@ -171,8 +171,16 @@ func TestSeek(t *testing.T) {
 		if !bytes.Equal(buf[:n], data[1234:1234+n]) {
 			return errors.New("seek+read mismatch")
 		}
-		if err := f.SeekTo(99999); err == nil {
-			return errors.New("out-of-range seek accepted")
+		// POSIX lseek semantics: seeking past EOF succeeds and subsequent
+		// reads return io.EOF; only negative offsets are rejected.
+		if err := f.SeekTo(99999); err != nil {
+			return fmt.Errorf("past-EOF seek rejected: %w", err)
+		}
+		if _, err := f.Read(p, buf); err != io.EOF {
+			return fmt.Errorf("read past EOF: got %v, want io.EOF", err)
+		}
+		if err := f.SeekTo(-1); err == nil {
+			return errors.New("negative seek accepted")
 		}
 		return nil
 	})
@@ -397,4 +405,75 @@ func TestFSContentProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestReadYourOwnWritesAcrossRunBoundary: with write-back enabled, a read
+// that starts mid-page and crosses an extent-run boundary must return the
+// just-written (still dirty, unflushed) bytes. The file lands in one
+// contiguous extent, which the test splits in metadata — the page mapping
+// is unchanged but Read now stitches two runs together, exercising the
+// dirty-page overlay on both sides of the seam.
+func TestReadYourOwnWritesAcrossRunBoundary(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := newMemDevice(512, 4096)
+	fs := NewFS(512, 4096)
+	view := NewView(fs, dev)
+	view.EnableWriteBack(eng, 1024, 4)
+	inProc(t, eng, func(p *sim.Proc) error {
+		const ps = 512
+		data := make([]byte, 6*ps+123)
+		rand.New(rand.NewSource(1)).Read(data)
+		if err := view.WriteFile(p, "f", data); err != nil {
+			return err
+		}
+		ino := fs.files["f"]
+		if len(ino.Extents) != 1 {
+			return fmt.Errorf("setup: expected one extent, got %v", ino.Extents)
+		}
+		e := ino.Extents[0]
+		ino.Extents = []Extent{
+			{Start: e.Start, Count: 3},
+			{Start: e.Start + 3, Count: e.Count - 3},
+		}
+
+		// A read from mid-page 2 to mid-page 4 crosses the run seam at
+		// page 3 with an unaligned start.
+		f, err := view.Open(p, "f")
+		if err != nil {
+			return err
+		}
+		start := int64(3*ps - 100)
+		if err := f.SeekTo(start); err != nil {
+			return err
+		}
+		buf := make([]byte, 2*ps)
+		if _, err := io.ReadFull(fileReader{f, p}, buf); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, data[start:start+int64(len(buf))]) {
+			return fmt.Errorf("boundary-crossing read returned wrong bytes")
+		}
+
+		// Whole-file read across both runs, still before any flush.
+		got, err := view.ReadFile(p, "f")
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, data) {
+			return fmt.Errorf("pre-flush whole-file read mismatch")
+		}
+
+		// After the flush barrier the persisted path must agree.
+		if err := view.Flush(p); err != nil {
+			return err
+		}
+		got, err = view.ReadFile(p, "f")
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, data) {
+			return fmt.Errorf("post-flush whole-file read mismatch")
+		}
+		return nil
+	})
 }

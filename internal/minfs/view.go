@@ -31,6 +31,13 @@ func NewView(fs *FS, dev BlockDevice) *View {
 // FS returns the shared metadata object.
 func (v *View) FS() *FS { return v.fs }
 
+// Pipelined reports whether this view's device serves reads through a
+// caching/prefetching pipeline (see PipelinedDevice).
+func (v *View) Pipelined() bool {
+	pd, ok := v.dev.(PipelinedDevice)
+	return ok && pd.Pipelined()
+}
+
 // Sync serialises metadata into the reserved metadata region through this
 // view, making the filesystem mountable from the other access path.
 func (v *View) Sync(p *sim.Proc) error {
@@ -178,6 +185,14 @@ type File struct {
 	closed   bool
 	off      int64  // read cursor
 	buf      []byte // pending unflushed tail (writers only)
+
+	// Sequential read detection (readers only): lastEnd is where the
+	// previous Read left the cursor; raNext is the next page ordinal not
+	// yet offered to the device's prefetcher. lastEnd starts at 0 so a
+	// scan that opens a file and reads from the beginning — the common
+	// cold-scan shape — prefetches from its very first Read.
+	lastEnd int64
+	raNext  int64
 }
 
 // Name returns the file's name.
@@ -314,6 +329,9 @@ func (f *File) Read(p *sim.Proc, b []byte) (int, error) {
 		return 0, io.EOF
 	}
 	ps := int64(f.view.fs.pageSize)
+	// Hand upcoming runs to the device's prefetcher *before* the demand
+	// fetch below blocks, so background fills overlap with it.
+	f.readAhead(p, int64(len(b)))
 	n := 0
 	for n < len(b) && f.off < f.ino.Size {
 		pgIdx := f.off / ps
@@ -337,13 +355,65 @@ func (f *File) Read(p *sim.Proc, b []byte) (int, error) {
 		c := copy(b[n:], data[inPage:inPage+avail])
 		n += c
 		f.off += int64(c)
+		f.lastEnd = f.off
 	}
 	return n, nil
 }
 
-// SeekTo repositions the read cursor (absolute offsets only).
+// readAhead detects extent-sequential access and offers upcoming page runs
+// to the device's prefetcher. want is the size of the pending demand read;
+// the offered window starts past the pages that read will touch and
+// extends to the device's advised distance. The device bounds in-flight
+// fills; a short or zero accept simply leaves raNext behind, and later
+// sequential reads re-offer from there.
+func (f *File) readAhead(p *sim.Proc, want int64) {
+	pf, ok := f.view.dev.(Prefetcher)
+	if !ok {
+		return
+	}
+	advise := pf.ReadAheadPages()
+	if advise <= 0 {
+		return
+	}
+	if f.off != f.lastEnd {
+		// Non-sequential: break the streak and re-arm at the new position.
+		f.raNext = 0
+		return
+	}
+	ps := int64(f.view.fs.pageSize)
+	filePages := (f.ino.Size + ps - 1) / ps
+	endPg := (f.off + want + ps - 1) / ps // first page past the demand read
+	target := endPg + advise
+	if target > filePages {
+		target = filePages
+	}
+	pg := f.raNext
+	if pg < endPg {
+		pg = endPg
+	}
+	for pg < target {
+		lpn, run, ok := f.runAt(pg)
+		if !ok {
+			break
+		}
+		if run > target-pg {
+			run = target - pg
+		}
+		accepted := pf.Prefetch(p, lpn, run)
+		pg += accepted
+		if accepted < run {
+			break // in-flight window full; re-offer on a later Read
+		}
+	}
+	f.raNext = pg
+}
+
+// SeekTo repositions the read cursor (absolute offsets only). Seeking past
+// EOF is allowed, as POSIX lseek permits: subsequent reads simply return
+// io.EOF. (Writers are separate append-only handles in minfs, so the
+// POSIX "write after seek past EOF creates a hole" case cannot arise.)
 func (f *File) SeekTo(off int64) error {
-	if off < 0 || off > f.ino.Size {
+	if off < 0 {
 		return fmt.Errorf("minfs: seek %d out of range", off)
 	}
 	f.off = off

@@ -83,7 +83,16 @@ func (v *View) write(p *sim.Proc, lpn int64, data []byte) error {
 }
 
 // put caches one dirty page and queues it, blocking on the dirty budget.
+// Entries must be exactly one page: the read overlay substitutes ent.data
+// wholesale for the device page, so a short entry would splice stale
+// device bytes into its tail. view.write pads, but defend here so any
+// future caller keeps the invariant.
 func (wb *writeBack) put(p *sim.Proc, lpn int64, page []byte) {
+	if ps := wb.dev.PageSize(); len(page) != ps {
+		padded := make([]byte, ps)
+		copy(padded, page)
+		page = padded
+	}
 	wb.budget.Acquire(p, 1)
 	var seq uint64
 	if e, ok := wb.pending[lpn]; ok {
@@ -190,6 +199,11 @@ func (v *View) read(p *sim.Proc, lpn, count int64) ([]byte, error) {
 		return nil, err
 	}
 	if v.wb != nil && len(v.wb.pending) > 0 {
+		// Overlay dirty pages one page at a time: multi-page runs may mix
+		// clean and dirty pages (and, with fragmented extents, the caller
+		// stitches runs together page-wise), so each page resolves
+		// independently. ent.data is always a full page (see put), making
+		// whole-page substitution safe.
 		ps := int64(v.fs.pageSize)
 		for i := int64(0); i < count; i++ {
 			if ent, ok := v.wb.pending[lpn+i]; ok {

@@ -1,0 +1,363 @@
+package ssd
+
+import (
+	"fmt"
+	"time"
+
+	"compstor/internal/flash"
+	"compstor/internal/sim"
+)
+
+// PipelineConfig configures the streaming in-device read pipeline: an
+// ISPS-DRAM page cache in front of the FTL plus a sequential read-ahead
+// prefetcher. The cache is carved out of the subsystem's 8 GB DDR4 budget
+// (isps.Subsystem.ReserveDRAM), so a huge cache visibly shrinks what tasks
+// can claim. Disabled by default: the stock path reproduces the paper's
+// synchronous read loop and its calibrated end-to-end throughputs exactly;
+// enabling the pipeline is the "what if CompStor pipelined I/O with
+// compute" configuration measured by `compstor-bench -run pipeline`.
+//
+// The pipeline only exists on the dedicated flash path of an in-situ drive
+// (the ISPS has no DRAM on conventional drives, and the NVMe-path ablation
+// deliberately strips the fast path), so Enabled is ignored elsewhere.
+type PipelineConfig struct {
+	// Enabled turns the read pipeline on.
+	Enabled bool
+	// CachePages sizes the page cache (default 16384 pages = 64 MiB at
+	// 4 KiB pages), LRU-evicted.
+	CachePages int64
+	// ReadAheadPages is the run length of one background fill (default 64
+	// pages = 256 KiB), and the granularity the in-flight window counts.
+	ReadAheadPages int64
+	// Window bounds concurrently running background fills (default 4).
+	Window int
+	// DRAMBytesPerSec is the cache-hit copy bandwidth (default 17 GB/s,
+	// DDR4-2133 peak).
+	DRAMBytesPerSec float64
+}
+
+func (c PipelineConfig) withDefaults() PipelineConfig {
+	if c.CachePages <= 0 {
+		c.CachePages = 16384
+	}
+	if c.ReadAheadPages <= 0 {
+		c.ReadAheadPages = 64
+	}
+	if c.Window <= 0 {
+		c.Window = 4
+	}
+	if c.DRAMBytesPerSec <= 0 {
+		c.DRAMBytesPerSec = 17e9
+	}
+	return c
+}
+
+// ReadCacheStats is a snapshot of the pipeline's counters.
+type ReadCacheStats struct {
+	Hits          int64 // demand pages served from ISPS DRAM
+	Misses        int64 // demand pages fetched from flash
+	Evictions     int64 // pages LRU-evicted
+	Invalidations int64 // cached pages dropped by write/TRIM/remount
+	PrefetchRuns  int64 // background fill processes spawned
+	PrefetchPages int64 // pages fetched by background fills
+	StaleFills    int64 // fills discarded because the page changed mid-flight
+	CachedPages   int64 // current occupancy
+}
+
+// cacheEntry is one cached page and its position in the LRU list.
+type cacheEntry struct {
+	lpn        int64
+	data       []byte
+	prev, next *cacheEntry
+}
+
+// fetchState tracks one page's in-flight fill. Invalidation cannot remove
+// an in-flight fill, so it marks the state stale and the fill discards its
+// result; demand readers poll until the state is cleared.
+type fetchState struct {
+	stale bool
+}
+
+// readCache is the ISPS-DRAM page cache plus prefetch machinery. Like
+// every structure in the simulation it is single-threaded under the
+// cooperative engine: all mutation happens from sim procs, never
+// concurrently, so ordinary maps and counters are safe and deterministic.
+type readCache struct {
+	s   *SSD
+	cfg PipelineConfig
+
+	entries    map[int64]*cacheEntry
+	head, tail *cacheEntry // head = most recently used
+
+	fetching map[int64]*fetchState
+	inflight int   // running background fills
+	seq      int64 // fill proc naming counter
+
+	stats ReadCacheStats
+}
+
+func newReadCache(s *SSD, cfg PipelineConfig) *readCache {
+	return &readCache{
+		s:        s,
+		cfg:      cfg.withDefaults(),
+		entries:  make(map[int64]*cacheEntry),
+		fetching: make(map[int64]*fetchState),
+	}
+}
+
+// LRU plumbing -----------------------------------------------------------------
+
+func (c *readCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *readCache) pushFront(e *cacheEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// get returns a cached page and refreshes its recency.
+func (c *readCache) get(lpn int64) ([]byte, bool) {
+	e, ok := c.entries[lpn]
+	if !ok {
+		return nil, false
+	}
+	c.unlink(e)
+	c.pushFront(e)
+	return e.data, true
+}
+
+// insert adds (or refreshes) a page, evicting from the LRU tail on
+// overflow. The cache owns data; callers must not retain or mutate it.
+func (c *readCache) insert(lpn int64, data []byte) {
+	if e, ok := c.entries[lpn]; ok {
+		e.data = data
+		c.unlink(e)
+		c.pushFront(e)
+		return
+	}
+	for int64(len(c.entries)) >= c.cfg.CachePages {
+		victim := c.tail
+		if victim == nil {
+			break
+		}
+		c.unlink(victim)
+		delete(c.entries, victim.lpn)
+		c.stats.Evictions++
+	}
+	e := &cacheEntry{lpn: lpn, data: data}
+	c.entries[lpn] = e
+	c.pushFront(e)
+}
+
+// Invalidation ------------------------------------------------------------------
+
+// invalidate drops count pages starting at lpn: cached copies are removed
+// and in-flight fills are marked stale so they discard their result. Every
+// path that changes logical content (host NVMe write/TRIM, ISPS-path
+// write/TRIM) calls this *after* the FTL operation completes, so a
+// concurrent fill either reads the new mapping, is marked stale mid-flight,
+// or had its inserted copy removed here — never a stale serve.
+func (c *readCache) invalidate(lpn, count int64) {
+	for i := int64(0); i < count; i++ {
+		if e, ok := c.entries[lpn+i]; ok {
+			c.unlink(e)
+			delete(c.entries, lpn+i)
+			c.stats.Invalidations++
+		}
+		if st, ok := c.fetching[lpn+i]; ok {
+			st.stale = true
+		}
+	}
+}
+
+// dropAll empties the cache wholesale — ISPS DRAM does not survive a power
+// cut, so Remount calls this before serving any post-recovery read.
+func (c *readCache) dropAll() {
+	c.stats.Invalidations += int64(len(c.entries))
+	c.entries = make(map[int64]*cacheEntry)
+	c.head, c.tail = nil, nil
+	for _, st := range c.fetching {
+		st.stale = true
+	}
+}
+
+// Demand path -------------------------------------------------------------------
+
+// readPages is the demand read: driver latency, then per page either an
+// ISPS-DRAM copy (hit), a poll-wait on an in-flight fill, or a flash fetch
+// (miss, fanned out channel-parallel and inserted read-through).
+func (c *readCache) readPages(p *sim.Proc, lpn, count int64, lat time.Duration) ([]byte, error) {
+	p.Wait(lat)
+	if c.s.dev.PoweredOff() {
+		// A powered-off device serves nothing — the DRAM cache least of all.
+		return nil, flash.ErrPowerLoss
+	}
+	ps := int64(c.s.PageSize())
+	out := make([]byte, count*ps)
+
+	// Wait out in-flight fills covering the request, then classify pages.
+	// The poll interval matches the write-back flusher's (5 µs).
+	var missed []int64
+	hitPages := int64(0)
+	for i := int64(0); i < count; i++ {
+		for c.fetching[lpn+i] != nil {
+			p.Wait(5 * time.Microsecond)
+		}
+		if data, ok := c.get(lpn + i); ok {
+			copy(out[i*ps:], data)
+			hitPages++
+		} else {
+			missed = append(missed, i)
+		}
+	}
+	c.stats.Hits += hitPages
+	c.stats.Misses += int64(len(missed))
+	if hitPages > 0 {
+		p.Wait(sim.DurationFor(hitPages*ps, c.cfg.DRAMBytesPerSec))
+	}
+	if len(missed) == 0 {
+		return out, nil
+	}
+
+	// Register the misses so concurrent fills/reads coordinate, fetch them
+	// channel-parallel, then insert read-through (unless invalidated while
+	// the fetch was in flight).
+	for _, i := range missed {
+		c.fetching[lpn+i] = &fetchState{}
+	}
+	err := c.s.forEachPage(p, int64(len(missed)), func(cp *sim.Proc, j int64) error {
+		i := missed[j]
+		data, err := c.s.ftl.ReadPage(cp, lpn+i)
+		if err != nil {
+			return err
+		}
+		copy(out[i*ps:], data)
+		return nil
+	})
+	for _, i := range missed {
+		st := c.fetching[lpn+i]
+		delete(c.fetching, lpn+i)
+		if err != nil || st.stale || c.s.dev.PoweredOff() {
+			continue
+		}
+		page := make([]byte, ps)
+		copy(page, out[i*ps:(i+1)*ps])
+		c.insert(lpn+i, page)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Prefetch path -----------------------------------------------------------------
+
+// readAheadPages advises the filesystem how far ahead to offer runs: the
+// whole in-flight window's worth.
+func (c *readCache) readAheadPages() int64 {
+	return c.cfg.ReadAheadPages * int64(c.cfg.Window)
+}
+
+// prefetch accepts up to count pages starting at lpn, spawning one
+// background fill per ReadAheadPages-sized run while window slots remain.
+// Pages already cached or in flight are consumed without spawning (they are
+// warm; the caller's read-ahead cursor must advance past them). Returns the
+// number of pages consumed; 0 applies backpressure.
+func (c *readCache) prefetch(p *sim.Proc, lpn, count int64) int64 {
+	accepted := int64(0)
+	for accepted < count && c.inflight < c.cfg.Window {
+		run := c.cfg.ReadAheadPages
+		if rem := count - accepted; run > rem {
+			run = rem
+		}
+		base := lpn + accepted
+		var fill []int64
+		for i := int64(0); i < run; i++ {
+			if _, ok := c.entries[base+i]; ok {
+				continue
+			}
+			if _, ok := c.fetching[base+i]; ok {
+				continue
+			}
+			fill = append(fill, base+i)
+		}
+		accepted += run
+		if len(fill) == 0 {
+			continue // whole run already warm: no slot consumed
+		}
+		for _, l := range fill {
+			c.fetching[l] = &fetchState{}
+		}
+		c.inflight++
+		c.stats.PrefetchRuns++
+		c.seq++
+		obsCtx := p.ObsCtx()
+		c.s.eng.Go(fmt.Sprintf("%s/ra%d", c.s.cfg.Name, c.seq), func(fp *sim.Proc) {
+			fp.SetObsCtx(obsCtx)
+			c.fill(fp, fill)
+		})
+	}
+	return accepted
+}
+
+// fill is one background read-ahead run: pay the driver latency, fetch the
+// pages channel-parallel, insert whatever is still valid. Errors are
+// swallowed — a prefetch is a hint; the demand path will surface them.
+func (c *readCache) fill(p *sim.Proc, lpns []int64) {
+	start := p.Now()
+	defer func() {
+		c.inflight--
+		if c.s.raBusy != nil {
+			c.s.raBusy.Add(start, p.Now().Sub(start))
+		}
+	}()
+	if c.s.cfg.Obs != nil {
+		sp := c.s.cfg.Obs.Begin(p, "isps", "readahead")
+		defer sp.End()
+	}
+	p.Wait(c.s.cfg.ISPSDriverLatency)
+	ps := int64(c.s.PageSize())
+	pages := make([][]byte, len(lpns))
+	err := c.s.forEachPage(p, int64(len(lpns)), func(cp *sim.Proc, j int64) error {
+		data, rerr := c.s.ftl.ReadPage(cp, lpns[j])
+		if rerr != nil {
+			return rerr
+		}
+		pages[j] = append(make([]byte, 0, ps), data[:ps]...)
+		return nil
+	})
+	for j, l := range lpns {
+		st := c.fetching[l]
+		delete(c.fetching, l)
+		if err != nil || st.stale || pages[j] == nil || c.s.dev.PoweredOff() {
+			c.stats.StaleFills++
+			continue
+		}
+		c.insert(l, pages[j])
+		c.stats.PrefetchPages++
+	}
+}
+
+// Stats returns a counter snapshot including current occupancy.
+func (c *readCache) Stats() ReadCacheStats {
+	st := c.stats
+	st.CachedPages = int64(len(c.entries))
+	return st
+}

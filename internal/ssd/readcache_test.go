@@ -1,0 +1,302 @@
+package ssd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"compstor/internal/apps/appset"
+	"compstor/internal/flash"
+	"compstor/internal/isps"
+	"compstor/internal/pcie"
+	"compstor/internal/sim"
+)
+
+// newPipelineRig builds an in-situ drive with the read pipeline enabled,
+// returning the raw ISPS block device so tests can drive the cache at page
+// granularity (below the minfs write-back cache).
+func newPipelineRig(t *testing.T, cfg PipelineConfig) (*sim.Engine, *SSD, *ispsBlockDevice) {
+	t.Helper()
+	eng := sim.NewEngine()
+	fabric := pcie.NewFabric(eng, pcie.DefaultConfig())
+	c := CompStorConfig("cs0", appset.Base())
+	c.Geometry = smallGeometry()
+	cfg.Enabled = true
+	c.Pipeline = cfg
+	drive := New(eng, fabric.AddPort(), c)
+	return eng, drive, drive.ispsBlockDevice().(*ispsBlockDevice)
+}
+
+func pagePattern(b byte, ps int) []byte { return bytes.Repeat([]byte{b}, ps) }
+
+// TestPipelineCacheHitsOnReread: a demand read populates the cache, a
+// re-read is served from ISPS DRAM (hits counted, same bytes, less time).
+func TestPipelineCacheHitsOnReread(t *testing.T) {
+	eng, drive, bd := newPipelineRig(t, PipelineConfig{})
+	ps := drive.PageSize()
+	payload := bytes.Repeat(pagePattern(0x5A, ps), 8)
+	eng.Go("t", func(p *sim.Proc) {
+		if err := bd.WritePages(p, 0, payload); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		start := p.Now()
+		cold, err := bd.ReadPages(p, 0, 8)
+		coldTime := p.Now().Sub(start)
+		if err != nil || !bytes.Equal(cold, payload) {
+			t.Errorf("cold read: %v", err)
+			return
+		}
+		start = p.Now()
+		warm, err := bd.ReadPages(p, 0, 8)
+		warmTime := p.Now().Sub(start)
+		if err != nil || !bytes.Equal(warm, payload) {
+			t.Errorf("warm read: %v", err)
+			return
+		}
+		if warmTime >= coldTime {
+			t.Errorf("warm read (%v) not faster than cold (%v)", warmTime, coldTime)
+		}
+	})
+	eng.Run()
+	st, ok := drive.ReadCacheStats()
+	if !ok {
+		t.Fatal("pipeline not enabled")
+	}
+	if st.Misses != 8 || st.Hits != 8 {
+		t.Fatalf("stats %+v, want 8 misses then 8 hits", st)
+	}
+}
+
+// TestPipelineWriteAfterCachedRead: overwriting a cached page — through the
+// ISPS path and through the host NVMe path — must invalidate the cached
+// copy so the next read returns the new bytes, never the cached old ones.
+func TestPipelineWriteAfterCachedRead(t *testing.T) {
+	eng, drive, bd := newPipelineRig(t, PipelineConfig{})
+	ps := drive.PageSize()
+	eng.Go("t", func(p *sim.Proc) {
+		if err := bd.WritePages(p, 0, bytes.Repeat(pagePattern(0x11, ps), 4)); err != nil {
+			t.Errorf("seed write: %v", err)
+			return
+		}
+		if _, err := bd.ReadPages(p, 0, 4); err != nil { // warm the cache
+			t.Errorf("warm read: %v", err)
+			return
+		}
+
+		// ISPS-path overwrite of page 1.
+		if err := bd.WritePages(p, 1, pagePattern(0x22, ps)); err != nil {
+			t.Errorf("isps overwrite: %v", err)
+			return
+		}
+		got, err := bd.ReadPages(p, 1, 1)
+		if err != nil || got[0] != 0x22 {
+			t.Errorf("read after ISPS overwrite: err=%v byte=%#x, want 0x22", err, got[0])
+		}
+
+		// Host NVMe-path overwrite of page 2 (the shared-FS scenario: host
+		// rewrites data the ISPS had cached).
+		if err := drive.Write(p, 2, pagePattern(0x33, ps)); err != nil {
+			t.Errorf("host overwrite: %v", err)
+			return
+		}
+		got, err = bd.ReadPages(p, 2, 1)
+		if err != nil || got[0] != 0x33 {
+			t.Errorf("read after host overwrite: err=%v byte=%#x, want 0x33", err, got[0])
+		}
+	})
+	eng.Run()
+	st, _ := drive.ReadCacheStats()
+	if st.Invalidations == 0 {
+		t.Fatalf("no invalidations recorded: %+v", st)
+	}
+}
+
+// TestPipelineTrimUnderPrefetch: invalidation racing an in-flight prefetch
+// fill must mark the fill stale so its bytes never land in the cache, and a
+// TRIM issued while a prefetch is running must leave post-TRIM reads seeing
+// zeroes regardless of how the race resolves.
+func TestPipelineTrimUnderPrefetch(t *testing.T) {
+	eng, drive, bd := newPipelineRig(t, PipelineConfig{ReadAheadPages: 16})
+	ps := drive.PageSize()
+	eng.Go("t", func(p *sim.Proc) {
+		if err := bd.WritePages(p, 0, bytes.Repeat(pagePattern(0x77, ps), 16)); err != nil {
+			t.Errorf("seed write: %v", err)
+			return
+		}
+		// Phase 1 — the mid-flight window, hit deterministically: Prefetch
+		// registers its pages as in-flight before the fill proc first runs,
+		// so invalidating before our next Wait is guaranteed to land while
+		// the fill is airborne. The fill must discard everything.
+		if n := bd.Prefetch(p, 0, 16); n != 16 {
+			t.Errorf("prefetch accepted %d/16", n)
+			return
+		}
+		drive.invalidateCache(0, 16)
+		p.Wait(drive.Flash().Timing().ReadPage * 100) // fill completes here
+		st, _ := drive.ReadCacheStats()
+		if st.StaleFills != 16 {
+			t.Errorf("StaleFills = %d, want 16 (in-flight fill not discarded)", st.StaleFills)
+		}
+		if st.CachedPages != 0 {
+			t.Errorf("%d pages cached from a stale fill", st.CachedPages)
+		}
+
+		// Phase 2 — end-to-end: TRIM issued while a fresh prefetch run is in
+		// flight. Whichever side wins the FTL, the post-TRIM read must be
+		// zeroes, never the prefetched 0x77s.
+		if n := bd.Prefetch(p, 0, 16); n != 16 {
+			t.Errorf("second prefetch accepted %d/16", n)
+			return
+		}
+		if err := bd.TrimPages(p, 0, 16); err != nil {
+			t.Errorf("trim: %v", err)
+			return
+		}
+		p.Wait(drive.Flash().Timing().ReadPage * 100)
+		got, err := bd.ReadPages(p, 0, 16)
+		if err != nil {
+			t.Errorf("post-trim read: %v", err)
+			return
+		}
+		for i, b := range got {
+			if b != 0 {
+				t.Errorf("byte %d = %#x after TRIM, stale cache served", i, b)
+				return
+			}
+		}
+	})
+	eng.Run()
+	st, _ := drive.ReadCacheStats()
+	if st.PrefetchRuns != 2 {
+		t.Fatalf("prefetch runs %d, want 2; test is vacuous: %+v", st.PrefetchRuns, st)
+	}
+}
+
+// TestPipelinePowerCutRemountDropsCache: ISPS DRAM does not survive a power
+// cut. A warm cache must refuse reads while powered off and come back cold
+// after Remount — proven by mutating the media behind the cache's back and
+// checking the post-remount read reflects the mutation.
+func TestPipelinePowerCutRemountDropsCache(t *testing.T) {
+	eng, drive, bd := newPipelineRig(t, PipelineConfig{})
+	ps := drive.PageSize()
+	eng.Go("t", func(p *sim.Proc) {
+		if err := bd.WritePages(p, 0, bytes.Repeat(pagePattern(0x42, ps), 4)); err != nil {
+			t.Errorf("seed write: %v", err)
+			return
+		}
+		if err := bd.Sync(p); err != nil {
+			t.Errorf("sync: %v", err)
+			return
+		}
+		if _, err := bd.ReadPages(p, 0, 4); err != nil { // warm the cache
+			t.Errorf("warm read: %v", err)
+			return
+		}
+
+		drive.Flash().PowerOff()
+		if _, err := bd.ReadPages(p, 0, 1); !errors.Is(err, flash.ErrPowerLoss) {
+			t.Errorf("powered-off cached read: %v, want ErrPowerLoss", err)
+		}
+
+		if _, err := drive.Remount(p); err != nil {
+			t.Errorf("remount: %v", err)
+			return
+		}
+		// Mutate page 0 through the recovered FTL directly — bypassing the
+		// invalidation hooks — so only a genuinely dropped cache can return
+		// the new bytes.
+		if err := drive.FTL().WritePage(p, 0, pagePattern(0x43, ps)); err != nil {
+			t.Errorf("post-remount write: %v", err)
+			return
+		}
+		got, err := bd.ReadPages(p, 0, 1)
+		if err != nil {
+			t.Errorf("post-remount read: %v", err)
+			return
+		}
+		if got[0] != 0x43 {
+			t.Errorf("post-remount read byte %#x, want 0x43: remount served a pre-cut cached page", got[0])
+		}
+	})
+	eng.Run()
+}
+
+// TestPipelineReservesISPSDRAM: the cache is carved out of the subsystem's
+// DRAM budget, so an absurdly large cache must refuse to build (panic from
+// ReserveDRAM) and a normal one must show up as used memory.
+func TestPipelineReservesISPSDRAM(t *testing.T) {
+	_, drive, _ := newPipelineRig(t, PipelineConfig{CachePages: 1024})
+	used := drive.ISPS().Status().MemUsedBytes
+	if want := int64(1024 * drive.PageSize()); used < want {
+		t.Fatalf("ISPS MemUsed = %d, want >= %d (cache not budgeted)", used, want)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized cache did not panic on DRAM reservation")
+		}
+	}()
+	eng := sim.NewEngine()
+	fabric := pcie.NewFabric(eng, pcie.DefaultConfig())
+	cfg := CompStorConfig("cs-big", appset.Base())
+	cfg.Geometry = smallGeometry()
+	cfg.Pipeline = PipelineConfig{Enabled: true, CachePages: 1 << 40}
+	New(eng, fabric.AddPort(), cfg)
+}
+
+// TestPipelineDeterminism: two identical pipelined runs — background
+// prefetch procs included — produce byte-identical output, identical cache
+// counters, and the same final virtual time.
+func TestPipelineDeterminism(t *testing.T) {
+	type outcome struct {
+		stdout  string
+		finalAt sim.Time
+		stats   ReadCacheStats
+	}
+	run := func() outcome {
+		eng := sim.NewEngine()
+		fabric := pcie.NewFabric(eng, pcie.DefaultConfig())
+		cfg := CompStorConfig("cs0", appset.Base())
+		cfg.Geometry = smallGeometry()
+		cfg.Pipeline = PipelineConfig{Enabled: true}
+		drive := New(eng, fabric.AddPort(), cfg)
+		var o outcome
+		eng.Go("host", func(p *sim.Proc) {
+			hv := drive.HostView()
+			content := bytes.Repeat([]byte("some words to grep through, the usual\n"), 4000)
+			hv.WriteFile(p, "f", content)
+			hv.Flush(p)
+			res := drive.ISPS().Spawn(p, isps.TaskSpec{Exec: "grep", Args: []string{"-c", "the", "f"}})
+			if res.Err != nil {
+				t.Errorf("task: %v", res.Err)
+				return
+			}
+			o.stdout = string(res.Stdout)
+		})
+		o.finalAt = eng.Run()
+		o.stats, _ = drive.ReadCacheStats()
+		return o
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different runs:\n a=%+v\n b=%+v", a, b)
+	}
+	if a.stats.PrefetchRuns == 0 || a.stats.Hits == 0 {
+		t.Fatalf("pipeline never engaged; test is vacuous: %+v", a.stats)
+	}
+}
+
+// TestPipelineOffByDefault: the zero-value config must leave the stock path
+// untouched — no cache, no prefetcher advertised to minfs.
+func TestPipelineOffByDefault(t *testing.T) {
+	eng, drive := newRig(t, true)
+	_ = eng
+	if _, ok := drive.ReadCacheStats(); ok {
+		t.Fatal("read cache exists without Pipeline.Enabled")
+	}
+	bd := drive.ispsBlockDevice().(*ispsBlockDevice)
+	if bd.ReadAheadPages() != 0 || bd.Pipelined() {
+		t.Fatal("disabled pipeline still advertises read-ahead")
+	}
+}

@@ -39,6 +39,12 @@ type Config struct {
 	InSitu   bool
 	Registry *apps.Registry
 
+	// Pipeline configures the streaming read pipeline (ISPS-DRAM page
+	// cache + read-ahead prefetcher). Only meaningful on in-situ drives
+	// with the dedicated flash path; ignored elsewhere. Zero value = off,
+	// which keeps the stock synchronous read path byte-identical.
+	Pipeline PipelineConfig
+
 	// SharedCores is the Biscuit-style ablation: in-situ tasks execute on
 	// the controller's embedded cores instead of a dedicated subsystem.
 	SharedCores bool
@@ -100,6 +106,8 @@ type SSD struct {
 
 	fs       *minfs.FS
 	ispsView *minfs.View
+	cache    *readCache    // streaming read pipeline; nil when disabled
+	raBusy   *obs.Timeline // prefetch-window occupancy (nil without obs)
 
 	vendor    func(p *sim.Proc, op nvme.Opcode, payload any) (any, int64, error)
 	faultHook func(p *sim.Proc, op nvme.Opcode) error
@@ -154,6 +162,27 @@ func New(eng *sim.Engine, port *pcie.Port, cfg Config) *SSD {
 		}
 		s.sub = isps.New(eng, icfg)
 		s.sub.SetObs(cfg.Obs)
+		if cfg.Pipeline.Enabled && !cfg.ISPSViaNVMePath {
+			pcfg := cfg.Pipeline.withDefaults()
+			cacheBytes := pcfg.CachePages * int64(cfg.Geometry.PageSize)
+			if err := s.sub.ReserveDRAM(cacheBytes); err != nil {
+				panic(fmt.Sprintf("ssd: %s read-cache of %d bytes exceeds ISPS DRAM: %v",
+					cfg.Name, cacheBytes, err))
+			}
+			s.cache = newReadCache(s, pcfg)
+			if cfg.Obs != nil {
+				c := s.cache
+				cfg.Obs.CounterFunc("isps.cache.hits", func() int64 { return c.stats.Hits })
+				cfg.Obs.CounterFunc("isps.cache.misses", func() int64 { return c.stats.Misses })
+				cfg.Obs.CounterFunc("isps.cache.evictions", func() int64 { return c.stats.Evictions })
+				cfg.Obs.CounterFunc("isps.cache.invalidations", func() int64 { return c.stats.Invalidations })
+				cfg.Obs.CounterFunc("isps.cache.prefetch_runs", func() int64 { return c.stats.PrefetchRuns })
+				cfg.Obs.CounterFunc("isps.cache.prefetch_pages", func() int64 { return c.stats.PrefetchPages })
+				cfg.Obs.CounterFunc("isps.cache.stale_fills", func() int64 { return c.stats.StaleFills })
+				cfg.Obs.CounterFunc("isps.cache.pages", func() int64 { return int64(len(c.entries)) })
+				s.raBusy = cfg.Obs.Timeline("isps.prefetch.busy", time.Millisecond, pcfg.Window)
+			}
+		}
 		s.ispsView = minfs.NewView(s.fs, s.ispsBlockDevice())
 		// The in-SSD Linux has a page cache of its own.
 		s.ispsView.EnableWriteBack(eng, 16384, 32)
@@ -181,7 +210,31 @@ func (s *SSD) Remount(p *sim.Proc) (ftl.RecoveryStats, error) {
 		return rs, fmt.Errorf("ssd: remount %s: %w", s.cfg.Name, err)
 	}
 	s.ftl = f
+	// ISPS DRAM does not survive the cut: drop the read cache wholesale so
+	// every post-recovery read reflects the recovered FTL state, never a
+	// pre-cut cached page (recovery may legitimately roll back unacked
+	// writes a fill had observed).
+	if s.cache != nil {
+		s.cache.dropAll()
+	}
 	return rs, nil
+}
+
+// ReadCacheStats returns the read pipeline's counters; ok is false when the
+// pipeline is disabled on this drive.
+func (s *SSD) ReadCacheStats() (st ReadCacheStats, ok bool) {
+	if s.cache == nil {
+		return ReadCacheStats{}, false
+	}
+	return s.cache.Stats(), true
+}
+
+// invalidateCache drops cached copies of a logical range after its content
+// changed; a no-op when the pipeline is off.
+func (s *SSD) invalidateCache(lpn, count int64) {
+	if s.cache != nil {
+		s.cache.invalidate(lpn, count)
+	}
 }
 
 // Obs returns the drive's observability scope (nil when not instrumented).
@@ -292,6 +345,9 @@ func (s *SSD) Write(p *sim.Proc, lba int64, data []byte) error {
 	}
 	ps := int64(s.PageSize())
 	pages := int64(len(data)) / ps
+	// Invalidate after the FTL writes complete (even on error — some pages
+	// may have landed): see readCache.invalidate for the ordering argument.
+	defer s.invalidateCache(lba, pages)
 	return s.forEachPage(p, pages, func(cp *sim.Proc, i int64) error {
 		return s.ftl.WritePage(cp, lba+i, data[i*ps:(i+1)*ps])
 	})
@@ -303,6 +359,7 @@ func (s *SSD) Trim(p *sim.Proc, lba, pages int64) error {
 	if err := s.fault(p, nvme.OpTrim); err != nil {
 		return err
 	}
+	defer s.invalidateCache(lba, pages)
 	return s.ftl.Trim(p, lba, pages)
 }
 
@@ -425,6 +482,9 @@ func (d *ispsBlockDevice) PageSize() int { return d.s.PageSize() }
 func (d *ispsBlockDevice) Pages() int64  { return d.s.ftl.LogicalPages() }
 
 func (d *ispsBlockDevice) ReadPages(p *sim.Proc, lpn, count int64) ([]byte, error) {
+	if d.direct && d.s.cache != nil {
+		return d.s.cache.readPages(p, lpn, count, d.lat)
+	}
 	ps := int64(d.s.PageSize())
 	out := make([]byte, count*ps)
 	if d.direct {
@@ -459,6 +519,7 @@ func (d *ispsBlockDevice) ReadPages(p *sim.Proc, lpn, count int64) ([]byte, erro
 func (d *ispsBlockDevice) WritePages(p *sim.Proc, lpn int64, data []byte) error {
 	ps := int64(d.s.PageSize())
 	count := int64(len(data)) / ps
+	defer d.s.invalidateCache(lpn, count)
 	if d.direct {
 		p.Wait(d.lat)
 		return d.s.forEachPage(p, count, func(cp *sim.Proc, i int64) error {
@@ -477,7 +538,31 @@ func (d *ispsBlockDevice) WritePages(p *sim.Proc, lpn int64, data []byte) error 
 
 func (d *ispsBlockDevice) TrimPages(p *sim.Proc, lpn, count int64) error {
 	p.Wait(d.lat)
+	defer d.s.invalidateCache(lpn, count)
 	return d.s.ftl.Trim(p, lpn, count)
+}
+
+// ReadAheadPages implements minfs.Prefetcher: the advised read-ahead
+// distance (0 when the pipeline is off, which disables file read-ahead).
+func (d *ispsBlockDevice) ReadAheadPages() int64 {
+	if !d.direct || d.s.cache == nil {
+		return 0
+	}
+	return d.s.cache.readAheadPages()
+}
+
+// Prefetch implements minfs.Prefetcher, delegating to the read cache's
+// background fill machinery.
+func (d *ispsBlockDevice) Prefetch(p *sim.Proc, lpn, count int64) int64 {
+	if !d.direct || d.s.cache == nil {
+		return 0
+	}
+	return d.s.cache.prefetch(p, lpn, count)
+}
+
+// Pipelined implements minfs.PipelinedDevice.
+func (d *ispsBlockDevice) Pipelined() bool {
+	return d.direct && d.s.cache != nil
 }
 
 // Sync implements minfs.Syncer over the dedicated path: the driver call
