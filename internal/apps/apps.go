@@ -107,6 +107,29 @@ func (c *Context) Open(name string) (io.ReadCloser, error) {
 	return &chargingFile{chargingReader: chargingReader{ctx: c, r: fsReader{f: f, p: c.Proc}, scale: scale}, f: f, p: c.Proc}, nil
 }
 
+// OpenAt opens a named file like Open with the cursor positioned at off —
+// the entry point for chunked scans, where each worker starts mid-file.
+// The same pipelined charge split applies, and the seek arms a fresh
+// sequential-read streak so every chunk drives its own prefetch window.
+func (c *Context) OpenAt(name string, off int64) (io.ReadCloser, error) {
+	if c.FS == nil {
+		return nil, ErrNoFS
+	}
+	f, err := c.FS.Open(c.Proc, name)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.SeekTo(off); err != nil {
+		f.Close(c.Proc)
+		return nil, err
+	}
+	scale := 1.0
+	if c.FS.Pipelined() {
+		scale = cpu.StreamCPUFraction(c.Class)
+	}
+	return &chargingFile{chargingReader: chargingReader{ctx: c, r: fsReader{f: f, p: c.Proc}, scale: scale}, f: f, p: c.Proc}, nil
+}
+
 // Create creates (or replaces) a named output file. Output bytes charge the
 // platform's streaming-copy class (cpu.ClassCat) — moving produced bytes
 // into the filesystem costs core time just like consuming input does.

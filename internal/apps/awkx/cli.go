@@ -20,10 +20,9 @@ func (Gawk) Name() string { return "gawk" }
 // Class implements apps.Program.
 func (Gawk) Class() cpu.Class { return cpu.ClassGawk }
 
-// Run implements apps.Program.
-func (Gawk) Run(ctx *apps.Context, args []string) error {
-	var fs string
-	var assigns [][2]string
+// parseCLI splits argv into the field separator, -v assignments, program
+// text and input files.
+func parseCLI(args []string) (fs string, assigns [][2]string, progText string, files []string, err error) {
 	i := 0
 	for i < len(args) {
 		switch {
@@ -36,7 +35,8 @@ func (Gawk) Run(ctx *apps.Context, args []string) error {
 		case args[i] == "-v" && i+1 < len(args):
 			kv := strings.SplitN(args[i+1], "=", 2)
 			if len(kv) != 2 {
-				return apps.Exitf(2, "gawk: bad -v assignment %q", args[i+1])
+				err = apps.Exitf(2, "gawk: bad -v assignment %q", args[i+1])
+				return
 			}
 			assigns = append(assigns, [2]string{kv[0], kv[1]})
 			i += 2
@@ -46,10 +46,18 @@ func (Gawk) Run(ctx *apps.Context, args []string) error {
 	}
 prog:
 	if i >= len(args) {
-		return apps.Exitf(2, "gawk: missing program text")
+		err = apps.Exitf(2, "gawk: missing program text")
+		return
 	}
-	progText := args[i]
-	files := args[i+1:]
+	return fs, assigns, args[i], args[i+1:], nil
+}
+
+// Run implements apps.Program.
+func (Gawk) Run(ctx *apps.Context, args []string) error {
+	fs, assigns, progText, files, err := parseCLI(args)
+	if err != nil {
+		return err
+	}
 
 	prog, err := parse(progText)
 	if err != nil {

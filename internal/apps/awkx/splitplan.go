@@ -1,0 +1,195 @@
+package awkx
+
+import (
+	"bytes"
+	"io"
+
+	"compstor/internal/apps"
+	"compstor/internal/apps/splitscan"
+)
+
+// Split-scan support: a gawk invocation is chunkable when the program is a
+// pure record scan — every rule looks only at the current record and writes
+// only to stdout, so running it over newline-aligned chunks and
+// concatenating the outputs in chunk order reproduces the serial run
+// byte-for-byte.
+//
+// The splittable walker is a deny-list over the AST. Anything that carries
+// state across records (NR, ordinary variables, arrays), redirects output,
+// pulls extra input (getline), terminates the whole run (exit), or is
+// nondeterministic across interpreter instances (rand/srand) forces the
+// serial path. BEGIN/END blocks and user functions are denied outright:
+// BEGIN/END must run exactly once, and function bodies could hide any of
+// the above.
+
+// SplitPlan implements splitscan.Splitter.
+func (Gawk) SplitPlan(args []string) (splitscan.Plan, bool) {
+	fs, assigns, progText, files, err := parseCLI(args)
+	if err != nil || len(files) != 1 {
+		return splitscan.Plan{}, false
+	}
+	prog, err := parse(progText)
+	if err != nil || !splittable(prog) {
+		return splitscan.Plan{}, false
+	}
+	k := &gawkKernel{fs: fs, assigns: assigns, progText: progText, file: files[0]}
+	return splitscan.Plan{File: files[0], Kernel: k}, true
+}
+
+// splittable reports whether the program is a stateless per-record scan.
+func splittable(p *program) bool {
+	if len(p.begins) > 0 || len(p.ends) > 0 || len(p.funcs) > 0 {
+		return false
+	}
+	for _, r := range p.rules {
+		if r.pattern != nil && !splitExpr(r.pattern) {
+			return false
+		}
+		if r.action != nil && !splitStmt(r.action) {
+			return false
+		}
+	}
+	return true
+}
+
+func splitStmt(s stmt) bool {
+	switch s := s.(type) {
+	case nil:
+		return true
+	case *stmtBlock:
+		for _, st := range s.stmts {
+			if !splitStmt(st) {
+				return false
+			}
+		}
+		return true
+	case *exprStmt:
+		return splitExpr(s.e)
+	case *printStmt:
+		if s.dest != nil {
+			return false
+		}
+		return splitExprs(s.args)
+	case *printfStmt:
+		if s.dest != nil {
+			return false
+		}
+		return splitExprs(s.args)
+	case *ifStmt:
+		return splitExpr(s.cond) && splitStmt(s.then) && splitStmt(s.elze)
+	case *whileStmt:
+		return splitExpr(s.cond) && splitStmt(s.body)
+	case *forStmt:
+		return splitStmt(s.init) && splitExpr(s.cond) && splitStmt(s.post) && splitStmt(s.body)
+	case *breakStmt, *continueStmt, *nextStmt:
+		return true
+	default:
+		// forInStmt, exitStmt, returnStmt, deleteStmt — all stateful.
+		return false
+	}
+}
+
+func splitExprs(es []expr) bool {
+	for _, e := range es {
+		if !splitExpr(e) {
+			return false
+		}
+	}
+	return true
+}
+
+func splitExpr(e expr) bool {
+	switch e := e.(type) {
+	case nil:
+		return true
+	case *numLit, *strLit, *regexLit:
+		return true
+	case *varRef:
+		// NR (and per-file FNR) are global record numbers; a chunk worker
+		// cannot know its absolute record index.
+		return e.name != "NR" && e.name != "FNR"
+	case *fieldRef:
+		return splitExpr(e.idx)
+	case *assign:
+		// Only field assignment is record-local; variables and array slots
+		// outlive the record.
+		if _, ok := e.target.(*fieldRef); !ok {
+			return false
+		}
+		return splitExpr(e.target) && splitExpr(e.val)
+	case *incDec:
+		if _, ok := e.target.(*fieldRef); !ok {
+			return false
+		}
+		return splitExpr(e.target)
+	case *binary:
+		return splitExpr(e.l) && splitExpr(e.r)
+	case *unary:
+		return splitExpr(e.e)
+	case *ternary:
+		return splitExpr(e.cond) && splitExpr(e.a) && splitExpr(e.b)
+	case *matchExpr:
+		return splitExpr(e.l) && splitExpr(e.re)
+	case *groupExpr:
+		return splitExpr(e.e)
+	case *builtinCall:
+		switch e.name {
+		case "rand", "srand":
+			// Each chunk worker would get its own freshly-seeded RNG.
+			return false
+		case "split":
+			// Writes an array.
+			return false
+		}
+		return splitExprs(e.args)
+	default:
+		// indexRef, inExpr, call, getlineExpr — arrays, user functions and
+		// extra input are all stateful.
+		return false
+	}
+}
+
+type gawkKernel struct {
+	fs       string
+	assigns  [][2]string
+	progText string
+	file     string
+}
+
+// RunChunk implements splitscan.Kernel: a fresh interpreter per chunk,
+// configured exactly like the serial one, scanning just the chunk's records
+// into a private buffer.
+func (k *gawkKernel) RunChunk(ctx *apps.Context, r io.Reader, chunk int) (any, error) {
+	prog, err := parse(k.progText)
+	if err != nil {
+		return nil, apps.Exitf(2, "gawk: %v", err)
+	}
+	var buf bytes.Buffer
+	interp := newInterp(prog, &buf)
+	interp.openFile = func(name string) (io.WriteCloser, error) { return ctx.Create(name) }
+	interp.openRead = func(name string) (io.ReadCloser, error) { return ctx.Open(name) }
+	if k.fs != "" {
+		interp.globals["FS"] = str(k.fs)
+	}
+	for _, kv := range k.assigns {
+		interp.globals[kv[0]] = inputStr(kv[1])
+	}
+	code, err := interp.Run([]namedReader{{name: k.file, r: r}})
+	if err != nil {
+		return nil, apps.Exitf(2, "gawk: %v", err)
+	}
+	if code != 0 {
+		return nil, apps.Exitf(code, "")
+	}
+	return buf.Bytes(), nil
+}
+
+// Merge implements splitscan.Kernel.
+func (k *gawkKernel) Merge(ctx *apps.Context, parts []any) error {
+	for _, p := range parts {
+		if _, err := ctx.Stdout.Write(p.([]byte)); err != nil {
+			return apps.Exitf(2, "gawk: %v", err)
+		}
+	}
+	return nil
+}

@@ -6,14 +6,16 @@ package coreutils
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
-	"hash/fnv"
+	"hash/crc32"
 	"io"
 	"sort"
 	"strconv"
 	"strings"
 
 	"compstor/internal/apps"
+	"compstor/internal/apps/splitscan"
 	"compstor/internal/cpu"
 )
 
@@ -66,6 +68,36 @@ func (Cat) Run(ctx *apps.Context, args []string) error {
 	return nil
 }
 
+// SplitPlan implements splitscan.Splitter: a single-file cat is a pure
+// concatenation of its chunks.
+func (Cat) SplitPlan(args []string) (splitscan.Plan, bool) {
+	if len(args) != 1 {
+		return splitscan.Plan{}, false
+	}
+	return splitscan.Plan{File: args[0], Kernel: catKernel{}}, true
+}
+
+type catKernel struct{}
+
+// RunChunk implements splitscan.Kernel.
+func (catKernel) RunChunk(ctx *apps.Context, r io.Reader, chunk int) (any, error) {
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		return nil, apps.Exitf(1, "cat: %v", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Merge implements splitscan.Kernel.
+func (catKernel) Merge(ctx *apps.Context, parts []any) error {
+	for _, p := range parts {
+		if _, err := ctx.Stdout.Write(p.([]byte)); err != nil {
+			return apps.Exitf(1, "cat: %v", err)
+		}
+	}
+	return nil
+}
+
 // WC counts lines, words and bytes.
 type WC struct{}
 
@@ -77,8 +109,35 @@ func (WC) Class() cpu.Class { return cpu.ClassWC }
 
 // Run implements apps.Program.
 func (WC) Run(ctx *apps.Context, args []string) error {
-	var onlyLines, onlyWords, onlyBytes bool
-	var files []string
+	onlyLines, onlyWords, onlyBytes, files, err := wcArgs(args)
+	if err != nil {
+		return err
+	}
+	rs, done, oerr := openAll(ctx, files)
+	if oerr != nil {
+		return apps.Exitf(1, "wc: %v", oerr)
+	}
+	defer done()
+	var tl, tw, tb int64
+	for i, r := range rs {
+		l, w, b, err := countStream(r)
+		if err != nil {
+			return apps.Exitf(1, "wc: %v", err)
+		}
+		name := ""
+		if len(files) > 0 {
+			name = files[i]
+		}
+		wcEmit(ctx.Stdout, onlyLines, onlyWords, onlyBytes, l, w, b, name)
+		tl, tw, tb = tl+l, tw+w, tb+b
+	}
+	if len(rs) > 1 {
+		wcEmit(ctx.Stdout, onlyLines, onlyWords, onlyBytes, tl, tw, tb, "total")
+	}
+	return nil
+}
+
+func wcArgs(args []string) (onlyLines, onlyWords, onlyBytes bool, files []string, err error) {
 	for _, a := range args {
 		switch a {
 		case "-l":
@@ -89,64 +148,94 @@ func (WC) Run(ctx *apps.Context, args []string) error {
 			onlyBytes = true
 		default:
 			if strings.HasPrefix(a, "-") {
-				return apps.Exitf(1, "wc: unknown flag %s", a)
+				err = apps.Exitf(1, "wc: unknown flag %s", a)
+				return
 			}
 			files = append(files, a)
 		}
 	}
-	rs, done, err := openAll(ctx, files)
+	return
+}
+
+// countStream tallies lines, words and bytes of one input. Word state
+// resets at every newline, so counts taken over newline-aligned chunks sum
+// to exactly the whole-file counts — the property the split-scan kernel
+// relies on.
+func countStream(r io.Reader) (l, w, b int64, err error) {
+	br := bufread(r)
+	inWord := false
+	for {
+		c, rerr := br.ReadByte()
+		if rerr == io.EOF {
+			return l, w, b, nil
+		}
+		if rerr != nil {
+			return l, w, b, rerr
+		}
+		b++
+		if c == '\n' {
+			l++
+		}
+		space := c == ' ' || c == '\t' || c == '\n' || c == '\r'
+		if !space && !inWord {
+			w++
+		}
+		inWord = !space
+	}
+}
+
+func wcEmit(out io.Writer, onlyLines, onlyWords, onlyBytes bool, l, w, b int64, name string) {
+	switch {
+	case onlyLines && !onlyWords && !onlyBytes:
+		fmt.Fprintf(out, "%d", l)
+	case onlyWords && !onlyLines && !onlyBytes:
+		fmt.Fprintf(out, "%d", w)
+	case onlyBytes && !onlyLines && !onlyWords:
+		fmt.Fprintf(out, "%d", b)
+	default:
+		fmt.Fprintf(out, "%7d %7d %7d", l, w, b)
+	}
+	if name != "" {
+		fmt.Fprintf(out, " %s", name)
+	}
+	fmt.Fprintln(out)
+}
+
+// SplitPlan implements splitscan.Splitter: per-chunk counts over
+// newline-aligned chunks are associative, the merge just sums them.
+func (WC) SplitPlan(args []string) (splitscan.Plan, bool) {
+	onlyLines, onlyWords, onlyBytes, files, err := wcArgs(args)
+	if err != nil || len(files) != 1 {
+		return splitscan.Plan{}, false
+	}
+	k := wcKernel{onlyLines: onlyLines, onlyWords: onlyWords, onlyBytes: onlyBytes, name: files[0]}
+	return splitscan.Plan{File: files[0], Kernel: k}, true
+}
+
+type wcKernel struct {
+	onlyLines, onlyWords, onlyBytes bool
+	name                            string
+}
+
+type wcPartial struct{ l, w, b int64 }
+
+// RunChunk implements splitscan.Kernel.
+func (wcKernel) RunChunk(ctx *apps.Context, r io.Reader, chunk int) (any, error) {
+	l, w, b, err := countStream(r)
 	if err != nil {
-		return apps.Exitf(1, "wc: %v", err)
+		return nil, apps.Exitf(1, "wc: %v", err)
 	}
-	defer done()
-	var tl, tw, tb int64
-	emit := func(l, w, b int64, name string) {
-		switch {
-		case onlyLines && !onlyWords && !onlyBytes:
-			fmt.Fprintf(ctx.Stdout, "%d", l)
-		case onlyWords && !onlyLines && !onlyBytes:
-			fmt.Fprintf(ctx.Stdout, "%d", w)
-		case onlyBytes && !onlyLines && !onlyWords:
-			fmt.Fprintf(ctx.Stdout, "%d", b)
-		default:
-			fmt.Fprintf(ctx.Stdout, "%7d %7d %7d", l, w, b)
-		}
-		if name != "" {
-			fmt.Fprintf(ctx.Stdout, " %s", name)
-		}
-		fmt.Fprintln(ctx.Stdout)
+	return wcPartial{l: l, w: w, b: b}, nil
+}
+
+// Merge implements splitscan.Kernel.
+func (k wcKernel) Merge(ctx *apps.Context, parts []any) error {
+	var l, w, b int64
+	for _, p := range parts {
+		wp := p.(wcPartial)
+		l, w, b = l+wp.l, w+wp.w, b+wp.b
 	}
-	for i, r := range rs {
-		var l, w, b int64
-		// Stream in 64 KiB chunks (like the scanners): bufio's default
-		// 4 KiB buffer would issue a device read per page.
-		br := bufio.NewReaderSize(r, 64*1024)
-		inWord := false
-		for {
-			c, err := br.ReadByte()
-			if err != nil {
-				break
-			}
-			b++
-			if c == '\n' {
-				l++
-			}
-			space := c == ' ' || c == '\t' || c == '\n' || c == '\r'
-			if !space && !inWord {
-				w++
-			}
-			inWord = !space
-		}
-		name := ""
-		if len(files) > 0 {
-			name = files[i]
-		}
-		emit(l, w, b, name)
-		tl, tw, tb = tl+l, tw+w, tb+b
-	}
-	if len(rs) > 1 {
-		emit(tl, tw, tb, "total")
-	}
+	wcEmit(ctx.Stdout, k.onlyLines, k.onlyWords, k.onlyBytes, l, w, b, k.name)
 	return nil
 }
 
@@ -250,6 +339,14 @@ func newScanner(r io.Reader) *bufio.Scanner {
 	return sc
 }
 
+// bufread wraps r in a 64 KiB buffered reader so byte- and line-oriented
+// consumers always issue large device reads: bufio's default 4 KiB buffer
+// would cost a device read per page, and even the 64 KiB scanner shrinks
+// its read size while a partial token sits in its buffer.
+func bufread(r io.Reader) *bufio.Reader {
+	return bufio.NewReaderSize(r, 64*1024)
+}
+
 // Sort sorts lines (-r reverse, -n numeric, -u unique).
 type Sort struct{}
 
@@ -287,7 +384,7 @@ func (Sort) Run(ctx *apps.Context, args []string) error {
 	defer done()
 	var lines []string
 	for _, r := range rs {
-		sc := newScanner(r)
+		sc := newScanner(bufread(r))
 		for sc.Scan() {
 			lines = append(lines, sc.Text())
 		}
@@ -371,7 +468,7 @@ func (Uniq) Run(ctx *apps.Context, args []string) error {
 		}
 	}
 	for _, r := range rs {
-		sc := newScanner(r)
+		sc := newScanner(bufread(r))
 		for sc.Scan() {
 			l := sc.Text()
 			if run > 0 && l == prev {
@@ -432,7 +529,7 @@ func (Cut) Run(ctx *apps.Context, args []string) error {
 	}
 	defer done()
 	for _, r := range rs {
-		sc := newScanner(r)
+		sc := newScanner(bufread(r))
 		for sc.Scan() {
 			parts := strings.Split(sc.Text(), delim)
 			var out []string
@@ -485,7 +582,9 @@ func (Echo) Run(ctx *apps.Context, args []string) error {
 	return nil
 }
 
-// Cksum prints an FNV-1a checksum and byte count per input.
+// Cksum prints a CRC-32 (IEEE) checksum and byte count per input. CRC is
+// linear over GF(2), so checksums of adjacent chunks combine exactly (see
+// crc32Combine) — that is what lets split-scan checksum chunks in parallel.
 type Cksum struct{}
 
 // Name implements apps.Program.
@@ -502,8 +601,7 @@ func (Cksum) Run(ctx *apps.Context, args []string) error {
 	}
 	defer done()
 	for i, r := range rs {
-		h := fnv.New64a()
-		n, err := io.Copy(h, r)
+		crc, n, err := crcStream(r)
 		if err != nil {
 			return apps.Exitf(1, "cksum: %v", err)
 		}
@@ -511,7 +609,52 @@ func (Cksum) Run(ctx *apps.Context, args []string) error {
 		if len(args) > 0 {
 			name = " " + args[i]
 		}
-		fmt.Fprintf(ctx.Stdout, "%016x %d%s\n", h.Sum64(), n, name)
+		fmt.Fprintf(ctx.Stdout, "%08x %d%s\n", crc, n, name)
 	}
+	return nil
+}
+
+// crcStream checksums one input through a 64 KiB buffered reader.
+func crcStream(r io.Reader) (uint32, int64, error) {
+	h := crc32.NewIEEE()
+	n, err := io.Copy(h, bufread(r))
+	return h.Sum32(), n, err
+}
+
+// SplitPlan implements splitscan.Splitter.
+func (Cksum) SplitPlan(args []string) (splitscan.Plan, bool) {
+	if len(args) != 1 {
+		return splitscan.Plan{}, false
+	}
+	return splitscan.Plan{File: args[0], Kernel: cksumKernel{name: args[0]}}, true
+}
+
+type cksumKernel struct{ name string }
+
+type cksumPartial struct {
+	crc uint32
+	n   int64
+}
+
+// RunChunk implements splitscan.Kernel.
+func (cksumKernel) RunChunk(ctx *apps.Context, r io.Reader, chunk int) (any, error) {
+	crc, n, err := crcStream(r)
+	if err != nil {
+		return nil, apps.Exitf(1, "cksum: %v", err)
+	}
+	return cksumPartial{crc: crc, n: n}, nil
+}
+
+// Merge implements splitscan.Kernel: fold the chunk CRCs left to right with
+// crc32Combine and sum the byte counts.
+func (k cksumKernel) Merge(ctx *apps.Context, parts []any) error {
+	var crc uint32
+	var total int64
+	for _, p := range parts {
+		cp := p.(cksumPartial)
+		crc = crc32Combine(crc, cp.crc, cp.n)
+		total += cp.n
+	}
+	fmt.Fprintf(ctx.Stdout, "%08x %d %s\n", crc, total, k.name)
 	return nil
 }

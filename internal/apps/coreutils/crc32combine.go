@@ -1,0 +1,72 @@
+package coreutils
+
+// CRC-32 combination in the style of zlib's crc32_combine: given
+// crcA = CRC(A) and crcB = CRC(B), the CRC of the concatenation A||B is
+// obtained by advancing crcA through len(B) zero bytes — a linear operator
+// over GF(2), represented as a 32x32 bit matrix and applied in
+// O(log len(B)) squarings — and xoring in crcB.
+
+// crc32Poly is the reflected CRC-32 (IEEE 802.3) polynomial.
+const crc32Poly = 0xedb88320
+
+// gf2MatrixTimes multiplies the 32x32 GF(2) matrix by the bit vector vec.
+func gf2MatrixTimes(mat *[32]uint32, vec uint32) uint32 {
+	var sum uint32
+	for i := 0; vec != 0; i++ {
+		if vec&1 != 0 {
+			sum ^= mat[i]
+		}
+		vec >>= 1
+	}
+	return sum
+}
+
+// gf2MatrixSquare sets square = mat * mat.
+func gf2MatrixSquare(square, mat *[32]uint32) {
+	for n := 0; n < 32; n++ {
+		square[n] = gf2MatrixTimes(mat, mat[n])
+	}
+}
+
+// crc32Combine returns CRC(A||B) given crc1 = CRC(A), crc2 = CRC(B) and
+// len2 = len(B). It is associative, so a left fold over chunk CRCs in chunk
+// order reproduces the serial whole-file CRC exactly.
+func crc32Combine(crc1, crc2 uint32, len2 int64) uint32 {
+	if len2 <= 0 {
+		return crc1 ^ crc2
+	}
+	var even, odd [32]uint32
+
+	// odd = the operator for one zero bit.
+	odd[0] = crc32Poly
+	row := uint32(1)
+	for n := 1; n < 32; n++ {
+		odd[n] = row
+		row <<= 1
+	}
+	// even = operator for two zero bits, odd = operator for four.
+	gf2MatrixSquare(&even, &odd)
+	gf2MatrixSquare(&odd, &even)
+
+	// Apply len2 zero BYTES: square to the next power of two and apply the
+	// operator wherever len2 has a bit set.
+	for {
+		gf2MatrixSquare(&even, &odd)
+		if len2&1 != 0 {
+			crc1 = gf2MatrixTimes(&even, crc1)
+		}
+		len2 >>= 1
+		if len2 == 0 {
+			break
+		}
+		gf2MatrixSquare(&odd, &even)
+		if len2&1 != 0 {
+			crc1 = gf2MatrixTimes(&odd, crc1)
+		}
+		len2 >>= 1
+		if len2 == 0 {
+			break
+		}
+	}
+	return crc1 ^ crc2
+}

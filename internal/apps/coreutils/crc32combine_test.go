@@ -1,0 +1,34 @@
+package coreutils
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+func TestCRC32CombineMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 1<<16+13)
+	rng.Read(data)
+	for _, split := range []int{0, 1, 13, 4096, 1 << 15, len(data) - 1, len(data)} {
+		a, b := data[:split], data[split:]
+		got := crc32Combine(crc32.ChecksumIEEE(a), crc32.ChecksumIEEE(b), int64(len(b)))
+		if want := crc32.ChecksumIEEE(data); got != want {
+			t.Errorf("split %d: combine %08x, serial %08x", split, got, want)
+		}
+	}
+}
+
+func TestCRC32CombineFold(t *testing.T) {
+	data := bytes.Repeat([]byte("the quick brown fox\n"), 1000)
+	cuts := []int{0, 7, 7, 5000, 12345, len(data)}
+	var acc uint32
+	for i := 0; i+1 < len(cuts); i++ {
+		part := data[cuts[i]:cuts[i+1]]
+		acc = crc32Combine(acc, crc32.ChecksumIEEE(part), int64(len(part)))
+	}
+	if want := crc32.ChecksumIEEE(data); acc != want {
+		t.Fatalf("folded %08x, serial %08x", acc, want)
+	}
+}

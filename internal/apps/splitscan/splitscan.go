@@ -1,0 +1,246 @@
+// Package splitscan partitions one file into byte ranges that many ISPS
+// cores scan concurrently, Hadoop-input-split style: nominal cuts are
+// placed arithmetically (snapped to minfs extent-run boundaries so chunks
+// follow media contiguity), and each worker realigns its range to line
+// boundaries at read time — the owner of a chunk reads past its nominal
+// end to finish the straddling line, and the next worker discards its
+// leading partial line. Both sides apply the same rule to the same cut, so
+// every line of the file is delivered to exactly one worker, with no
+// coordination and no second pass over the data.
+//
+// The realign rule, for a cut c > 0: a chunk [s, e) delivers the bytes
+// after the first '\n' at offset ≥ s−1, through the first '\n' at offset
+// ≥ e−1 inclusive (or to EOF when no such newline exists); a chunk with
+// s = 0 delivers from offset 0. realign is monotone in the cut, so the
+// realigned ranges exactly partition the file — a chunk narrower than one
+// line simply comes out empty.
+package splitscan
+
+import (
+	"bytes"
+	"io"
+
+	"compstor/internal/apps"
+)
+
+// Kernel is the chunkable form of a scan program: RunChunk consumes one
+// realigned byte range and returns a partial result; Merge combines the
+// partials in chunk order, writing the program's final output. Merge's
+// error is the program's final exit condition (grep's no-match exit 1
+// lives there, for instance).
+type Kernel interface {
+	RunChunk(ctx *apps.Context, r io.Reader, chunk int) (any, error)
+	Merge(ctx *apps.Context, parts []any) error
+}
+
+// Plan is one splittable invocation: the single input file and the kernel
+// that scans it.
+type Plan struct {
+	File   string
+	Kernel Kernel
+}
+
+// Splitter is implemented by programs that expose a chunkable form. A
+// (Plan, false) return means this particular argv is not splittable
+// (multiple files, stdin, order-dependent flags...) and the executor
+// falls back to the serial path.
+type Splitter interface {
+	apps.Program
+	SplitPlan(args []string) (Plan, bool)
+}
+
+// Pos returns the absolute file offset at which a chunk starting at the
+// nominal cut start must begin reading: one byte early, so the worker can
+// observe the newline that terminates the previous chunk's last line even
+// when that newline sits exactly on the cut.
+func Pos(start int64) int64 {
+	if start <= 0 {
+		return 0
+	}
+	return start - 1
+}
+
+// Cuts places n+1 nominal chunk boundaries over a file of size bytes:
+// cuts[0] = 0, cuts[n] = size, interior cuts at even strides snapped to
+// the nearest extent-run boundary within half a stride (so chunks follow
+// media contiguity and per-chunk demand reads land on different channel
+// groups), else to the nearest page boundary. runStarts are the byte
+// offsets where a new extent run begins (sorted, excluding 0). Collapsed
+// cuts are dropped, so fewer than n chunks may come back; the result is
+// always strictly increasing.
+func Cuts(size int64, pageSize int, runStarts []int64, n int) []int64 {
+	if size <= 0 {
+		return []int64{0, 0}
+	}
+	if n < 1 {
+		n = 1
+	}
+	if int64(n) > size {
+		n = int(size)
+	}
+	cuts := make([]int64, 1, n+1)
+	stride := size / int64(n)
+	for i := 1; i < n; i++ {
+		c := snap(size*int64(i)/int64(n), stride, pageSize, runStarts)
+		if c <= cuts[len(cuts)-1] || c >= size {
+			continue
+		}
+		cuts = append(cuts, c)
+	}
+	return append(cuts, size)
+}
+
+// snap moves a nominal cut to the nearest extent-run boundary if one lies
+// within half a stride, otherwise to the nearest page boundary.
+func snap(c, stride int64, pageSize int, runStarts []int64) int64 {
+	best := int64(-1)
+	bestDist := stride/2 + 1
+	// runStarts is sorted; a linear scan is fine (extent lists are short).
+	for _, r := range runStarts {
+		d := r - c
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			best, bestDist = r, d
+		}
+		if r > c+stride/2 {
+			break
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	ps := int64(pageSize)
+	if ps <= 0 {
+		return c
+	}
+	return (c + ps/2) / ps * ps
+}
+
+// Reader delivers exactly the realigned chunk [start, end) of a file of
+// the given size. The underlying reader must be positioned at Pos(start)
+// and is read in 64 KiB blocks regardless of the caller's buffer size, so
+// chunk workers issue the same large device reads as serial kernels. The
+// reader stops consuming the underlying stream shortly after the chunk's
+// terminating newline — the deliberate read past the nominal end that
+// finishes the straddling line.
+type Reader struct {
+	r    io.Reader
+	abs  int64 // absolute offset of the next unconsumed byte
+	end  int64 // nominal chunk end
+	skip bool  // leading partial line still to discard
+	stop int64 // absolute delivery stop (realign(end)); -1 = not yet known
+	buf  []byte
+	pos  int
+	fill int
+	err  error // pending underlying error, surfaced once the buffer drains
+}
+
+// NewReader wraps r (positioned at Pos(start)) as the realigned chunk
+// [start, end) of a size-byte file.
+func NewReader(r io.Reader, start, end, size int64) *Reader {
+	if end > size {
+		end = size
+	}
+	cr := &Reader{r: r, abs: Pos(start), end: end, skip: start > 0, stop: -1}
+	if end >= size {
+		// The last chunk runs to EOF; its final line needs no terminator.
+		cr.stop = size
+	}
+	return cr
+}
+
+func (cr *Reader) refill() error {
+	if cr.pos < cr.fill {
+		return nil
+	}
+	if cr.err != nil {
+		return cr.err
+	}
+	if cr.buf == nil {
+		cr.buf = make([]byte, 64*1024)
+	}
+	cr.pos, cr.fill = 0, 0
+	for cr.fill == 0 {
+		n, err := cr.r.Read(cr.buf)
+		cr.fill = n
+		if err != nil {
+			cr.err = err
+			if n == 0 {
+				return err
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// Read implements io.Reader over the realigned chunk.
+func (cr *Reader) Read(p []byte) (int, error) {
+	// Discard the leading partial line: everything through the first '\n'
+	// at offset ≥ start−1. That newline may lie at or past end−1, in which
+	// case it is also the chunk's terminator and the chunk is empty.
+	for cr.skip {
+		if err := cr.refill(); err != nil {
+			return 0, err
+		}
+		seg := cr.buf[cr.pos:cr.fill]
+		if i := bytes.IndexByte(seg, '\n'); i >= 0 {
+			nl := cr.abs + int64(i)
+			cr.pos += i + 1
+			cr.abs = nl + 1
+			cr.skip = false
+			if cr.stop < 0 && nl >= cr.end-1 {
+				cr.stop = nl + 1
+			}
+		} else {
+			cr.pos = cr.fill
+			cr.abs += int64(len(seg))
+		}
+	}
+	if cr.stop >= 0 && cr.abs >= cr.stop {
+		return 0, io.EOF
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if err := cr.refill(); err != nil {
+		return 0, err
+	}
+	seg := cr.buf[cr.pos:cr.fill]
+	if cr.stop >= 0 {
+		if max := cr.stop - cr.abs; int64(len(seg)) > max {
+			seg = seg[:max]
+		}
+	} else if cr.abs < cr.end-1 {
+		// Blind region: everything before end−1 is ours unconditionally.
+		if max := cr.end - 1 - cr.abs; int64(len(seg)) > max {
+			seg = seg[:max]
+		}
+	} else {
+		// At or past end−1 with no terminator found yet: deliver through
+		// the first newline, which fixes the stop.
+		if i := bytes.IndexByte(seg, '\n'); i >= 0 {
+			cr.stop = cr.abs + int64(i) + 1
+			seg = seg[:i+1]
+		}
+	}
+	n := copy(p, seg)
+	cr.pos += n
+	cr.abs += int64(n)
+	return n, nil
+}
+
+// RunChunk opens the plan's file positioned for chunk i of cuts and feeds
+// the realigned range to the kernel. cuts must be a Cuts-style boundary
+// list (cuts[len-1] = file size).
+func RunChunk(ctx *apps.Context, pl Plan, cuts []int64, i int) (any, error) {
+	start, end, size := cuts[i], cuts[i+1], cuts[len(cuts)-1]
+	f, err := ctx.OpenAt(pl.File, Pos(start))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return pl.Kernel.RunChunk(ctx, NewReader(f, start, end, size), i)
+}

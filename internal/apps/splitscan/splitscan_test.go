@@ -1,0 +1,142 @@
+package splitscan
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// applyChunks runs the realign Reader over every chunk of cuts against an
+// in-memory file, exactly as a worker would (each reader positioned at
+// Pos(start)), and returns the delivered ranges.
+func applyChunks(t *testing.T, data []byte, cuts []int64) [][]byte {
+	t.Helper()
+	size := int64(len(data))
+	out := make([][]byte, 0, len(cuts)-1)
+	for i := 0; i+1 < len(cuts); i++ {
+		start, end := cuts[i], cuts[i+1]
+		r := NewReader(bytes.NewReader(data[Pos(start):]), start, end, size)
+		got, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatalf("chunk %d [%d,%d): %v", i, start, end, err)
+		}
+		out = append(out, got)
+	}
+	return out
+}
+
+// checkPartition asserts the fundamental split-scan invariant: the chunks
+// concatenate back to the file, and every non-empty chunk begins at a line
+// start (offset 0 or right after a newline).
+func checkPartition(t *testing.T, data []byte, chunks [][]byte) {
+	t.Helper()
+	var cat []byte
+	for i, c := range chunks {
+		if len(c) > 0 {
+			at := int64(len(cat))
+			if at != 0 && data[at-1] != '\n' {
+				t.Errorf("chunk %d starts mid-line at offset %d", i, at)
+			}
+		}
+		cat = append(cat, c...)
+	}
+	if !bytes.Equal(cat, data) {
+		t.Errorf("chunks do not reassemble the file:\n got %q\nwant %q", cat, data)
+	}
+}
+
+func TestRealignPartition(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		cuts []int64
+	}{
+		{"mid-line cut", "hello world\nsecond line\nthird\n", []int64{0, 5, 17, 30}},
+		{"cut on newline", "ab\ncd\nef\n", []int64{0, 3, 6, 9}},
+		{"cut after newline", "ab\ncd\nef\n", []int64{0, 4, 7, 9}},
+		{"no trailing newline", "one\ntwo\nthree", []int64{0, 5, 13}},
+		{"newline runs", "\n\n\nx\n\n", []int64{0, 1, 2, 4, 6}},
+		{"chunk smaller than a line", "a very long single line without breaks\n", []int64{0, 5, 10, 39}},
+		{"single line no newline at all", "no newline anywhere here", []int64{0, 8, 16, 24}},
+		{"empty chunks at tail", "a\nb\n", []int64{0, 3, 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkPartition(t, []byte(tc.data), applyChunks(t, []byte(tc.data), tc.cuts))
+		})
+	}
+}
+
+// TestRealignTinyReads drives the Reader with a 1-byte destination buffer:
+// block refills and boundary scans must not depend on the caller's read
+// granularity.
+func TestRealignTinyReads(t *testing.T) {
+	data := []byte("alpha\nbeta\ngamma\ndelta")
+	size := int64(len(data))
+	cuts := []int64{0, 7, 13, size}
+	var cat []byte
+	for i := 0; i+1 < len(cuts); i++ {
+		r := NewReader(bytes.NewReader(data[Pos(cuts[i]):]), cuts[i], cuts[i+1], size)
+		one := make([]byte, 1)
+		for {
+			n, err := r.Read(one)
+			cat = append(cat, one[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("chunk %d: %v", i, err)
+			}
+		}
+	}
+	if !bytes.Equal(cat, data) {
+		t.Fatalf("tiny reads reassembled %q, want %q", cat, data)
+	}
+}
+
+func TestCutsShape(t *testing.T) {
+	cuts := Cuts(1<<20, 4096, nil, 4)
+	if cuts[0] != 0 || cuts[len(cuts)-1] != 1<<20 {
+		t.Fatalf("cuts %v must span [0,size]", cuts)
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			t.Fatalf("cuts %v not strictly increasing", cuts)
+		}
+		if cuts[i] != 1<<20 && cuts[i]%4096 != 0 {
+			t.Errorf("interior cut %d not page-aligned", cuts[i])
+		}
+	}
+	if len(cuts) != 5 {
+		t.Fatalf("want 4 chunks, got cuts %v", cuts)
+	}
+}
+
+func TestCutsSnapToExtentRuns(t *testing.T) {
+	// Size 1 MiB, 4 chunks → stride 256 KiB. Run boundaries sit within half
+	// a stride of the nominal cuts and must win over page alignment.
+	runStarts := []int64{200 << 10, 600 << 10, 700 << 10}
+	cuts := Cuts(1<<20, 4096, runStarts, 4)
+	want := map[int64]bool{200 << 10: true, 600 << 10: true, 700 << 10: true}
+	for _, c := range cuts[1 : len(cuts)-1] {
+		if !want[c] {
+			t.Errorf("interior cut %d did not snap to a run boundary (%v)", c, cuts)
+		}
+	}
+}
+
+func TestCutsDegenerate(t *testing.T) {
+	if got := Cuts(10, 4096, nil, 4); got[0] != 0 || got[len(got)-1] != 10 {
+		t.Fatalf("tiny file cuts %v", got)
+	}
+	// A file smaller than the chunk count must not produce zero-width chunks.
+	cuts := Cuts(3, 4096, nil, 8)
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			t.Fatalf("cuts %v not strictly increasing", cuts)
+		}
+	}
+	if got := Cuts(0, 4096, nil, 4); len(got) != 2 || got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty file cuts %v", got)
+	}
+}

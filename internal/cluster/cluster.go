@@ -357,6 +357,11 @@ func (pl *Pool) mapOn(p *sim.Proc, dev int, files []string, makeCmd func(name st
 		return nil
 	}
 	workers := pl.PerDeviceTasks
+	if workers < 1 {
+		// A zero or negative budget must degrade to serial dispatch, not
+		// silently map zero files.
+		workers = 1
+	}
 	if workers > len(files) {
 		workers = len(files)
 	}

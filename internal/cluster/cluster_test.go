@@ -10,6 +10,7 @@ import (
 	"compstor/internal/apps/appset"
 	"compstor/internal/core"
 	"compstor/internal/flash"
+	"compstor/internal/isps"
 	"compstor/internal/sim"
 	"compstor/internal/ssd"
 )
@@ -22,7 +23,14 @@ func newSystem(t *testing.T, devices int) (*core.System, *Pool) {
 // newSystemWith is newSystem with the streaming read pipeline toggled.
 func newSystemWith(t *testing.T, devices int, pipeline bool) (*core.System, *Pool) {
 	t.Helper()
-	sys := core.NewSystem(core.SystemConfig{
+	return newSystemMode(t, devices, pipeline, false)
+}
+
+// newSystemMode is the full-matrix constructor: read pipeline and
+// intra-device parallel scan toggles.
+func newSystemMode(t *testing.T, devices int, pipeline, parScan bool) (*core.System, *Pool) {
+	t.Helper()
+	cfg := core.SystemConfig{
 		CompStors: devices,
 		Registry:  appset.Base(),
 		Geometry: flash.Geometry{
@@ -30,7 +38,12 @@ func newSystemWith(t *testing.T, devices int, pipeline bool) (*core.System, *Poo
 			BlocksPerPlan: 128, PagesPerBlock: 32, PageSize: 4096,
 		},
 		ReadPipeline: ssd.PipelineConfig{Enabled: pipeline},
-	})
+	}
+	if parScan {
+		// MinChunkBytes 1: even modest test corpora split for real.
+		cfg.ParScan = isps.ParScanConfig{Enabled: true, Chunks: 4, MinChunkBytes: 1}
+	}
+	sys := core.NewSystem(cfg)
 	return sys, NewPool(sys.Eng, sys.Devices)
 }
 

@@ -15,23 +15,30 @@ import (
 // TestPowerCutRemountRejoin is the ISSUE's device-lifecycle scenario: a
 // cluster device loses power mid-run, every operation on it fails with a
 // power-loss error, and after Remount + Revive it rejoins the pool serving
-// exactly the data it had acknowledged before the cut. Run both stock and
-// with the streaming read pipeline: ISPS DRAM does not survive the cut, so
-// the pipelined variant additionally proves the warm cache was dropped
-// rather than served stale across the remount.
+// exactly the data it had acknowledged before the cut. Run stock, with the
+// streaming read pipeline (ISPS DRAM does not survive the cut, so that
+// variant additionally proves the warm cache was dropped rather than
+// served stale across the remount), and with split-scan execution (the
+// powered-off error must surface through a chunk worker, and the revived
+// device's parallel merge must match the pre-cut serial answer).
 func TestPowerCutRemountRejoin(t *testing.T) {
-	for _, pipeline := range []bool{false, true} {
-		name := "stock"
-		if pipeline {
-			name = "pipelined"
-		}
-		t.Run(name, func(t *testing.T) { testPowerCutRemountRejoin(t, pipeline) })
+	for _, mode := range []struct {
+		name              string
+		pipeline, parScan bool
+	}{
+		{"stock", false, false},
+		{"pipelined", true, false},
+		{"parscan", false, true},
+		{"pipelined_parscan", true, true},
+	} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) { testPowerCutRemountRejoin(t, mode.pipeline, mode.parScan) })
 	}
 }
 
-func testPowerCutRemountRejoin(t *testing.T, pipeline bool) {
+func testPowerCutRemountRejoin(t *testing.T, pipeline, parScan bool) {
 	const cut = 50 * time.Millisecond
-	sys, pool := newSystemWith(t, 2, pipeline)
+	sys, pool := newSystemMode(t, 2, pipeline, parScan)
 	inj := chaos.Install(sys, chaos.NewPlan(21).WithDevice(0, chaos.DeviceFaults{PowerCutAt: cut}))
 
 	data := bytes.Repeat([]byte("a line with words in it\n"), 200)

@@ -79,6 +79,9 @@ type SystemConfig struct {
 	// ReadPipeline forwards the streaming read-pipeline configuration
 	// (ISPS page cache + read-ahead) to every CompStor. Zero value = off.
 	ReadPipeline ssd.PipelineConfig
+	// ParScan forwards the intra-device parallel-scan configuration to
+	// every CompStor. Zero value = off.
+	ParScan isps.ParScanConfig
 	// Obs, when set, instruments the whole testbed. Each drive gets its own
 	// scope named after it (compstor0, conv0, ...); fabric timelines and
 	// host metrics live on the handle passed here.
@@ -138,6 +141,7 @@ func NewSystem(cfg SystemConfig) *System {
 		dcfg.SharedCores = cfg.SharedCores
 		dcfg.ISPSViaNVMePath = cfg.ISPSViaNVMePath
 		dcfg.Pipeline = cfg.ReadPipeline
+		dcfg.ParScan = cfg.ParScan
 		dcfg.Obs = cfg.Obs.Scope(dcfg.Name)
 		port := sys.Fabric.AddPort()
 		meterPort(fmt.Sprintf("pcie/port%d", port.ID()), port)

@@ -1,0 +1,63 @@
+package experiments
+
+import "testing"
+
+// TestScaleupSpeedupAndFidelity is the ISSUE's acceptance gate: splitting
+// one minion's file across all four ISPS cores must deliver at least 2.5x
+// on wc and grep versus the same path's serial run, with every merged
+// output byte-identical to the stock serial scan.
+func TestScaleupSpeedupAndFidelity(t *testing.T) {
+	pts := Scaleup(DefaultOptions())
+	if len(pts) == 0 {
+		t.Fatal("no scaleup points")
+	}
+	fourCore := map[string]float64{}
+	for _, pt := range pts {
+		if !pt.OutputsMatch {
+			t.Errorf("%s (pipelined=%v cores=%d): output differs from stock serial",
+				pt.Workload, pt.Pipelined, pt.Cores)
+		}
+		if pt.Cores == 1 {
+			if pt.ParScan.Tasks != 0 || pt.ParScan.Chunks != 0 {
+				t.Errorf("%s (pipelined=%v): serial point ran split: %+v",
+					pt.Workload, pt.Pipelined, pt.ParScan)
+			}
+			continue
+		}
+		if pt.ParScan.Tasks != 1 || pt.ParScan.Chunks != int64(pt.Cores) {
+			t.Errorf("%s (pipelined=%v cores=%d): split never engaged: %+v",
+				pt.Workload, pt.Pipelined, pt.Cores, pt.ParScan)
+		}
+		if pt.Speedup <= 1.0 {
+			t.Errorf("%s (pipelined=%v cores=%d): speedup %.2fx, split made it slower",
+				pt.Workload, pt.Pipelined, pt.Cores, pt.Speedup)
+		}
+		if !pt.Pipelined && pt.Cores == 4 {
+			fourCore[pt.Workload] = pt.Speedup
+		}
+	}
+	// Measured ~3.5-3.9x on the stock path; 2.5x leaves margin while still
+	// catching a regression to two-way (or no) parallelism.
+	for _, w := range []string{"wc", "grep"} {
+		if s, ok := fourCore[w]; !ok {
+			t.Errorf("no stock 4-core point for %s", w)
+		} else if s < 2.5 {
+			t.Errorf("%s stock 4-core speedup %.2fx, want >= 2.5x", w, s)
+		}
+	}
+}
+
+// TestScaleupDeterministic: the experiment is a pure function of its
+// options — two runs must agree on every number, not just every byte of
+// program output.
+func TestScaleupDeterministic(t *testing.T) {
+	a, b := Scaleup(DefaultOptions()), Scaleup(DefaultOptions())
+	if len(a) != len(b) {
+		t.Fatalf("point counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("point %d differs:\n a=%+v\n b=%+v", i, a[i], b[i])
+		}
+	}
+}

@@ -46,6 +46,8 @@ type Config struct {
 	// configuration leaves it zero; the shared-core ablation uses ~1 ms,
 	// modelling a preemptive firmware scheduler.
 	TimeSlice sim.Duration
+	// ParScan configures intra-device parallel scans (default off).
+	ParScan ParScanConfig
 }
 
 // TaskSpec describes one in-situ execution request (the payload of a
@@ -90,12 +92,17 @@ type Subsystem struct {
 
 	thermal thermalModel
 
-	slice sim.Duration
+	slice   sim.Duration
+	parScan ParScanConfig
 
 	running   int
 	completed int64
 	failed    int64
 	loaded    int64
+
+	psTasks     int64
+	psChunks    int64
+	psFallbacks int64
 
 	obs      *obs.Obs
 	histExec *obs.Histogram
@@ -128,6 +135,7 @@ func New(eng *sim.Engine, cfg Config) *Subsystem {
 		memTotal: pl.MemBytes,
 		taskMem:  taskMem,
 		slice:    cfg.TimeSlice,
+		parScan:  cfg.ParScan,
 		thermal:  newThermalModel(),
 	}
 	// Start at the idle thermal equilibrium (base power keeps the die above
@@ -168,6 +176,9 @@ func (s *Subsystem) SetObs(o *obs.Obs) {
 	o.CounterFunc("isps.completed", func() int64 { return s.completed })
 	o.CounterFunc("isps.failed", func() int64 { return s.failed })
 	o.CounterFunc("isps.loaded", func() int64 { return s.loaded })
+	o.CounterFunc("isps.parscan.tasks", func() int64 { return s.psTasks })
+	o.CounterFunc("isps.parscan.chunks", func() int64 { return s.psChunks })
+	o.CounterFunc("isps.parscan.fallbacks", func() int64 { return s.psFallbacks })
 }
 
 // ReserveDRAM permanently claims n bytes of the subsystem's DRAM for a
@@ -247,6 +258,12 @@ func (s *Subsystem) Spawn(p *sim.Proc, spec TaskSpec) TaskResult {
 			return res
 		}
 		prog, args = pg, spec.Args
+	}
+
+	if s.parScan.Enabled && spec.Script == "" {
+		if s.trySplit(p, prog, args, mem, &res) {
+			return res
+		}
 	}
 
 	s.memUsed += mem

@@ -1,0 +1,223 @@
+package isps
+
+import (
+	"bytes"
+	"fmt"
+
+	"compstor/internal/apps"
+	"compstor/internal/apps/splitscan"
+	"compstor/internal/sim"
+)
+
+// Parallel split-scan execution: one qualifying task fans out across all
+// ISPS cores instead of streaming its file on a single one. The file is cut
+// into chunks aligned to extent-run starts (else page boundaries) and
+// realigned to newline boundaries by splitscan.Reader; one worker process
+// per chunk contends on the shared cores Resource, issues its own demand
+// fetches (hitting different flash channels concurrently) and drives its
+// own read-ahead streak; the partial results merge deterministically in
+// chunk order. With ParScan disabled, Spawn never reaches this file and
+// every existing artefact stays byte-identical.
+
+// ParScanConfig configures intra-device parallel scans.
+type ParScanConfig struct {
+	// Enabled turns split-scan execution on (default off).
+	Enabled bool
+	// Chunks is the target chunk count per split task (0 = one per core).
+	Chunks int
+	// MinChunkBytes keeps small files serial: the chunk count is capped at
+	// file size / MinChunkBytes. 0 selects the 256 KiB default; negative
+	// disables the floor.
+	MinChunkBytes int64
+	// MaxWorkers bounds the in-flight chunk workers per task (0 = 2x the
+	// core count). Excess chunks queue FIFO behind the bound, and the
+	// workers themselves queue on the cores Resource, so oversubscription
+	// never errors — it serialises.
+	MaxWorkers int
+}
+
+const defaultMinChunkBytes = 256 << 10
+
+// ParScanStats counts split-scan activity.
+type ParScanStats struct {
+	// Tasks is the number of tasks executed as parallel split scans.
+	Tasks int64
+	// Chunks is the total number of chunk workers spawned.
+	Chunks int64
+	// Fallbacks counts tasks that ran serially despite ParScan being
+	// enabled (script tasks, unsplittable program or argv, missing or tiny
+	// input file).
+	Fallbacks int64
+}
+
+// ParScanStats samples the split-scan counters.
+func (s *Subsystem) ParScanStats() ParScanStats {
+	return ParScanStats{Tasks: s.psTasks, Chunks: s.psChunks, Fallbacks: s.psFallbacks}
+}
+
+// splitPlan decides whether the resolved program runs as a parallel scan,
+// returning its plan and chunk cuts. Any disqualification — program not
+// chunkable, argv form not splittable, file missing (the serial path will
+// surface the error), or file too small to be worth fanning out — falls
+// back to the serial path.
+func (s *Subsystem) splitPlan(prog apps.Program, args []string) (splitscan.Plan, []int64, bool) {
+	sp, ok := prog.(splitscan.Splitter)
+	if !ok || s.fsView == nil {
+		return splitscan.Plan{}, nil, false
+	}
+	plan, ok := sp.SplitPlan(args)
+	if !ok {
+		return splitscan.Plan{}, nil, false
+	}
+	fs := s.fsView.FS()
+	info, err := fs.Stat(plan.File)
+	if err != nil {
+		return splitscan.Plan{}, nil, false
+	}
+	n := s.parScan.Chunks
+	if n <= 0 {
+		n = s.cores.Capacity()
+	}
+	minb := s.parScan.MinChunkBytes
+	if minb == 0 {
+		minb = defaultMinChunkBytes
+	}
+	if minb > 0 {
+		if m := info.Size / minb; int64(n) > m {
+			n = int(m)
+		}
+	}
+	if n < 2 {
+		return splitscan.Plan{}, nil, false
+	}
+	runStarts, err := fs.ExtentRunStarts(plan.File)
+	if err != nil {
+		runStarts = nil
+	}
+	cuts := splitscan.Cuts(info.Size, fs.PageSize(), runStarts, n)
+	if len(cuts) < 3 {
+		return splitscan.Plan{}, nil, false
+	}
+	return plan, cuts, true
+}
+
+// trySplit runs the task as a parallel split scan when it qualifies,
+// filling res and reporting true; false means the caller must take the
+// serial path (counted as a fallback).
+func (s *Subsystem) trySplit(p *sim.Proc, prog apps.Program, args []string, mem int64, res *TaskResult) bool {
+	plan, cuts, ok := s.splitPlan(prog, args)
+	if !ok {
+		s.psFallbacks++
+		return false
+	}
+	s.execSplit(p, prog, plan, cuts, mem, res)
+	return true
+}
+
+// execSplit fans the planned chunks out over the cores and merges.
+func (s *Subsystem) execSplit(p *sim.Proc, prog apps.Program, plan splitscan.Plan, cuts []int64, mem int64, res *TaskResult) {
+	nchunks := len(cuts) - 1
+	s.psTasks++
+	s.psChunks += int64(nchunks)
+	s.memUsed += mem
+
+	maxW := s.parScan.MaxWorkers
+	if maxW <= 0 {
+		maxW = 2 * s.cores.Capacity()
+	}
+	var gate *sim.Semaphore
+	if maxW < nchunks {
+		gate = sim.NewSemaphore(s.eng, maxW)
+	}
+
+	results := make([]any, nchunks)
+	errs := make([]error, nchunks)
+	obsCtx := p.ObsCtx() // the task span: chunk spans parent under it
+	var wg sim.WaitGroup
+	wg.Add(nchunks)
+	for i := 0; i < nchunks; i++ {
+		i := i
+		s.eng.Go(fmt.Sprintf("parscan/%s/%d", prog.Name(), i), func(wp *sim.Proc) {
+			defer wg.Done()
+			wp.SetObsCtx(obsCtx)
+			if gate != nil {
+				gate.Acquire(wp, 1)
+				defer gate.Release(1)
+			}
+			s.cores.Acquire(wp)
+			s.observeThermal()
+			s.running++
+			defer func() {
+				s.running--
+				s.cores.Release()
+				s.observeThermal()
+			}()
+			sp := s.obs.Begin(wp, "isps/parscan", fmt.Sprintf("%s#%d", prog.Name(), i))
+			defer sp.End()
+			var out, errBuf bytes.Buffer
+			wctx := &apps.Context{
+				Proc:   wp,
+				FS:     s.fsView,
+				Stdin:  bytes.NewReader(nil),
+				Stdout: &out,
+				Stderr: &errBuf,
+				Class:  prog.Class(),
+				Charge: s.charge(wp),
+				Lookup: s.registry.Lookup,
+			}
+			results[i], errs[i] = splitscan.RunChunk(wctx, plan, cuts, i)
+		})
+	}
+	wg.Wait(p)
+
+	// The coordinator takes a core for the merge and flush, like the tail
+	// of a serial run.
+	s.cores.Acquire(p)
+	s.observeThermal()
+	s.running++
+
+	var stdout, stderr bytes.Buffer
+	var err error
+	for i := range errs {
+		// The lowest failing chunk wins: deterministic, and it preserves
+		// the underlying cause for retry classification.
+		if errs[i] != nil {
+			err = errs[i]
+			break
+		}
+	}
+	if err == nil {
+		mctx := &apps.Context{
+			Proc:   p,
+			FS:     s.fsView,
+			Stdin:  bytes.NewReader(nil),
+			Stdout: &stdout,
+			Stderr: &stderr,
+			Class:  prog.Class(),
+			Charge: s.charge(p),
+			Lookup: s.registry.Lookup,
+		}
+		err = plan.Kernel.Merge(mctx, results)
+	}
+	if s.fsView != nil {
+		if ferr := s.fsView.Flush(p); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+
+	s.running--
+	s.cores.Release()
+	s.memUsed -= mem
+	s.observeThermal()
+
+	res.Stdout = stdout.Bytes()
+	res.Stderr = stderr.Bytes()
+	res.Finished = p.Now()
+	res.ExitCode = apps.ExitCode(err)
+	if err != nil {
+		res.Err = err
+		s.failed++
+	} else {
+		s.completed++
+	}
+}

@@ -1,0 +1,155 @@
+package isps
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"compstor/internal/apps/appset"
+	"compstor/internal/minfs"
+	"compstor/internal/sim"
+)
+
+func newParRig(t *testing.T, ps ParScanConfig) (*sim.Engine, *Subsystem, *minfs.View) {
+	t.Helper()
+	eng := sim.NewEngine()
+	sub := New(eng, Config{Registry: appset.Base().Clone(), ParScan: ps})
+	dev := &memDevice{pageSize: 512, pages: 1 << 16, store: make(map[int64][]byte)}
+	view := minfs.NewView(minfs.NewFS(512, 1<<16), dev)
+	sub.AttachFS(view)
+	return eng, sub, view
+}
+
+func parScanPayload() []byte {
+	var b bytes.Buffer
+	for i := 0; i < 20000; i++ {
+		fmt.Fprintf(&b, "line %d has some words and sometimes a needle%d\n", i, i%7)
+	}
+	return b.Bytes()
+}
+
+// runOnRig stages payload and runs one task, returning the result.
+func runOnRig(t *testing.T, eng *sim.Engine, sub *Subsystem, view *minfs.View, payload []byte, spec TaskSpec) TaskResult {
+	t.Helper()
+	var res TaskResult
+	eng.Go("client", func(p *sim.Proc) {
+		if err := view.WriteFile(p, "scan.txt", payload); err != nil {
+			t.Error(err)
+			return
+		}
+		res = sub.Spawn(p, spec)
+	})
+	eng.Run()
+	return res
+}
+
+// TestParScanMatchesSerial is the core byte-identity check: every chunkable
+// kernel must produce exactly the serial output (and exit code) when split
+// across the cores.
+func TestParScanMatchesSerial(t *testing.T) {
+	payload := parScanPayload()
+	specs := []TaskSpec{
+		{Exec: "grep", Args: []string{"needle3", "scan.txt"}},
+		{Exec: "grep", Args: []string{"-c", "needle3", "scan.txt"}},
+		{Exec: "grep", Args: []string{"-v", "needle3", "scan.txt"}},
+		{Exec: "grep", Args: []string{"-c", "no such string", "scan.txt"}},
+		{Exec: "wc", Args: []string{"scan.txt"}},
+		{Exec: "wc", Args: []string{"-l", "scan.txt"}},
+		{Exec: "cksum", Args: []string{"scan.txt"}},
+		{Exec: "cat", Args: []string{"scan.txt"}},
+		{Exec: "gawk", Args: []string{"{print $2}", "scan.txt"}},
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(fmt.Sprintf("%s_%v", spec.Exec, spec.Args[0]), func(t *testing.T) {
+			seng, ssub, sview := newParRig(t, ParScanConfig{})
+			serial := runOnRig(t, seng, ssub, sview, payload, spec)
+
+			peng, psub, pview := newParRig(t, ParScanConfig{Enabled: true, Chunks: 4, MinChunkBytes: 1})
+			split := runOnRig(t, peng, psub, pview, payload, spec)
+
+			if split.ExitCode != serial.ExitCode {
+				t.Fatalf("exit code: split %d, serial %d (split err %v)", split.ExitCode, serial.ExitCode, split.Err)
+			}
+			if !bytes.Equal(split.Stdout, serial.Stdout) {
+				t.Fatalf("stdout differs:\nsplit  %q\nserial %q", clip(split.Stdout), clip(serial.Stdout))
+			}
+			if st := psub.ParScanStats(); st.Tasks != 1 {
+				t.Fatalf("split stats = %+v, want 1 task", st)
+			}
+			if split.Elapsed() >= serial.Elapsed() {
+				t.Errorf("split (%v) not faster than serial (%v)", split.Elapsed(), serial.Elapsed())
+			}
+		})
+	}
+}
+
+func clip(b []byte) []byte {
+	if len(b) > 200 {
+		return b[:200]
+	}
+	return b
+}
+
+// TestParScanOversubscriptionQueues: more chunks than cores (and than the
+// worker budget) must queue FIFO on the cores Resource and still succeed
+// with identical output.
+func TestParScanOversubscriptionQueues(t *testing.T) {
+	payload := parScanPayload()
+	seng, ssub, sview := newParRig(t, ParScanConfig{})
+	serial := runOnRig(t, seng, ssub, sview, payload, TaskSpec{Exec: "wc", Args: []string{"scan.txt"}})
+
+	peng, psub, pview := newParRig(t, ParScanConfig{Enabled: true, Chunks: 16, MinChunkBytes: 1, MaxWorkers: 6})
+	split := runOnRig(t, peng, psub, pview, payload, TaskSpec{Exec: "wc", Args: []string{"scan.txt"}})
+
+	if split.Err != nil {
+		t.Fatalf("oversubscribed split failed: %v", split.Err)
+	}
+	if !bytes.Equal(split.Stdout, serial.Stdout) {
+		t.Fatalf("stdout differs:\nsplit  %q\nserial %q", split.Stdout, serial.Stdout)
+	}
+	if st := psub.ParScanStats(); st.Tasks != 1 || st.Chunks != 16 {
+		t.Fatalf("stats = %+v, want 1 task / 16 chunks", st)
+	}
+}
+
+// TestParScanFallbacks: unsplittable programs and argv forms run serially
+// (counted), producing the usual results.
+func TestParScanFallbacks(t *testing.T) {
+	payload := []byte("b\na\nc\n")
+	eng, sub, view := newParRig(t, ParScanConfig{Enabled: true, Chunks: 4, MinChunkBytes: 1})
+	var sortRes, numberedRes TaskResult
+	eng.Go("client", func(p *sim.Proc) {
+		if err := view.WriteFile(p, "scan.txt", payload); err != nil {
+			t.Error(err)
+			return
+		}
+		sortRes = sub.Spawn(p, TaskSpec{Exec: "sort", Args: []string{"scan.txt"}})
+		numberedRes = sub.Spawn(p, TaskSpec{Exec: "grep", Args: []string{"-n", "a", "scan.txt"}})
+	})
+	eng.Run()
+	if sortRes.Err != nil || string(sortRes.Stdout) != "a\nb\nc\n" {
+		t.Fatalf("sort fallback: %v %q", sortRes.Err, sortRes.Stdout)
+	}
+	if numberedRes.Err != nil || string(numberedRes.Stdout) != "2:a\n" {
+		t.Fatalf("grep -n fallback: %v %q", numberedRes.Err, numberedRes.Stdout)
+	}
+	st := sub.ParScanStats()
+	if st.Tasks != 0 || st.Fallbacks != 2 {
+		t.Fatalf("stats = %+v, want 0 tasks / 2 fallbacks", st)
+	}
+}
+
+// TestParScanTinyFileStaysSerial: the MinChunkBytes floor keeps small files
+// on the serial path.
+func TestParScanTinyFileStaysSerial(t *testing.T) {
+	eng, sub, view := newParRig(t, ParScanConfig{Enabled: true, Chunks: 4})
+	res := runOnRig(t, eng, sub, view, []byte("tiny\nfile\n"), TaskSpec{Exec: "wc", Args: []string{"-l", "scan.txt"}})
+	if res.Err != nil || string(res.Stdout) != "2 scan.txt\n" {
+		t.Fatalf("tiny file: %v %q", res.Err, res.Stdout)
+	}
+	st := sub.ParScanStats()
+	if st.Tasks != 0 || st.Fallbacks != 1 {
+		t.Fatalf("stats = %+v, want fallback", st)
+	}
+}

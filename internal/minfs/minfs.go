@@ -147,6 +147,29 @@ func (fs *FS) Stat(name string) (FileInfo, error) {
 	return FileInfo{Name: ino.Name, Size: ino.Size}, nil
 }
 
+// ExtentRunStarts returns the byte offsets within the named file at which
+// a new media-contiguous extent run begins — every boundary where the next
+// logical page is not physically adjacent to the previous one. Offset 0 is
+// excluded, offsets at or past the file size are dropped. Split-scan uses
+// these to snap chunk cuts to media contiguity.
+func (fs *FS) ExtentRunStarts(name string) ([]int64, error) {
+	ino, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	var out []int64
+	var pages int64
+	for i, e := range ino.Extents {
+		if i > 0 {
+			if off := pages * int64(fs.pageSize); off < ino.Size {
+				out = append(out, off)
+			}
+		}
+		pages += e.Count
+	}
+	return out, nil
+}
+
 // UsedBytes returns the total logical size of all files.
 func (fs *FS) UsedBytes() int64 {
 	var n int64

@@ -417,6 +417,11 @@ func (f *File) SeekTo(off int64) error {
 		return fmt.Errorf("minfs: seek %d out of range", off)
 	}
 	f.off = off
+	// A seek establishes a new sequential position: arm the streak there so
+	// the first post-seek Read already offers read-ahead (chunked scans seek
+	// once, then stream — each chunk drives its own prefetch window).
+	f.lastEnd = off
+	f.raNext = 0
 	return nil
 }
 

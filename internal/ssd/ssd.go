@@ -45,6 +45,12 @@ type Config struct {
 	// which keeps the stock synchronous read path byte-identical.
 	Pipeline PipelineConfig
 
+	// ParScan forwards the intra-device parallel-scan configuration to the
+	// ISPS. Zero value = off, which keeps serial task execution
+	// byte-identical. Works on both the stock and pipelined read paths and
+	// under either ablation.
+	ParScan isps.ParScanConfig
+
 	// SharedCores is the Biscuit-style ablation: in-situ tasks execute on
 	// the controller's embedded cores instead of a dedicated subsystem.
 	SharedCores bool
@@ -155,6 +161,7 @@ func New(eng *sim.Engine, port *pcie.Port, cfg Config) *SSD {
 			Platform: platform,
 			Registry: cfg.Registry.Clone(),
 			Meter:    meterComp,
+			ParScan:  cfg.ParScan,
 		}
 		if cfg.SharedCores {
 			icfg.Cores = s.ctrlCPU
