@@ -98,8 +98,9 @@ type Pool struct {
 	// Retry is the fault-tolerance policy applied by MapFiles/MapFilesFT.
 	Retry RetryPolicy
 
-	dead    []bool
-	strikes []int // consecutive transport failures per device
+	dead     []bool
+	strikes  []int // consecutive transport failures per device
+	inflight []int // tasks dispatched to each device and not yet finished
 
 	obs        *obs.Obs
 	cAttempts  *obs.Counter
@@ -123,6 +124,7 @@ func NewPool(eng *sim.Engine, units []*core.DeviceUnit) *Pool {
 		Retry:          DefaultRetryPolicy(),
 		dead:           make([]bool, len(units)),
 		strikes:        make([]int, len(units)),
+		inflight:       make([]int, len(units)),
 	}
 }
 
@@ -140,6 +142,30 @@ func (pl *Pool) SetObs(o *obs.Obs) {
 	pl.cRevives = o.Counter("cluster.revives")
 	pl.cFailovers = o.Counter("cluster.failover_rounds")
 	pl.cRequeued = o.Counter("cluster.requeued_files")
+	// Live queue depth, pulled at snapshot time: the same signal the
+	// LeastOutstanding balancer and the serve-layer admission read, so a
+	// mid-run snapshot shows exactly what the scheduler saw.
+	for i := range pl.units {
+		i := i
+		o.CounterFunc(fmt.Sprintf("cluster.dev%d.inflight", i), func() int64 { return int64(pl.inflight[i]) })
+	}
+	o.CounterFunc("cluster.inflight", func() int64 { return int64(pl.TotalInFlight()) })
+}
+
+// InFlight returns the number of tasks dispatched to device i and not yet
+// finished — counted on the host side at dispatch time, so unlike a status
+// query it can never be stale by a fabric round trip. This is the signal
+// the LeastOutstanding balancer and the serve layer's admission control
+// share.
+func (pl *Pool) InFlight(i int) int { return pl.inflight[i] }
+
+// TotalInFlight sums the live in-flight count over every device.
+func (pl *Pool) TotalInFlight() int {
+	var n int
+	for _, v := range pl.inflight {
+		n += v
+	}
+	return n
 }
 
 // Size returns the number of devices.
@@ -223,6 +249,10 @@ func (pl *Pool) runTask(p *sim.Proc, dev int, cmd core.Command) (*core.Response,
 		lastErr  error
 		attempts int
 	)
+	// The in-flight count covers the whole task lifetime including retries
+	// and backoff waits: a device mid-backoff still owns the work.
+	pl.inflight[dev]++
+	defer func() { pl.inflight[dev]-- }()
 	for attempts < pl.maxAttempts() {
 		if pl.dead[dev] {
 			if lastErr == nil {
@@ -269,6 +299,13 @@ func (pl *Pool) runTask(p *sim.Proc, dev int, cmd core.Command) (*core.Response,
 		p.Wait(pl.Retry.backoff(attempts))
 	}
 	return lastResp, attempts, lastErr
+}
+
+// RunOn executes one minion on device dev with the pool's full retry,
+// strike, and in-flight accounting — the single-task entry point for
+// callers (like the serve layer) that pick the device themselves.
+func (pl *Pool) RunOn(p *sim.Proc, dev int, cmd core.Command) (*core.Response, int, error) {
+	return pl.runTask(p, dev, cmd)
 }
 
 // Shard splits files into n size-balanced groups (longest-processing-time
@@ -337,6 +374,34 @@ func (pl *Pool) Stage(p *sim.Proc, shards [][]File) ([][]string, error) {
 		}
 	}
 	return names, nil
+}
+
+// StageReplicated writes every file onto every alive device in parallel
+// and flushes each durable, so any device can serve any request — the
+// replication mode a serving front-end needs when requests are balanced
+// at dispatch time rather than sharded at staging time.
+func (pl *Pool) StageReplicated(p *sim.Proc, files []File) error {
+	alive := pl.Alive()
+	if len(alive) == 0 {
+		return ErrNoDevices
+	}
+	errs := make([]error, len(alive))
+	var wg sim.WaitGroup
+	wg.Add(len(alive))
+	for i, dev := range alive {
+		i, dev := i, dev
+		pl.eng.Go(fmt.Sprintf("repstage%d", dev), func(sp *sim.Proc) {
+			defer wg.Done()
+			_, errs[i] = pl.stageOn(sp, dev, files)
+		})
+	}
+	wg.Wait(p)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // TaskResult pairs a finished minion with its origin.
@@ -581,7 +646,7 @@ func (LeastBusy) Pick(p *sim.Proc, pool *Pool) (int, error) {
 			continue
 		}
 		pool.clearStrikes(i)
-		load := st.CoresBusy + st.QueuedTasks
+		load := st.CoresBusy + st.QueuedTasks + st.InFlightMinions
 		if load < bestLoad || (load == bestLoad && st.TemperatureC < bestTemp) {
 			best, bestLoad, bestTemp = i, load, st.TemperatureC
 		}
@@ -592,12 +657,40 @@ func (LeastBusy) Pick(p *sim.Proc, pool *Pool) (int, error) {
 	return best, nil
 }
 
-// Dispatch sends one minion via the balancer and returns its result.
+// LeastOutstanding picks the alive device with the fewest in-flight tasks
+// as counted on the host side (Pool.InFlight), ties to the lowest index.
+// Unlike LeastBusy it needs no status-query round trip, so the signal can
+// never be stale: a burst of picks in the same instant spreads evenly
+// because each dispatch bumps the count the next pick reads. This is the
+// same signal the serve layer's admission control reads.
+type LeastOutstanding struct{}
+
+// Pick implements Balancer.
+func (LeastOutstanding) Pick(p *sim.Proc, pool *Pool) (int, error) {
+	best := -1
+	bestLoad := 1 << 30
+	for i := 0; i < pool.Size(); i++ {
+		if pool.IsDead(i) {
+			continue
+		}
+		if load := pool.InFlight(i); load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	if best < 0 {
+		return 0, ErrNoDevices
+	}
+	return best, nil
+}
+
+// Dispatch sends one minion via the balancer and returns its result. The
+// task runs through the pool's retry/strike/in-flight path, so balancers
+// reading Pool.InFlight see it the moment it is placed.
 func (pl *Pool) Dispatch(p *sim.Proc, b Balancer, cmd core.Command) TaskResult {
 	i, err := b.Pick(p, pl)
 	if err != nil {
 		return TaskResult{Device: -1, Err: err}
 	}
-	resp, err := pl.units[i].Client.Run(p, cmd)
-	return TaskResult{Device: i, Resp: resp, Err: err}
+	resp, attempts, err := pl.runTask(p, i, cmd)
+	return TaskResult{Device: i, Resp: resp, Err: err, Attempts: attempts}
 }

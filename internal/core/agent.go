@@ -22,9 +22,10 @@ type Agent struct {
 	drive *ssd.SSD
 	sub   *isps.Subsystem
 
-	minions int64
-	queries int64
-	loads   int64
+	minions  int64
+	queries  int64
+	loads    int64
+	inflight int64 // minions accepted and not yet answered
 
 	faultHook func(p *sim.Proc, cmd Command) error
 }
@@ -49,6 +50,7 @@ func AttachAgent(drive *ssd.SSD) *Agent {
 		o.CounterFunc("agent.minions", func() int64 { return a.minions })
 		o.CounterFunc("agent.queries", func() int64 { return a.queries })
 		o.CounterFunc("agent.task_loads", func() int64 { return a.loads })
+		o.CounterFunc("agent.inflight", func() int64 { return a.inflight })
 	}
 	return a
 }
@@ -83,6 +85,7 @@ func (a *Agent) handle(p *sim.Proc, op nvme.Opcode, payload any) (any, int64, er
 		switch q.Kind {
 		case QueryStatus:
 			st := a.sub.Status()
+			st.InFlightMinions = int(a.inflight)
 			return st, 512, nil
 		default:
 			return nil, 0, fmt.Errorf("core: unknown query kind %d", q.Kind)
@@ -104,6 +107,8 @@ func (a *Agent) handle(p *sim.Proc, op nvme.Opcode, payload any) (any, int64, er
 // runMinion executes steps 2-6 of the minion lifetime (Table III).
 func (a *Agent) runMinion(p *sim.Proc, cmd Command) *Response {
 	a.minions++
+	a.inflight++
+	defer func() { a.inflight-- }()
 	if o := a.drive.Obs(); o != nil {
 		sp := o.Begin(p, "agent", "dispatch "+cmd.Name())
 		defer sp.End()

@@ -338,17 +338,22 @@ func (s *Subsystem) charge(p *sim.Proc) apps.ChargeFunc {
 // host for load balancing (the paper's "ARM cores utilization, or
 // temperature of the cores").
 type Status struct {
-	RunningTasks   int
-	QueuedTasks    int
-	CoresBusy      int
-	Cores          int
-	Utilization    float64
-	TemperatureC   float64
-	MemUsedBytes   int64
-	MemTotalBytes  int64
-	CompletedTasks int64
-	FailedTasks    int64
-	Programs       []string
+	RunningTasks int
+	QueuedTasks  int
+	CoresBusy    int
+	Cores        int
+	// InFlightMinions counts minions the agent has accepted and not yet
+	// answered, including ones still crossing the DRAM or waiting for a
+	// core — the device-side twin of cluster.Pool's host-side in-flight
+	// count. Filled by the agent, not by the subsystem itself.
+	InFlightMinions int
+	Utilization     float64
+	TemperatureC    float64
+	MemUsedBytes    int64
+	MemTotalBytes   int64
+	CompletedTasks  int64
+	FailedTasks     int64
+	Programs        []string
 }
 
 // Status samples the subsystem.
