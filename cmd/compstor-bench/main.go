@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	compstor-bench [-run all|fig1|fig6|fig7|fig8|tables|ablations|degraded|recovery|pipeline|scaleup|serving]
+//	compstor-bench [-run all|fig1|fig6|fig7|fig8|tables|ablations|degraded|recovery|pipeline|scaleup|serving|tail]
 //	               [-books N] [-mean BYTES] [-devices 1,2,4,8] [-v]
 //	               [-outdir DIR] [-trace out.json] [-metrics out.json]
 //	               [-cpuprofile out.pprof] [-memprofile out.pprof]
@@ -33,7 +33,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, fig1, fig6, fig7, fig8, tables, ablations, degraded, recovery, pipeline, scaleup, serving")
+	run := flag.String("run", "all", "experiment to run: all, fig1, fig6, fig7, fig8, tables, ablations, degraded, recovery, pipeline, scaleup, serving, tail")
 	books := flag.Int("books", 0, "number of corpus files (0 = paper-scale default of 348)")
 	mean := flag.Int("mean", 0, "mean book size in bytes (0 = default)")
 	devices := flag.String("devices", "", "comma-separated device counts for the scaling figures")
@@ -202,6 +202,12 @@ func main() {
 		experiments.RenderServing(w, experiments.Serving(o))
 		fmt.Fprintln(w)
 		finish("serving", o.Obs)
+	}
+	if want("tail") {
+		o := scoped("tail")
+		experiments.RenderTail(w, experiments.Tail(o))
+		fmt.Fprintln(w)
+		finish("tail", o.Obs)
 	}
 	if want("ablations") {
 		o := scoped("ablations")

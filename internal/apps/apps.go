@@ -51,6 +51,14 @@ type Context struct {
 	Class  cpu.Class // class used for auto-charging, set by the executor
 	Charge ChargeFunc
 
+	// Deadline, when non-zero, is the virtual time past which the task must
+	// abort: every charged read/write first calls Interrupted and surfaces
+	// ErrDeadline. The executor additionally caps compute quanta at the
+	// deadline, so an expired task stops consuming its core promptly.
+	Deadline sim.Time
+	// Cancel, when non-nil, is the task's kill switch (see CancelToken).
+	Cancel *CancelToken
+
 	// Lookup resolves program names, enabling the shell to spawn other
 	// registered programs. Nil outside shell contexts.
 	Lookup func(name string) (Program, bool)
@@ -180,6 +188,9 @@ type chargingReader struct {
 }
 
 func (r *chargingReader) Read(b []byte) (int, error) {
+	if err := r.ctx.Interrupted(); err != nil {
+		return 0, err
+	}
 	n, err := r.r.Read(b)
 	charged := n
 	if r.scale > 0 && r.scale < 1 && n > 0 {
@@ -198,6 +209,9 @@ type chargingWriter struct {
 }
 
 func (w *chargingWriter) Write(b []byte) (int, error) {
+	if err := w.ctx.Interrupted(); err != nil {
+		return 0, err
+	}
 	n, err := w.w.Write(b)
 	if w.ctx.Charge != nil && n > 0 {
 		w.ctx.Charge(cpu.ClassCat, int64(n))

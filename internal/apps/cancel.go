@@ -1,0 +1,53 @@
+package apps
+
+import "errors"
+
+// Cancellation and deadlines for in-situ tasks. Both are cooperative: a
+// running program is interrupted at its next charged I/O (every byte it
+// consumes or produces crosses a charging wrapper) or at its next compute
+// quantum, so an abandoned task releases its core and DRAM promptly instead
+// of scanning to the end of its file. The executor surfaces the typed
+// errors below so schedulers can tell "the work raced a clock" from "the
+// work was wrong".
+var (
+	// ErrDeadline marks a task aborted because its deadline passed while it
+	// was executing (or before it started).
+	ErrDeadline = errors.New("apps: deadline exceeded")
+	// ErrCanceled marks a task aborted because its cancel token fired —
+	// typically the tied twin of a hedged request losing the race.
+	ErrCanceled = errors.New("apps: task canceled")
+)
+
+// CancelToken is a host-settable kill switch shared between the submitter
+// of a request and the device-side task executing it. It travels inside
+// the command (never serialised; in a real system it would be a tag the
+// host revokes with an abort admin command) and is checked cooperatively.
+// The zero value is an un-canceled token. All methods are nil-safe.
+type CancelToken struct {
+	canceled bool
+}
+
+// Cancel fires the token. Idempotent; nil-safe.
+func (t *CancelToken) Cancel() {
+	if t != nil {
+		t.canceled = true
+	}
+}
+
+// Canceled reports whether the token has fired. Nil-safe (never canceled).
+func (t *CancelToken) Canceled() bool { return t != nil && t.canceled }
+
+// Interrupted returns the typed abort error the running program must
+// surface: ErrCanceled if the context's cancel token fired, ErrDeadline if
+// its deadline passed, nil otherwise. Charging readers and writers call it
+// before every transfer, so any program that streams bytes is interruptible
+// without containing simulation code.
+func (c *Context) Interrupted() error {
+	if c.Cancel.Canceled() {
+		return ErrCanceled
+	}
+	if c.Deadline > 0 && c.Proc != nil && c.Proc.Now() >= c.Deadline {
+		return ErrDeadline
+	}
+	return nil
+}

@@ -39,6 +39,10 @@ var (
 	// ErrDropped is an agent that received a minion and never answered; the
 	// client sees a failed vendor command, as a timed-out driver would.
 	ErrDropped = errors.New("chaos: agent dropped response")
+	// ErrFlap is a flapping device in a down phase: every command fails at
+	// the transport, then the device comes back on its own — the in-between
+	// failure mode that defeats both "retry here" and "declare it dead".
+	ErrFlap = errors.New("chaos: device flapping (down phase)")
 )
 
 // ErrPowerLost marks operations refused because the device's power was cut.
@@ -77,11 +81,61 @@ type DeviceFaults struct {
 	// the device does not notice. The FTL's CRC turns it into a detectable
 	// media error.
 	CorruptProb float64
+
+	// Gray failures — the device keeps answering, just badly. These are the
+	// fault classes the cluster's health scorer exists to catch; none of
+	// them ever trips the clean-death model.
+
+	// FailSlowAt/FailSlowFor/FailSlowFactor define a fail-slow window: from
+	// FailSlowAt, for FailSlowFor (0 = until the end of the run), every
+	// command pays FailSlowFactor× the controller overhead. Unlike
+	// SlowFactor — a permanently mediocre device — this is a healthy device
+	// that degrades mid-run, the canonical gray failure.
+	FailSlowAt     time.Duration
+	FailSlowFor    time.Duration
+	FailSlowFactor float64
+	// FlapAt/FlapUp/FlapDown define a flapping device: from FlapAt it
+	// alternates FlapUp of normal service with FlapDown of refusing every
+	// command (ErrFlap at the transport), forever. All three must be set.
+	FlapAt   time.Duration
+	FlapUp   time.Duration
+	FlapDown time.Duration
+	// SpikeProb is the per-command probability of a latency spike of
+	// SpikeDelay (charged like a slow command, drawn from the device's
+	// seeded spike stream). Models GC stalls and firmware hiccups: rare,
+	// huge, uncorrelated — pure p99.9 poison.
+	SpikeProb  float64
+	SpikeDelay time.Duration
 }
 
 // failed reports whether the whole-device failure time has passed.
 func (f DeviceFaults) failed(now sim.Time) bool {
 	return f.FailAt > 0 && now.Duration() >= f.FailAt
+}
+
+// failSlow reports whether now falls inside the fail-slow window.
+func (f DeviceFaults) failSlow(now sim.Time) bool {
+	if f.FailSlowAt <= 0 || f.FailSlowFactor <= 1 {
+		return false
+	}
+	t := now.Duration()
+	if t < f.FailSlowAt {
+		return false
+	}
+	return f.FailSlowFor <= 0 || t < f.FailSlowAt+f.FailSlowFor
+}
+
+// flapDown reports whether now falls in a down phase of a flapping device.
+func (f DeviceFaults) flapDown(now sim.Time) bool {
+	if f.FlapAt <= 0 || f.FlapUp <= 0 || f.FlapDown <= 0 {
+		return false
+	}
+	t := now.Duration()
+	if t < f.FlapAt {
+		return false
+	}
+	phase := (t - f.FlapAt) % (f.FlapUp + f.FlapDown)
+	return phase >= f.FlapUp
 }
 
 // Plan is a complete, seedable fault schedule for a system.
@@ -157,6 +211,9 @@ type Stats struct {
 	PowerCuts     int64 // scheduled power cuts delivered
 	PowerRejects  int64 // operations refused on a powered-off device
 	Corruptions   int64 // pages silently corrupted before a read
+	FailSlowWaits int64 // commands delayed inside a fail-slow window
+	FlapRejects   int64 // commands refused during a flap down phase
+	Spikes        int64 // injected latency spikes
 }
 
 // Injector is a plan installed on a system. It owns the per-device rand
@@ -187,6 +244,9 @@ func Install(sys *core.System, plan *Plan) *Injector {
 	o.CounterFunc("chaos.power_cuts", func() int64 { return inj.stats.PowerCuts })
 	o.CounterFunc("chaos.power_rejects", func() int64 { return inj.stats.PowerRejects })
 	o.CounterFunc("chaos.corruptions", func() int64 { return inj.stats.Corruptions })
+	o.CounterFunc("chaos.failslow_waits", func() int64 { return inj.stats.FailSlowWaits })
+	o.CounterFunc("chaos.flap_rejects", func() int64 { return inj.stats.FlapRejects })
+	o.CounterFunc("chaos.spikes", func() int64 { return inj.stats.Spikes })
 	for i, unit := range sys.Devices {
 		i, unit := i, unit
 		f := plan.Faults(i)
@@ -196,6 +256,7 @@ func Install(sys *core.System, plan *Plan) *Injector {
 		mediaRng := rand.New(rand.NewSource(plan.Seed ^ mix ^ 0x6D6564696131))
 		agentRng := rand.New(rand.NewSource(plan.Seed ^ mix ^ 0x6167656E7431))
 		corruptRng := rand.New(rand.NewSource(plan.Seed ^ mix ^ 0x636F727231))
+		spikeRng := rand.New(rand.NewSource(plan.Seed ^ mix ^ 0x7370696B6531))
 		eng := sys.Eng
 		nand := unit.Drive.Flash()
 
@@ -211,6 +272,16 @@ func Install(sys *core.System, plan *Plan) *Injector {
 			eng.At(sim.Time(f.FailAt), func() {
 				o.InstantAt(eng.Now(), "chaos", "device_failed", "device", dev)
 			})
+		}
+		if f.FailSlowAt > 0 && f.FailSlowFactor > 1 {
+			eng.At(sim.Time(f.FailSlowAt), func() {
+				o.InstantAt(eng.Now(), "chaos", "failslow_start", "device", dev)
+			})
+			if f.FailSlowFor > 0 {
+				eng.At(sim.Time(f.FailSlowAt+f.FailSlowFor), func() {
+					o.InstantAt(eng.Now(), "chaos", "failslow_end", "device", dev)
+				})
+			}
 		}
 
 		nand.SetFaultHook(func(op flash.FaultOp, a flash.Addr) error {
@@ -252,9 +323,22 @@ func Install(sys *core.System, plan *Plan) *Injector {
 				inj.stats.PowerRejects++
 				return fmt.Errorf("%w: device %d backend %v", ErrPowerLost, i, op)
 			}
+			if f.flapDown(p.Now()) {
+				inj.stats.FlapRejects++
+				return fmt.Errorf("%w: device %d backend %v", ErrFlap, i, op)
+			}
 			if f.SlowFactor > 1 {
 				inj.stats.SlowWaits++
 				p.Wait(time.Duration(float64(unit.Drive.CmdOverhead()) * (f.SlowFactor - 1)))
+			}
+			if f.failSlow(p.Now()) {
+				inj.stats.FailSlowWaits++
+				p.Wait(time.Duration(float64(unit.Drive.CmdOverhead()) * (f.FailSlowFactor - 1)))
+			}
+			if f.SpikeProb > 0 && f.SpikeDelay > 0 && spikeRng.Float64() < f.SpikeProb {
+				inj.stats.Spikes++
+				o.Instant(p, "chaos", "latency_spike", "device", dev)
+				p.Wait(f.SpikeDelay)
 			}
 			return nil
 		})
@@ -268,6 +352,10 @@ func Install(sys *core.System, plan *Plan) *Injector {
 				inj.stats.PowerRejects++
 				return fmt.Errorf("%w: device %d nvme %v", ErrPowerLost, i, cmd.Op)
 			}
+			if f.flapDown(p.Now()) {
+				inj.stats.FlapRejects++
+				return fmt.Errorf("%w: device %d nvme %v", ErrFlap, i, cmd.Op)
+			}
 			return nil
 		})
 
@@ -279,6 +367,10 @@ func Install(sys *core.System, plan *Plan) *Injector {
 			if nand.PoweredOff() {
 				inj.stats.PowerRejects++
 				return fmt.Errorf("%w: device %d agent", ErrPowerLost, i)
+			}
+			if f.flapDown(p.Now()) {
+				inj.stats.FlapRejects++
+				return fmt.Errorf("%w: device %d agent", ErrFlap, i)
 			}
 			if f.DropProb > 0 && agentRng.Float64() < f.DropProb {
 				inj.stats.Drops++

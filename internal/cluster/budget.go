@@ -1,0 +1,86 @@
+package cluster
+
+// Retry budget: a pool-wide token bucket that bounds how much retry
+// amplification the pool may generate. Per-task retry policies are blind to
+// aggregate load — under a correlated fault every task retries "just
+// MaxAttempts times" and the fleet melts into a metastable retry storm.
+// The budget charges one token per retry and refills only as a fraction of
+// successes, so sustained failure drains it and retries degrade into typed
+// fast-fails (ErrRetryBudgetExhausted) that shed load instead of amplifying
+// it. First attempts are never charged: the budget caps amplification, not
+// admission.
+
+// RetryBudgetPolicy configures the pool's retry token bucket. The zero
+// value disables budgeting, preserving the unbounded PR 1 retry semantics.
+type RetryBudgetPolicy struct {
+	// Enabled turns budgeting on (default off).
+	Enabled bool
+	// Tokens is the bucket capacity and its initial fill (0 selects 10).
+	Tokens float64
+	// Refill is the number of tokens earned per successful task, capped at
+	// Tokens (0 selects 0.1 — one earned retry per ten successes).
+	Refill float64
+}
+
+// DefaultRetryBudget returns the enabled policy the tail experiments use.
+func DefaultRetryBudget() RetryBudgetPolicy {
+	return RetryBudgetPolicy{Enabled: true}
+}
+
+func (bp RetryBudgetPolicy) tokens() float64 {
+	if bp.Tokens <= 0 {
+		return 10
+	}
+	return bp.Tokens
+}
+
+func (bp RetryBudgetPolicy) refill() float64 {
+	if bp.Refill <= 0 {
+		return 0.1
+	}
+	return bp.Refill
+}
+
+// ensureBudget fills the bucket on first touch.
+func (pl *Pool) ensureBudget() {
+	if !pl.budgetInit {
+		pl.budgetTokens = pl.Budget.tokens()
+		pl.budgetInit = true
+	}
+}
+
+// budgetTake charges one token for a retry, reporting false when the bucket
+// is dry — the caller must fast-fail instead of retrying.
+func (pl *Pool) budgetTake() bool {
+	if !pl.Budget.Enabled {
+		return true
+	}
+	pl.ensureBudget()
+	if pl.budgetTokens < 1 {
+		return false
+	}
+	pl.budgetTokens--
+	return true
+}
+
+// budgetRefill earns back a fraction of a token after a successful task.
+func (pl *Pool) budgetRefill() {
+	if !pl.Budget.Enabled {
+		return
+	}
+	pl.ensureBudget()
+	pl.budgetTokens += pl.Budget.refill()
+	if cap := pl.Budget.tokens(); pl.budgetTokens > cap {
+		pl.budgetTokens = cap
+	}
+}
+
+// RetryBudgetLeft returns the current token count (the full capacity while
+// budgeting is disabled), for tests and reporting.
+func (pl *Pool) RetryBudgetLeft() float64 {
+	if !pl.Budget.Enabled {
+		return pl.Budget.tokens()
+	}
+	pl.ensureBudget()
+	return pl.budgetTokens
+}

@@ -8,6 +8,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -34,6 +35,18 @@ var (
 	// MapFilesFT re-dispatches the shard elsewhere, because the same task
 	// can succeed on a healthy replica.
 	ErrMediaFailure = errors.New("cluster: device media failure")
+	// ErrDeadlineExceeded marks a task abandoned because its deadline
+	// passed — before dispatch, between retries, or device-side mid-run.
+	// Final: the device is healthy (no strike) and retrying cannot win a
+	// race the clock already decided.
+	ErrDeadlineExceeded = errors.New("cluster: deadline exceeded")
+	// ErrCanceled marks a task abandoned because its cancel token fired —
+	// typically the losing twin of a hedged request. Final, never a strike.
+	ErrCanceled = errors.New("cluster: task canceled")
+	// ErrRetryBudgetExhausted marks a retry denied by the pool's retry
+	// budget: the task fast-fails with its last underlying error wrapped,
+	// shedding load instead of amplifying a retry storm.
+	ErrRetryBudgetExhausted = errors.New("cluster: retry budget exhausted")
 )
 
 // RetryPolicy governs per-task retry and device-death marking. Backoff
@@ -50,6 +63,12 @@ type RetryPolicy struct {
 	// failures — a response arrived with a non-OK status — are retried but
 	// never strike the device: its control plane demonstrably works.
 	DeadAfter int
+	// Jitter applies seeded full jitter to backoff delays: each wait is
+	// drawn uniformly from (0, d] where d is the exponential schedule's
+	// delay. Correlated failures then cannot synchronise their retries into
+	// waves. Requires Pool.SetSeed for a deterministic stream; without a
+	// seed the schedule stays deterministic (jitter silently off).
+	Jitter bool
 }
 
 // DefaultRetryPolicy returns the policy the pool starts with: 3 attempts,
@@ -97,19 +116,41 @@ type Pool struct {
 	PerDeviceTasks int
 	// Retry is the fault-tolerance policy applied by MapFiles/MapFilesFT.
 	Retry RetryPolicy
+	// Hedge configures hedged dispatch via RunHedged (default off).
+	Hedge HedgePolicy
+	// Health configures gray-failure scoring and circuit breaking
+	// (default off — the PR 1 binary dead/alive model).
+	Health HealthPolicy
+	// Budget configures the pool-wide retry token bucket (default off —
+	// unbounded per-task retries).
+	Budget RetryBudgetPolicy
 
 	dead     []bool
 	strikes  []int // consecutive transport failures per device
 	inflight []int // tasks dispatched to each device and not yet finished
 
-	obs        *obs.Obs
-	cAttempts  *obs.Counter
-	cRetries   *obs.Counter
-	cStrikes   *obs.Counter
-	cDeaths    *obs.Counter
-	cRevives   *obs.Counter
-	cFailovers *obs.Counter // failover rounds triggered by re-queued files
-	cRequeued  *obs.Counter // files re-dispatched to a surviving device
+	health       []deviceHealth
+	budgetTokens float64
+	budgetInit   bool
+	latencies    obs.Histogram // successful-task latency, feeds the hedge delay
+	rng          *rand.Rand    // backoff jitter stream; nil until SetSeed
+
+	obs           *obs.Obs
+	cAttempts     *obs.Counter
+	cRetries      *obs.Counter
+	cStrikes      *obs.Counter
+	cDeaths       *obs.Counter
+	cRevives      *obs.Counter
+	cFailovers    *obs.Counter // failover rounds triggered by re-queued files
+	cRequeued     *obs.Counter // files re-dispatched to a surviving device
+	cHedgeIssued  *obs.Counter // secondaries launched
+	cHedgeWon     *obs.Counter // races won by the secondary
+	cHedgeWasted  *obs.Counter // secondaries beaten by the primary
+	cQuarantines  *obs.Counter // health trips into quarantine
+	cReadmits     *obs.Counter // probation devices readmitted
+	cProbes       *obs.Counter // probe requests routed to probation devices
+	cBudgetDenied *obs.Counter // retries refused by the retry budget
+	cDeadlineHits *obs.Counter // tasks abandoned to their deadline
 }
 
 // NewPool wraps device units for orchestration.
@@ -125,7 +166,25 @@ func NewPool(eng *sim.Engine, units []*core.DeviceUnit) *Pool {
 		dead:           make([]bool, len(units)),
 		strikes:        make([]int, len(units)),
 		inflight:       make([]int, len(units)),
+		// Tail-tolerance counters are pool-owned (allocated eagerly) so
+		// HedgeStats and tests read them even without obs attached.
+		cHedgeIssued:  &obs.Counter{},
+		cHedgeWon:     &obs.Counter{},
+		cHedgeWasted:  &obs.Counter{},
+		cQuarantines:  &obs.Counter{},
+		cReadmits:     &obs.Counter{},
+		cProbes:       &obs.Counter{},
+		cBudgetDenied: &obs.Counter{},
+		cDeadlineHits: &obs.Counter{},
 	}
+}
+
+// SetSeed arms the pool's private RNG stream (split from the given seed
+// with a pool-specific mixing constant) used for backoff jitter. Two pools
+// seeded identically produce identical jitter traces — determinism per
+// seed, like every other randomised layer in the simulator.
+func (pl *Pool) SetSeed(seed int64) {
+	pl.rng = rand.New(rand.NewSource(seed ^ 0x6C62272E07BB0142))
 }
 
 // SetObs attaches fault-tolerance counters and trace instants. Counters
@@ -142,6 +201,14 @@ func (pl *Pool) SetObs(o *obs.Obs) {
 	pl.cRevives = o.Counter("cluster.revives")
 	pl.cFailovers = o.Counter("cluster.failover_rounds")
 	pl.cRequeued = o.Counter("cluster.requeued_files")
+	o.CounterFunc("cluster.hedge.issued", pl.cHedgeIssued.Value)
+	o.CounterFunc("cluster.hedge.won", pl.cHedgeWon.Value)
+	o.CounterFunc("cluster.hedge.wasted", pl.cHedgeWasted.Value)
+	o.CounterFunc("cluster.health.quarantines", pl.cQuarantines.Value)
+	o.CounterFunc("cluster.health.readmits", pl.cReadmits.Value)
+	o.CounterFunc("cluster.health.probes", pl.cProbes.Value)
+	o.CounterFunc("cluster.retry_budget.denied", pl.cBudgetDenied.Value)
+	o.CounterFunc("cluster.deadline_exceeded", pl.cDeadlineHits.Value)
 	// Live queue depth, pulled at snapshot time: the same signal the
 	// LeastOutstanding balancer and the serve-layer admission read, so a
 	// mid-run snapshot shows exactly what the scheduler saw.
@@ -237,12 +304,26 @@ func (pl *Pool) maxAttempts() int {
 	return pl.Retry.MaxAttempts
 }
 
+// backoffDelay returns the wait before the next retry: the exponential
+// schedule, with seeded full jitter applied when armed (Retry.Jitter set
+// and SetSeed called) — each delay draws uniformly from (0, d].
+func (pl *Pool) backoffDelay(attempt int) time.Duration {
+	d := pl.Retry.backoff(attempt)
+	if !pl.Retry.Jitter || pl.rng == nil || d <= 0 {
+		return d
+	}
+	return time.Duration(pl.rng.Int63n(int64(d))) + 1
+}
+
 // runTask executes one minion on device dev with per-task retry and
 // exponential backoff in sim-time. It returns the last response (which may
 // be non-OK), the number of attempts made, and the final error: nil on
 // success, the transport or status error otherwise. Transport failures
 // strike the device; once it is marked dead remaining attempts are
-// abandoned.
+// abandoned. A deadline on the command is enforced host-side too: no
+// attempt starts, and no backoff is taken, past the deadline. Deadline and
+// cancellation outcomes are final — the device is healthy, so they neither
+// strike nor retry.
 func (pl *Pool) runTask(p *sim.Proc, dev int, cmd core.Command) (*core.Response, int, error) {
 	var (
 		lastResp *core.Response
@@ -260,17 +341,56 @@ func (pl *Pool) runTask(p *sim.Proc, dev int, cmd core.Command) (*core.Response,
 			}
 			break
 		}
+		if cmd.Cancel.Canceled() {
+			pl.recordNeutral(dev)
+			lastErr = fmt.Errorf("%w: device %d", ErrCanceled, dev)
+			break
+		}
+		if cmd.Deadline > 0 && p.Now() >= cmd.Deadline {
+			pl.cDeadlineHits.Add(1)
+			pl.recordNeutral(dev)
+			lastErr = fmt.Errorf("%w: device %d", ErrDeadlineExceeded, dev)
+			break
+		}
+		if attempts > 0 {
+			// Retries (not first attempts) are charged to the retry budget:
+			// a dry bucket turns a would-be retry storm into a typed
+			// fast-fail that sheds the work.
+			if !pl.budgetTake() {
+				pl.cBudgetDenied.Add(1)
+				pl.obs.Instant(p, "cluster", "retry_denied", "device", fmt.Sprint(dev))
+				lastErr = fmt.Errorf("%w: %w", ErrRetryBudgetExhausted, lastErr)
+				break
+			}
+			pl.cRetries.Add(1)
+			pl.obs.Instant(p, "cluster", "retry", "device", fmt.Sprint(dev), "attempt", fmt.Sprint(attempts+1))
+		}
 		attempts++
 		pl.cAttempts.Add(1)
-		if attempts > 1 {
-			pl.cRetries.Add(1)
-			pl.obs.Instant(p, "cluster", "retry", "device", fmt.Sprint(dev), "attempt", fmt.Sprint(attempts))
-		}
+		start := p.Now()
 		resp, err := pl.units[dev].Client.Run(p, cmd)
+		lat := p.Now().Sub(start)
 		switch {
 		case err == nil && resp.Status == core.StatusOK:
 			pl.clearStrikes(dev)
+			pl.budgetRefill()
+			pl.noteLatency(lat)
+			pl.recordHealth(p, dev, lat, false)
 			return resp, attempts, nil
+		case err == nil && resp.Status == core.StatusDeadline:
+			// The device answered: it abandoned the task because the clock
+			// ran out. Healthy device, unwinnable race — final.
+			pl.clearStrikes(dev)
+			pl.recordHealth(p, dev, lat, false)
+			pl.cDeadlineHits.Add(1)
+			return resp, attempts, fmt.Errorf("%w: device %d", ErrDeadlineExceeded, dev)
+		case err == nil && resp.Status == core.StatusCanceled:
+			// The host revoked the request (hedge loser); final. The outcome
+			// scores nothing, but a probe ending canceled must release its
+			// probe slot.
+			pl.clearStrikes(dev)
+			pl.recordNeutral(dev)
+			return resp, attempts, fmt.Errorf("%w: device %d", ErrCanceled, dev)
 		case err == nil && resp.Retryable:
 			// The device answered but blamed its media (CRC-detected
 			// corruption, power loss mid-task). That is a sick device, not a
@@ -279,16 +399,21 @@ func (pl *Pool) runTask(p *sim.Proc, dev int, cmd core.Command) (*core.Response,
 			lastResp = resp
 			lastErr = fmt.Errorf("%w: device %d: %s", ErrMediaFailure, dev, resp.Error)
 			pl.strike(dev)
+			pl.recordHealth(p, dev, lat, true)
 			if pl.dead[dev] {
 				pl.obs.Instant(p, "cluster", "device_dead", "device", fmt.Sprint(dev))
 			}
 		case err == nil:
 			lastResp = resp
 			pl.clearStrikes(dev)
+			// An application error says nothing about the device — latency
+			// still folds into its score, the failure does not.
+			pl.recordHealth(p, dev, lat, false)
 			lastErr = fmt.Errorf("%w: device %d: %s: %s", ErrTaskFailed, dev, resp.Status, resp.Error)
 		default:
 			lastErr = err
 			pl.strike(dev)
+			pl.recordHealth(p, dev, lat, true)
 			if pl.dead[dev] {
 				pl.obs.Instant(p, "cluster", "device_dead", "device", fmt.Sprint(dev))
 			}
@@ -296,7 +421,15 @@ func (pl *Pool) runTask(p *sim.Proc, dev int, cmd core.Command) (*core.Response,
 		if pl.dead[dev] || attempts >= pl.maxAttempts() {
 			break
 		}
-		p.Wait(pl.Retry.backoff(attempts))
+		delay := pl.backoffDelay(attempts)
+		if cmd.Deadline > 0 && p.Now().Add(delay) >= cmd.Deadline {
+			// Backing off would sleep through the deadline; fail now.
+			pl.cDeadlineHits.Add(1)
+			pl.recordNeutral(dev)
+			lastErr = fmt.Errorf("%w: %w", ErrDeadlineExceeded, lastErr)
+			break
+		}
+		p.Wait(delay)
 	}
 	return lastResp, attempts, lastErr
 }
@@ -609,11 +742,25 @@ type Balancer interface {
 	Pick(p *sim.Proc, pool *Pool) (int, error)
 }
 
-// RoundRobin cycles through devices, skipping any marked dead.
+// RoundRobin cycles through devices, skipping any marked dead and — with
+// health scoring on — any quarantined or probation device (probation
+// devices receive only single probe requests, routed first).
 type RoundRobin struct{ next int }
 
 // Pick implements Balancer.
 func (rr *RoundRobin) Pick(p *sim.Proc, pool *Pool) (int, error) {
+	if i, ok := pool.probePick(); ok {
+		return i, nil
+	}
+	for tries := 0; tries < pool.Size(); tries++ {
+		i := rr.next % pool.Size()
+		rr.next++
+		if pool.routable(i) {
+			return i, nil
+		}
+	}
+	// Every device is tripped: degrade to any alive device rather than
+	// refusing all traffic on health suspicion alone.
 	for tries := 0; tries < pool.Size(); tries++ {
 		i := rr.next % pool.Size()
 		rr.next++
@@ -629,32 +776,48 @@ func (rr *RoundRobin) Pick(p *sim.Proc, pool *Pool) (int, error) {
 // paper's "this information could be used for load balancing".
 type LeastBusy struct{}
 
-// Pick implements Balancer. Dead devices are skipped, and a device whose
-// status query fails is struck (and skipped) rather than aborting the pick:
-// an unreachable device must not take the whole scheduler down with it.
+// Pick implements Balancer. Dead, quarantined, and probation devices are
+// skipped (probation devices get only probe traffic, routed first), and a
+// device whose status query fails is struck (and skipped) rather than
+// aborting the pick: an unreachable device must not take the whole
+// scheduler down with it.
 func (LeastBusy) Pick(p *sim.Proc, pool *Pool) (int, error) {
-	best := -1
-	bestLoad := 1 << 30
-	bestTemp := 1e9
-	for i := 0; i < pool.Size(); i++ {
-		if pool.IsDead(i) {
-			continue
-		}
-		st, err := pool.Unit(i).Client.Status(p)
-		if err != nil {
-			pool.strike(i)
-			continue
-		}
-		pool.clearStrikes(i)
-		load := st.CoresBusy + st.QueuedTasks + st.InFlightMinions
-		if load < bestLoad || (load == bestLoad && st.TemperatureC < bestTemp) {
-			best, bestLoad, bestTemp = i, load, st.TemperatureC
-		}
+	if i, ok := pool.probePick(); ok {
+		return i, nil
 	}
-	if best < 0 {
-		return 0, ErrNoDevices
+	pick := func(relaxed bool) (int, bool) {
+		best := -1
+		bestLoad := 1 << 30
+		bestTemp := 1e9
+		for i := 0; i < pool.Size(); i++ {
+			if relaxed {
+				if pool.IsDead(i) {
+					continue
+				}
+			} else if !pool.routable(i) {
+				continue
+			}
+			st, err := pool.Unit(i).Client.Status(p)
+			if err != nil {
+				pool.strike(i)
+				continue
+			}
+			pool.clearStrikes(i)
+			load := st.CoresBusy + st.QueuedTasks + st.InFlightMinions
+			if load < bestLoad || (load == bestLoad && st.TemperatureC < bestTemp) {
+				best, bestLoad, bestTemp = i, load, st.TemperatureC
+			}
+		}
+		return best, best >= 0
 	}
-	return best, nil
+	if best, ok := pick(false); ok {
+		return best, nil
+	}
+	// Every device is tripped: degrade to any alive device.
+	if best, ok := pick(true); ok {
+		return best, nil
+	}
+	return 0, ErrNoDevices
 }
 
 // LeastOutstanding picks the alive device with the fewest in-flight tasks
@@ -665,16 +828,31 @@ func (LeastBusy) Pick(p *sim.Proc, pool *Pool) (int, error) {
 // same signal the serve layer's admission control reads.
 type LeastOutstanding struct{}
 
-// Pick implements Balancer.
+// Pick implements Balancer. Like the other balancers it routes probe
+// traffic to probation devices first and otherwise considers only healthy,
+// alive devices, degrading to any alive device when every one is tripped.
 func (LeastOutstanding) Pick(p *sim.Proc, pool *Pool) (int, error) {
+	if i, ok := pool.probePick(); ok {
+		return i, nil
+	}
 	best := -1
 	bestLoad := 1 << 30
 	for i := 0; i < pool.Size(); i++ {
-		if pool.IsDead(i) {
+		if !pool.routable(i) {
 			continue
 		}
 		if load := pool.InFlight(i); load < bestLoad {
 			best, bestLoad = i, load
+		}
+	}
+	if best < 0 {
+		for i := 0; i < pool.Size(); i++ {
+			if pool.IsDead(i) {
+				continue
+			}
+			if load := pool.InFlight(i); load < bestLoad {
+				best, bestLoad = i, load
+			}
 		}
 	}
 	if best < 0 {

@@ -1,0 +1,390 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"compstor/internal/sim"
+)
+
+// Gray-failure health scoring. The strike counter (RetryPolicy.DeadAfter)
+// only catches clean deaths: a device that stops answering. Real fleets
+// fail *slow* — a device keeps answering, just 10-40× later than its peers,
+// and under a binary dead/alive model it quietly owns the tail. The health
+// scorer keeps an EWMA of per-attempt latency and error rate for every
+// device, trips a gray device into quarantine, and readmits it through a
+// half-open probation state that risks single probe requests instead of
+// real traffic.
+
+// HealthState is a device's circuit-breaker state.
+type HealthState int
+
+// Health states.
+const (
+	// HealthHealthy devices take normal traffic.
+	HealthHealthy HealthState = iota
+	// HealthQuarantined devices take no traffic until their cooldown
+	// elapses.
+	HealthQuarantined
+	// HealthProbation (half-open) devices take single probe requests; enough
+	// consecutive probe successes readmit them, one failure re-quarantines
+	// with a doubled cooldown.
+	HealthProbation
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case HealthHealthy:
+		return "healthy"
+	case HealthQuarantined:
+		return "quarantined"
+	case HealthProbation:
+		return "probation"
+	default:
+		return "unknown"
+	}
+}
+
+// HealthPolicy configures gray-failure detection. The zero value disables
+// it, keeping the PR 1 strike model byte-identical.
+type HealthPolicy struct {
+	// Enabled turns health scoring on (default off).
+	Enabled bool
+	// LatencyAlpha and ErrorAlpha are the EWMA weights for per-attempt
+	// latency and error observations (0 selects 0.2 and 0.1).
+	LatencyAlpha float64
+	ErrorAlpha   float64
+	// ErrThreshold trips a device when its error-rate EWMA exceeds it
+	// (0 selects 0.5).
+	ErrThreshold float64
+	// LatencyFactor trips a device when its latency EWMA exceeds this
+	// multiple of the pool-wide median EWMA (0 selects 4; negative disables
+	// the latency trip).
+	LatencyFactor float64
+	// MinSamples is the number of attempts a device must absorb before
+	// either trip can fire (0 selects 16).
+	MinSamples int64
+	// Cooldown is the quarantine dwell before probation; it doubles every
+	// time a probe fails (0 selects 50ms).
+	Cooldown time.Duration
+	// ProbeSuccesses is the consecutive probe-success count that readmits a
+	// probation device (0 selects 3).
+	ProbeSuccesses int
+}
+
+// DefaultHealthPolicy returns the enabled policy the tail experiments use.
+func DefaultHealthPolicy() HealthPolicy {
+	return HealthPolicy{Enabled: true}
+}
+
+func (hp HealthPolicy) latencyAlpha() float64 {
+	if hp.LatencyAlpha <= 0 {
+		return 0.2
+	}
+	return hp.LatencyAlpha
+}
+
+func (hp HealthPolicy) errorAlpha() float64 {
+	if hp.ErrorAlpha <= 0 {
+		return 0.1
+	}
+	return hp.ErrorAlpha
+}
+
+func (hp HealthPolicy) errThreshold() float64 {
+	if hp.ErrThreshold <= 0 {
+		return 0.5
+	}
+	return hp.ErrThreshold
+}
+
+func (hp HealthPolicy) latencyFactor() float64 {
+	if hp.LatencyFactor == 0 {
+		return 4
+	}
+	return hp.LatencyFactor
+}
+
+func (hp HealthPolicy) minSamples() int64 {
+	if hp.MinSamples <= 0 {
+		return 16
+	}
+	return hp.MinSamples
+}
+
+func (hp HealthPolicy) cooldown() time.Duration {
+	if hp.Cooldown <= 0 {
+		return 50 * time.Millisecond
+	}
+	return hp.Cooldown
+}
+
+func (hp HealthPolicy) probeSuccesses() int {
+	if hp.ProbeSuccesses <= 0 {
+		return 3
+	}
+	return hp.ProbeSuccesses
+}
+
+// deviceHealth is one device's score and breaker state.
+type deviceHealth struct {
+	state     HealthState
+	latEWMA   float64 // seconds per attempt
+	errEWMA   float64 // failure fraction
+	samples   int64
+	trippedAt sim.Time
+	cooldown  time.Duration
+	probeOK   int  // consecutive probe successes in probation
+	probing   bool // a probe is currently routed to this device
+}
+
+// ensureHealth lazily allocates the per-device scores.
+func (pl *Pool) ensureHealth() {
+	if pl.health == nil {
+		pl.health = make([]deviceHealth, len(pl.units))
+	}
+}
+
+// DeviceHealth returns device i's breaker state (HealthHealthy when scoring
+// is disabled), advancing a quarantine whose cooldown elapsed into
+// probation first.
+func (pl *Pool) DeviceHealth(i int) HealthState {
+	if !pl.Health.Enabled {
+		return HealthHealthy
+	}
+	pl.ensureHealth()
+	pl.advanceHealth(i, pl.eng.Now())
+	return pl.health[i].state
+}
+
+// advanceHealth applies the lazy Quarantined→Probation transition.
+func (pl *Pool) advanceHealth(i int, now sim.Time) {
+	h := &pl.health[i]
+	if h.state == HealthQuarantined && now.Sub(h.trippedAt) >= h.cooldown {
+		h.state = HealthProbation
+		h.probeOK = 0
+		h.probing = false
+		pl.obs.InstantAt(now, "cluster", "probation", "device", fmt.Sprint(i))
+	}
+}
+
+// routable reports whether device i may take normal (non-probe) traffic:
+// alive and, with health scoring on, in the healthy state.
+func (pl *Pool) routable(i int) bool {
+	if pl.dead[i] {
+		return false
+	}
+	if !pl.Health.Enabled {
+		return true
+	}
+	pl.ensureHealth()
+	pl.advanceHealth(i, pl.eng.Now())
+	return pl.health[i].state == HealthHealthy
+}
+
+// probePick returns a probation device due for a probe, marking it probing
+// so only one probe is in flight per device. Balancers call it first: the
+// probe rides a real request, which is how a half-open breaker risks one
+// unit of work to learn whether the device recovered.
+func (pl *Pool) probePick() (int, bool) {
+	if !pl.Health.Enabled {
+		return -1, false
+	}
+	pl.ensureHealth()
+	now := pl.eng.Now()
+	for i := range pl.health {
+		if pl.dead[i] {
+			continue
+		}
+		pl.advanceHealth(i, now)
+		h := &pl.health[i]
+		if h.state == HealthProbation && !h.probing {
+			h.probing = true
+			pl.cProbes.Add(1)
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// recordHealth folds one attempt's outcome into device i's score and drives
+// the breaker. failed must be true only for device-rooted failures
+// (transport, media): an application error or a deadline/cancel abort says
+// nothing about the device's health. Latency still folds in either way —
+// a gray device is slow regardless of outcome.
+func (pl *Pool) recordHealth(p *sim.Proc, i int, lat time.Duration, failed bool) {
+	if !pl.Health.Enabled {
+		return
+	}
+	pl.ensureHealth()
+	h := &pl.health[i]
+	la, ea := pl.Health.latencyAlpha(), pl.Health.errorAlpha()
+	if h.samples == 0 {
+		h.latEWMA = lat.Seconds()
+	} else {
+		h.latEWMA += la * (lat.Seconds() - h.latEWMA)
+	}
+	e := 0.0
+	if failed {
+		e = 1.0
+	}
+	h.errEWMA += ea * (e - h.errEWMA)
+	h.samples++
+
+	wasProbe := h.probing
+	h.probing = false
+
+	switch h.state {
+	case HealthProbation:
+		if !wasProbe {
+			return
+		}
+		if failed {
+			// One failed probe re-quarantines with escalating cooldown.
+			h.state = HealthQuarantined
+			h.trippedAt = p.Now()
+			h.cooldown *= 2
+			h.probeOK = 0
+			pl.cQuarantines.Add(1)
+			pl.obs.Instant(p, "cluster", "quarantine", "device", fmt.Sprint(i), "cause", "probe_failed")
+			return
+		}
+		h.probeOK++
+		if h.probeOK >= pl.Health.probeSuccesses() {
+			h.state = HealthHealthy
+			h.errEWMA = 0
+			h.probeOK = 0
+			pl.cReadmits.Add(1)
+			pl.obs.Instant(p, "cluster", "readmit", "device", fmt.Sprint(i))
+		}
+	case HealthHealthy:
+		if h.samples < pl.Health.minSamples() {
+			return
+		}
+		cause := ""
+		if h.errEWMA > pl.Health.errThreshold() {
+			cause = "errors"
+		} else if f := pl.Health.latencyFactor(); f > 0 {
+			if med, ok := pl.medianLatEWMA(i); ok && h.latEWMA > f*med {
+				cause = "latency"
+			}
+		}
+		if cause == "" {
+			return
+		}
+		h.state = HealthQuarantined
+		h.trippedAt = p.Now()
+		h.cooldown = pl.Health.cooldown()
+		pl.cQuarantines.Add(1)
+		pl.obs.Instant(p, "cluster", "quarantine", "device", fmt.Sprint(i), "cause", cause)
+	}
+}
+
+// recordNeutral clears device i's probe-in-flight marker without scoring
+// the outcome. Canceled tasks land here: the host revoked the request, so
+// its outcome says nothing about the device — but a probe that ends
+// canceled must still release its slot or probation wedges with no probe
+// ever in flight again.
+func (pl *Pool) recordNeutral(i int) {
+	if !pl.Health.Enabled {
+		return
+	}
+	pl.ensureHealth()
+	pl.health[i].probing = false
+}
+
+// recordHedgeLoss folds a lost hedge race into the primary device's score.
+// This is the signal that keeps a hedged pool honest: the winner cancels
+// the loser, so a gray device's terrible completion latencies are censored
+// — recordHealth never sees them. What is observed is the loss itself: a
+// tied secondary on a peer finished the same work, hedge delay included,
+// before the primary did. Losses feed the error EWMA; a healthy device
+// trips once they dominate, and a probation device whose probe loses its
+// race re-quarantines — beaten by a peer is still slow.
+func (pl *Pool) recordHedgeLoss(p *sim.Proc, i int) {
+	if !pl.Health.Enabled {
+		return
+	}
+	pl.ensureHealth()
+	h := &pl.health[i]
+	h.errEWMA += pl.Health.errorAlpha() * (1 - h.errEWMA)
+	h.samples++
+	switch h.state {
+	case HealthProbation:
+		h.state = HealthQuarantined
+		h.trippedAt = p.Now()
+		h.cooldown *= 2
+		h.probeOK = 0
+		pl.cQuarantines.Add(1)
+		pl.obs.Instant(p, "cluster", "quarantine", "device", fmt.Sprint(i), "cause", "probe_lost_hedge")
+	case HealthHealthy:
+		if h.samples < pl.Health.minSamples() || h.errEWMA <= pl.Health.errThreshold() {
+			return
+		}
+		h.state = HealthQuarantined
+		h.trippedAt = p.Now()
+		h.cooldown = pl.Health.cooldown()
+		pl.cQuarantines.Add(1)
+		pl.obs.Instant(p, "cluster", "quarantine", "device", fmt.Sprint(i), "cause", "hedge_losses")
+	}
+}
+
+// medianLatEWMA returns the median latency EWMA over the other devices with
+// enough samples — the peer baseline a suspect is compared against.
+func (pl *Pool) medianLatEWMA(except int) (float64, bool) {
+	var vals []float64
+	for i := range pl.health {
+		if i == except || pl.dead[i] {
+			continue
+		}
+		if pl.health[i].samples >= pl.Health.minSamples() {
+			vals = append(vals, pl.health[i].latEWMA)
+		}
+	}
+	if len(vals) == 0 {
+		return 0, false
+	}
+	sort.Float64s(vals)
+	return vals[len(vals)/2], true
+}
+
+// HealthCounters reports the breaker activity counters for tests and
+// experiment reporting.
+type HealthCounters struct {
+	Quarantines int64
+	Readmits    int64
+	Probes      int64
+}
+
+// HealthStats samples the health counters.
+func (pl *Pool) HealthStats() HealthCounters {
+	return HealthCounters{
+		Quarantines: pl.cQuarantines.Value(),
+		Readmits:    pl.cReadmits.Value(),
+		Probes:      pl.cProbes.Value(),
+	}
+}
+
+// HealthyFraction estimates the fraction of the pool taking normal traffic:
+// alive, healthy devices over all devices. The serve layer's admission
+// control reads it to brown out the background lane before the interactive
+// lane feels the capacity loss. Always 1 with health scoring disabled.
+func (pl *Pool) HealthyFraction() float64 {
+	if !pl.Health.Enabled || len(pl.units) == 0 {
+		return 1
+	}
+	pl.ensureHealth()
+	now := pl.eng.Now()
+	n := 0
+	for i := range pl.units {
+		if pl.dead[i] {
+			continue
+		}
+		pl.advanceHealth(i, now)
+		if pl.health[i].state == HealthHealthy {
+			n++
+		}
+	}
+	return float64(n) / float64(len(pl.units))
+}

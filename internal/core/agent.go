@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"compstor/internal/apps"
 	"compstor/internal/flash"
 	"compstor/internal/ftl"
 	"compstor/internal/isps"
@@ -136,6 +137,8 @@ func (a *Agent) runMinion(p *sim.Proc, cmd Command) *Response {
 		Script:   cmd.Script,
 		Stdin:    cmd.Stdin,
 		MemBytes: cmd.MemBytes,
+		Deadline: cmd.Deadline,
+		Cancel:   cmd.Cancel,
 	})
 	resp.TaskFinished = p.Now()
 	resp.Stdout = res.Stdout
@@ -143,12 +146,22 @@ func (a *Agent) runMinion(p *sim.Proc, cmd Command) *Response {
 	resp.ExitCode = res.ExitCode
 	resp.Elapsed = res.Elapsed()
 	if res.Err != nil {
-		resp.Status = StatusFailed
+		switch {
+		case errors.Is(res.Err, apps.ErrDeadline):
+			// The clock ran out, before or during execution. The device is
+			// healthy and retrying cannot help.
+			resp.Status = StatusDeadline
+		case errors.Is(res.Err, apps.ErrCanceled):
+			// The host revoked the request — typically a hedged twin losing.
+			resp.Status = StatusCanceled
+		default:
+			resp.Status = StatusFailed
+			// Media-rooted failures are the device's fault, not the task's: a
+			// CRC-caught corrupt page or a power cut mid-task. Mark them so the
+			// cluster retries elsewhere instead of declaring the task bad.
+			resp.Retryable = errors.Is(res.Err, ftl.ErrCorrupt) || errors.Is(res.Err, flash.ErrPowerLoss)
+		}
 		resp.Error = res.Err.Error()
-		// Media-rooted failures are the device's fault, not the task's: a
-		// CRC-caught corrupt page or a power cut mid-task. Mark them so the
-		// cluster retries elsewhere instead of declaring the task bad.
-		resp.Retryable = errors.Is(res.Err, ftl.ErrCorrupt) || errors.Is(res.Err, flash.ErrPowerLoss)
 	}
 	return resp
 }

@@ -37,6 +37,17 @@ type Command struct {
 
 	// MemBytes reserves task memory on the ISPS (0 = default).
 	MemBytes int64 `json:"mem_bytes,omitempty"`
+
+	// Deadline, when non-zero, is the absolute virtual time by which the
+	// task must finish. It rides inside the minion so the device enforces
+	// it too: an in-situ task past its deadline aborts cooperatively,
+	// releasing its core and DRAM, and answers StatusDeadline.
+	Deadline sim.Time `json:"deadline,omitempty"`
+	// Cancel is the host-side kill switch for this request (hedged twins
+	// are tied through it: the winner cancels the loser). It is a live
+	// object shared across the simulated wire, standing in for an NVMe
+	// abort admin command; it is never serialised.
+	Cancel *apps.CancelToken `json:"-"`
 }
 
 // WireSize estimates the serialised size of the command as it crosses the
@@ -69,6 +80,14 @@ const (
 	StatusOK TaskStatus = iota
 	StatusFailed
 	StatusRejected
+	// StatusDeadline means the task was abandoned because its deadline
+	// passed (before or during execution). The device is healthy and the
+	// task was never completed; retrying cannot help — the clock already
+	// ran out.
+	StatusDeadline
+	// StatusCanceled means the host revoked the request (its cancel token
+	// fired) and the device abandoned it cooperatively.
+	StatusCanceled
 )
 
 func (s TaskStatus) String() string {
@@ -79,6 +98,10 @@ func (s TaskStatus) String() string {
 		return "FAILED"
 	case StatusRejected:
 		return "REJECTED"
+	case StatusDeadline:
+		return "DEADLINE"
+	case StatusCanceled:
+		return "CANCELED"
 	default:
 		return "UNKNOWN"
 	}

@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"compstor/internal/apps/appset"
+	"compstor/internal/chaos"
+	"compstor/internal/cluster"
+	"compstor/internal/core"
+	"compstor/internal/obs"
+	"compstor/internal/serve"
+	"compstor/internal/sim"
+	"compstor/internal/trace"
+)
+
+// The tail experiment is the headline for the tail-tolerance work: an
+// open-loop grep tenant on a 4-device cluster where device 0 fails *slow*
+// mid-run (it keeps answering, just much later than its peers — the gray
+// failure a binary dead/alive model never catches). The same arrival
+// sequence runs twice:
+//
+//   - baseline: the plain retry pool — no hedging, no health scoring, no
+//     deadlines (the pre-tail-tolerance semantics)
+//   - tolerant: hedged requests + gray-failure health scoring + retry
+//     budget + seeded backoff jitter + a generous per-request deadline
+//
+// and the report compares p99/p99.9. A second, closed-loop scenario drives
+// a retry storm (both devices dropping over half their responses) with and
+// without the retry budget, showing the budget bounding retry amplification
+// into typed fast-fails.
+const (
+	tailDevices        = 4
+	tailTargetArrivals = 400  // open-loop arrivals per measured run
+	tailCalibrationReq = 160  // closed-loop requests for the capacity probe
+	tailLoad           = 0.55 // offered load, fraction of calibrated capacity
+	tailSLOFactor      = 5    // SLO = factor x calibration p99 (scoring only)
+	tailDeadlineFactor = 25   // deadline = factor x calibration p99 (backstop)
+
+	// tailFailSlowFactor multiplies device 0's per-command controller
+	// overhead inside the fail-slow window. The overhead is small (~8µs), so
+	// the factor is large: the point is a device answering several
+	// milliseconds late — far past its peers' whole-request latency — while
+	// remaining perfectly "alive".
+	tailFailSlowFactor = 600
+
+	// Retry-storm scenario: a closed loop against 2 devices that both drop
+	// over half their responses. DeadAfter is disabled (the devices are not
+	// dying, they are misbehaving), so without a budget every request
+	// retries to its per-task limit and the fleet amplifies the fault.
+	tailStormDevices  = 2
+	tailStormRequests = 160
+	tailStormDropProb = 0.55
+	tailStormAttempts = 6
+)
+
+// TailPoint is one serving run's outcome (baseline or tolerant).
+type TailPoint struct {
+	Name     string
+	Arrived  int64
+	Admitted int64
+	Shed     int64
+	Finished int64
+	Failed   int64
+	P50      time.Duration
+	P95      time.Duration
+	P99      time.Duration
+	P999     time.Duration
+	// Hedge and health activity (always zero in the baseline).
+	HedgeIssued int64
+	HedgeWon    int64
+	HedgeWasted int64
+	Quarantines int64
+	Readmits    int64
+	Probes      int64
+}
+
+// TailStormPoint is one retry-storm run's outcome.
+type TailStormPoint struct {
+	Mode         string // "unbudgeted" or "budgeted"
+	Requests     int
+	Attempts     int
+	Retries      int // attempts beyond the first per request
+	Successes    int
+	Failures     int
+	BudgetDenied int // requests fast-failed by a dry budget
+	BudgetCap    float64
+}
+
+// TailResult is the whole tail-tolerance evaluation.
+type TailResult struct {
+	Devices     int
+	FileBytes   int
+	CapacityRPS float64
+	CalibP99    time.Duration
+	Deadline    time.Duration
+	Baseline    TailPoint
+	Tolerant    TailPoint
+	// P99Improvement is baseline p99 over tolerant p99 — the headline
+	// "hedging + deadlines + health scoring vs one gray device" number.
+	P99Improvement float64
+	Storm          []TailStormPoint
+}
+
+func tailGrepCmd() core.Command { return servingGrepCmd() }
+
+// tailSystem builds a fresh n-device cluster for one run.
+func (o Options) tailSystem(scope *obs.Obs, n int) (*core.System, *cluster.Pool) {
+	sys := core.NewSystem(core.SystemConfig{
+		CompStors: n,
+		Registry:  appset.Base(),
+		Geometry:  o.Geometry,
+		Obs:       scope,
+	})
+	pool := cluster.NewPool(sys.Eng, sys.Devices)
+	pool.SetObs(scope)
+	return sys, pool
+}
+
+// tailCalibrate measures closed-loop grep capacity on the healthy cluster:
+// every dispatch slot kept busy. Returns sustained requests/s and the p99
+// at saturation.
+func (o Options) tailCalibrate(data []byte) (rps float64, p99 time.Duration) {
+	scope := o.Obs.Scope("calibrate")
+	sys, pool := o.tailSystem(scope, tailDevices)
+	var hist obs.Histogram
+	snapHist := scope.Histogram("latency")
+	var elapsed sim.Duration
+	sys.Go("driver", func(p *sim.Proc) {
+		if err := pool.StageReplicated(p, []cluster.File{{Name: "serve.txt", Data: data}}); err != nil {
+			panic(fmt.Sprintf("tail calibration stage: %v", err))
+		}
+		start := p.Now()
+		next := 0
+		workers := pool.PerDeviceTasks * pool.Size()
+		var wg sim.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			sys.Eng.Go(fmt.Sprintf("cal%d", w), func(sp *sim.Proc) {
+				defer wg.Done()
+				var lb cluster.LeastOutstanding
+				for next < tailCalibrationReq {
+					next++
+					t0 := sp.Now()
+					r := pool.Dispatch(sp, lb, tailGrepCmd())
+					if r.Err != nil {
+						panic(fmt.Sprintf("tail calibration: %v", r.Err))
+					}
+					lat := sp.Now().Sub(t0)
+					hist.Observe(lat)
+					snapHist.Observe(lat)
+				}
+			})
+		}
+		wg.Wait(p)
+		elapsed = p.Now().Sub(start)
+	})
+	sys.Run()
+	return float64(tailCalibrationReq) / elapsed.Seconds(), hist.Quantile(0.99)
+}
+
+// tailRun measures one open-loop run against the fail-slow plan. tolerant
+// selects the full tail-tolerance stack; the baseline pool keeps the plain
+// retry semantics. Arrivals are identical in both modes (the serve layer's
+// RNG streams depend only on the seed), so the comparison isolates the
+// dispatch policy.
+func (o Options) tailRun(name string, tolerant bool, lambda float64,
+	horizon, slo, deadline time.Duration, data []byte, plan *chaos.Plan) TailPoint {
+	o.logf("tail: %s (%.0f req/s offered, horizon %v)...", name, lambda, horizon)
+	scope := o.Obs.Scope(name)
+	sys, pool := o.tailSystem(scope, tailDevices)
+	if tolerant {
+		pool.Hedge = cluster.DefaultHedgePolicy()
+		pool.Health = cluster.DefaultHealthPolicy()
+		// Scale the quarantine dwell to the run so probation (and, once the
+		// fail-slow window closes, readmission) happens inside the horizon.
+		pool.Health.Cooldown = horizon / 8
+		pool.Budget = cluster.DefaultRetryBudget()
+		pool.Retry.Jitter = true
+		pool.SetSeed(o.Seed)
+	}
+	chaos.Install(sys, plan)
+	spec := serve.TenantSpec{
+		Name: "tail", Class: serve.Interactive, Weight: 1,
+		Arrival:   serve.Arrival{Kind: serve.Poisson, Rate: lambda},
+		Workloads: []serve.Workload{{Weight: 1, Cost: int64(len(data)), Make: func(int64) core.Command { return tailGrepCmd() }}},
+		SLO:       slo,
+	}
+	if tolerant {
+		spec.Deadline = deadline
+	}
+	srv := serve.New(sys.Eng, pool, scope, serve.Config{
+		Seed:    o.Seed,
+		Horizon: horizon,
+		Tenants: []serve.TenantSpec{spec},
+		Limits:  serve.Limits{MaxQueuedPerTenant: 64, MaxOutstanding: 256},
+	})
+	sys.Go("driver", func(p *sim.Proc) {
+		if err := pool.StageReplicated(p, []cluster.File{{Name: "serve.txt", Data: data}}); err != nil {
+			panic(fmt.Sprintf("tail stage %s: %v", name, err))
+		}
+		srv.Start()
+	})
+	sys.Run()
+	if n := srv.Unfinished(); n != 0 {
+		panic(fmt.Sprintf("tail %s: %d requests unfinished after drain", name, n))
+	}
+
+	st := srv.Stats("tail")
+	hs := pool.HedgeStats()
+	hc := pool.HealthStats()
+	return TailPoint{
+		Name:     name,
+		Arrived:  st.Arrived,
+		Admitted: st.Admitted,
+		Shed:     st.Shed,
+		Finished: st.Finished,
+		Failed:   st.Failed,
+		P50:      time.Duration(st.Latency.Quantile(0.50)),
+		P95:      time.Duration(st.Latency.Quantile(0.95)),
+		P99:      time.Duration(st.Latency.Quantile(0.99)),
+		P999:     time.Duration(st.Latency.Quantile(0.999)),
+
+		HedgeIssued: hs.Issued,
+		HedgeWon:    hs.Won,
+		HedgeWasted: hs.Wasted,
+		Quarantines: hc.Quarantines,
+		Readmits:    hc.Readmits,
+		Probes:      hc.Probes,
+	}
+}
+
+// tailStorm drives the closed-loop retry storm: every device drops over
+// half its responses, every request retries hard, and the run counts total
+// attempts with the retry budget on or off.
+func (o Options) tailStorm(name string, budgeted bool, data []byte) TailStormPoint {
+	o.logf("tail: storm %s...", name)
+	scope := o.Obs.Scope(name)
+	sys, pool := o.tailSystem(scope, tailStormDevices)
+	pool.Retry.MaxAttempts = tailStormAttempts
+	pool.Retry.DeadAfter = 0 // misbehaving, not dying: strikes never kill
+	pool.Retry.Jitter = true
+	pool.SetSeed(o.Seed)
+	if budgeted {
+		pool.Budget = cluster.DefaultRetryBudget()
+	}
+	plan := chaos.NewPlan(o.Seed + 4).WithDefault(chaos.DeviceFaults{DropProb: tailStormDropProb})
+	chaos.Install(sys, plan)
+
+	pt := TailStormPoint{
+		Mode:      name,
+		Requests:  tailStormRequests,
+		BudgetCap: pool.RetryBudgetLeft(),
+	}
+	sys.Go("driver", func(p *sim.Proc) {
+		if err := pool.StageReplicated(p, []cluster.File{{Name: "serve.txt", Data: data}}); err != nil {
+			panic(fmt.Sprintf("tail storm stage: %v", err))
+		}
+		next := 0
+		workers := pool.PerDeviceTasks * pool.Size()
+		var rr cluster.RoundRobin
+		var wg sim.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			sys.Eng.Go(fmt.Sprintf("storm%d", w), func(sp *sim.Proc) {
+				defer wg.Done()
+				for next < tailStormRequests {
+					next++
+					r := pool.Dispatch(sp, &rr, tailGrepCmd())
+					pt.Attempts += r.Attempts
+					switch {
+					case r.Err == nil:
+						pt.Successes++
+					case errors.Is(r.Err, cluster.ErrRetryBudgetExhausted):
+						pt.Failures++
+						pt.BudgetDenied++
+					default:
+						pt.Failures++
+					}
+				}
+			})
+		}
+		wg.Wait(p)
+	})
+	sys.Run()
+	pt.Retries = pt.Attempts - pt.Requests
+	return pt
+}
+
+// Tail runs the tail-tolerance evaluation: calibrate closed-loop capacity,
+// run the fail-slow scenario baseline vs tolerant, then the retry-storm
+// scenario unbudgeted vs budgeted.
+func Tail(o Options) TailResult {
+	data := o.servingData()
+	o.logf("tail: calibrating capacity on %d devices...", tailDevices)
+	capacity, calP99 := o.tailCalibrate(data)
+	lambda := tailLoad * capacity
+	horizon := time.Duration(float64(tailTargetArrivals) / lambda * 1e9)
+	slo := tailSLOFactor * calP99
+	deadline := tailDeadlineFactor * calP99
+
+	// Device 0 fails slow for the middle half of the run: enough healthy
+	// runway before the window for the hedge quantile and health scores to
+	// warm on honest numbers, and after it to observe the readmission.
+	plan := chaos.NewPlan(o.Seed+3).WithDevice(0, chaos.DeviceFaults{
+		FailSlowAt:     horizon / 4,
+		FailSlowFor:    horizon / 2,
+		FailSlowFactor: tailFailSlowFactor,
+	})
+
+	res := TailResult{
+		Devices:     tailDevices,
+		FileBytes:   len(data),
+		CapacityRPS: capacity,
+		CalibP99:    calP99,
+		Deadline:    deadline,
+	}
+	res.Baseline = o.tailRun("baseline", false, lambda, horizon, slo, deadline, data, plan)
+	res.Tolerant = o.tailRun("tolerant", true, lambda, horizon, slo, deadline, data, plan)
+	if res.Tolerant.P99 > 0 {
+		res.P99Improvement = float64(res.Baseline.P99) / float64(res.Tolerant.P99)
+	}
+	res.Storm = []TailStormPoint{
+		o.tailStorm("unbudgeted", false, data),
+		o.tailStorm("budgeted", true, data),
+	}
+	return res
+}
+
+// RenderTail writes the tail-tolerance report.
+func RenderTail(w io.Writer, r TailResult) {
+	fmt.Fprintf(w, "Tail tolerance: %d devices, %d-byte file, capacity %.0f req/s (closed-loop), calibration p99 %v\n",
+		r.Devices, r.FileBytes, r.CapacityRPS, r.CalibP99)
+	fmt.Fprintf(w, "Scenario: device 0 fail-slow (%dx controller overhead) for the middle half of the run; offered load %.0f%% of capacity\n\n",
+		tailFailSlowFactor, tailLoad*100)
+
+	t := trace.NewTable("Fail-slow device: baseline vs tail-tolerant serving",
+		"mode", "arrived", "shed", "failed", "p50", "p95", "p99", "p99.9", "hedges", "won", "quarantines")
+	for _, pt := range []TailPoint{r.Baseline, r.Tolerant} {
+		t.AddRow(pt.Name, pt.Arrived, pt.Shed, pt.Failed,
+			pt.P50.Round(time.Microsecond).String(),
+			pt.P95.Round(time.Microsecond).String(),
+			pt.P99.Round(time.Microsecond).String(),
+			pt.P999.Round(time.Microsecond).String(),
+			pt.HedgeIssued, pt.HedgeWon, pt.Quarantines)
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "p99 improvement (baseline/tolerant): %.1fx — hedged requests + deadline + gray-failure quarantine vs one fail-slow device\n\n",
+		r.P99Improvement)
+
+	st := trace.NewTable(fmt.Sprintf("Retry storm: both devices dropping responses (p=%.2f) — budget bounds amplification", tailStormDropProb),
+		"mode", "requests", "attempts", "retries", "successes", "failures", "budget-denied")
+	for _, pt := range r.Storm {
+		st.AddRow(pt.Mode, pt.Requests, pt.Attempts, pt.Retries, pt.Successes, pt.Failures, pt.BudgetDenied)
+	}
+	st.Render(w)
+	fmt.Fprintln(w, "the retry budget turns the storm's amplification into typed fast-fails (ErrRetryBudgetExhausted)")
+}

@@ -12,6 +12,7 @@ package isps
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -62,6 +63,13 @@ type TaskSpec struct {
 	Stdin []byte
 	// MemBytes reserves task DRAM (0 = subsystem default).
 	MemBytes int64
+	// Deadline, when non-zero, is the absolute virtual time past which the
+	// task must abort (cooperatively, at its next charged I/O or compute
+	// quantum), releasing its core and DRAM. The result carries
+	// apps.ErrDeadline.
+	Deadline sim.Time
+	// Cancel, when non-nil, aborts the task when it fires (apps.ErrCanceled).
+	Cancel *apps.CancelToken
 }
 
 // TaskResult reports one finished task.
@@ -99,6 +107,8 @@ type Subsystem struct {
 	completed int64
 	failed    int64
 	loaded    int64
+	deadlined int64 // tasks aborted by their deadline
+	canceled  int64 // tasks aborted by their cancel token
 
 	psTasks     int64
 	psChunks    int64
@@ -175,6 +185,8 @@ func (s *Subsystem) SetObs(o *obs.Obs) {
 	o.WatchResource("isps.cores.busy", time.Millisecond, s.cores)
 	o.CounterFunc("isps.completed", func() int64 { return s.completed })
 	o.CounterFunc("isps.failed", func() int64 { return s.failed })
+	o.CounterFunc("isps.deadline_aborts", func() int64 { return s.deadlined })
+	o.CounterFunc("isps.cancel_aborts", func() int64 { return s.canceled })
 	o.CounterFunc("isps.loaded", func() int64 { return s.loaded })
 	o.CounterFunc("isps.parscan.tasks", func() int64 { return s.psTasks })
 	o.CounterFunc("isps.parscan.chunks", func() int64 { return s.psChunks })
@@ -211,7 +223,10 @@ var (
 
 // Spawn runs one task to completion, blocking the calling process. It
 // queues on a core (FIFO), charges compute time and energy through the
-// platform model, and captures stdout/stderr.
+// platform model, and captures stdout/stderr. A task whose deadline has
+// already passed (or whose cancel token has fired) fails fast without
+// consuming a core or DRAM; one interrupted mid-run aborts at its next
+// charged I/O or compute quantum and releases both.
 func (s *Subsystem) Spawn(p *sim.Proc, spec TaskSpec) TaskResult {
 	res := TaskResult{Started: p.Now()}
 
@@ -222,6 +237,14 @@ func (s *Subsystem) Spawn(p *sim.Proc, spec TaskSpec) TaskResult {
 		}
 		sp := s.obs.Begin(p, "isps", name)
 		defer func() { s.histExec.Observe(p.Now().Sub(res.Started)); sp.End() }()
+	}
+
+	if err := interrupted(p, spec.Deadline, spec.Cancel); err != nil {
+		res.Err = err
+		res.ExitCode = 1
+		res.Finished = p.Now()
+		s.noteOutcome(err)
+		return res
 	}
 
 	mem := spec.MemBytes
@@ -261,7 +284,7 @@ func (s *Subsystem) Spawn(p *sim.Proc, spec TaskSpec) TaskResult {
 	}
 
 	if s.parScan.Enabled && spec.Script == "" {
-		if s.trySplit(p, prog, args, mem, &res) {
+		if s.trySplit(p, prog, args, mem, spec.Deadline, spec.Cancel, &res) {
 			return res
 		}
 	}
@@ -273,14 +296,16 @@ func (s *Subsystem) Spawn(p *sim.Proc, spec TaskSpec) TaskResult {
 
 	var stdout, stderr bytes.Buffer
 	ctx := &apps.Context{
-		Proc:   p,
-		FS:     s.fsView,
-		Stdin:  bytes.NewReader(spec.Stdin),
-		Stdout: &stdout,
-		Stderr: &stderr,
-		Class:  prog.Class(),
-		Charge: s.charge(p),
-		Lookup: s.registry.Lookup,
+		Proc:     p,
+		FS:       s.fsView,
+		Stdin:    bytes.NewReader(spec.Stdin),
+		Stdout:   &stdout,
+		Stderr:   &stderr,
+		Class:    prog.Class(),
+		Charge:   s.charge(p, spec.Deadline, spec.Cancel),
+		Deadline: spec.Deadline,
+		Cancel:   spec.Cancel,
+		Lookup:   s.registry.Lookup,
 	}
 	err := prog.Run(ctx, args)
 	if s.fsView != nil {
@@ -302,23 +327,66 @@ func (s *Subsystem) Spawn(p *sim.Proc, spec TaskSpec) TaskResult {
 	res.ExitCode = apps.ExitCode(err)
 	if err != nil {
 		res.Err = err
-		s.failed++
-	} else {
-		s.completed++
 	}
+	s.noteOutcome(err)
 	return res
+}
+
+// interrupted mirrors apps.Context.Interrupted for the executor's own
+// checkpoints (before a context exists, and between chunk fan-outs).
+func interrupted(p *sim.Proc, deadline sim.Time, cancel *apps.CancelToken) error {
+	if cancel.Canceled() {
+		return apps.ErrCanceled
+	}
+	if deadline > 0 && p.Now() >= deadline {
+		return apps.ErrDeadline
+	}
+	return nil
+}
+
+// noteOutcome updates the completion counters, splitting deadline and
+// cancellation aborts out of the plain failures (they still count as
+// failed: the task did not produce its result).
+func (s *Subsystem) noteOutcome(err error) {
+	switch {
+	case err == nil:
+		s.completed++
+	case errors.Is(err, apps.ErrDeadline):
+		s.deadlined++
+		s.failed++
+	case errors.Is(err, apps.ErrCanceled):
+		s.canceled++
+		s.failed++
+	default:
+		s.failed++
+	}
 }
 
 // charge returns the compute cost function bound to the holding core.
 // With a time slice configured, long computations yield the core every
-// quantum so queued work (I/O handling on shared cores) interleaves.
-func (s *Subsystem) charge(p *sim.Proc) apps.ChargeFunc {
+// quantum so queued work (I/O handling on shared cores) interleaves. A
+// deadline caps every quantum — compute never extends past it, and once it
+// passes (or the cancel token fires) remaining compute is abandoned: the
+// next charged I/O surfaces the typed abort to the program.
+func (s *Subsystem) charge(p *sim.Proc, deadline sim.Time, cancel *apps.CancelToken) apps.ChargeFunc {
 	return func(c cpu.Class, n int64) {
 		d := s.platform.ComputeTime(c, n)
 		for d > 0 {
+			if cancel.Canceled() {
+				return
+			}
 			q := d
 			if s.slice > 0 && q > s.slice {
 				q = s.slice
+			}
+			if deadline > 0 {
+				rem := deadline.Sub(p.Now())
+				if rem <= 0 {
+					return
+				}
+				if q > rem {
+					q = rem
+				}
 			}
 			p.Wait(q)
 			s.cores.AddBusy(q)

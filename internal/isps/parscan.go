@@ -104,18 +104,20 @@ func (s *Subsystem) splitPlan(prog apps.Program, args []string) (splitscan.Plan,
 // trySplit runs the task as a parallel split scan when it qualifies,
 // filling res and reporting true; false means the caller must take the
 // serial path (counted as a fallback).
-func (s *Subsystem) trySplit(p *sim.Proc, prog apps.Program, args []string, mem int64, res *TaskResult) bool {
+func (s *Subsystem) trySplit(p *sim.Proc, prog apps.Program, args []string, mem int64, deadline sim.Time, cancel *apps.CancelToken, res *TaskResult) bool {
 	plan, cuts, ok := s.splitPlan(prog, args)
 	if !ok {
 		s.psFallbacks++
 		return false
 	}
-	s.execSplit(p, prog, plan, cuts, mem, res)
+	s.execSplit(p, prog, plan, cuts, mem, deadline, cancel, res)
 	return true
 }
 
-// execSplit fans the planned chunks out over the cores and merges.
-func (s *Subsystem) execSplit(p *sim.Proc, prog apps.Program, plan splitscan.Plan, cuts []int64, mem int64, res *TaskResult) {
+// execSplit fans the planned chunks out over the cores and merges. Each
+// chunk worker carries the task's deadline and cancel token, so an aborting
+// split task drains all of its workers cooperatively.
+func (s *Subsystem) execSplit(p *sim.Proc, prog apps.Program, plan splitscan.Plan, cuts []int64, mem int64, deadline sim.Time, cancel *apps.CancelToken, res *TaskResult) {
 	nchunks := len(cuts) - 1
 	s.psTasks++
 	s.psChunks += int64(nchunks)
@@ -156,14 +158,16 @@ func (s *Subsystem) execSplit(p *sim.Proc, prog apps.Program, plan splitscan.Pla
 			defer sp.End()
 			var out, errBuf bytes.Buffer
 			wctx := &apps.Context{
-				Proc:   wp,
-				FS:     s.fsView,
-				Stdin:  bytes.NewReader(nil),
-				Stdout: &out,
-				Stderr: &errBuf,
-				Class:  prog.Class(),
-				Charge: s.charge(wp),
-				Lookup: s.registry.Lookup,
+				Proc:     wp,
+				FS:       s.fsView,
+				Stdin:    bytes.NewReader(nil),
+				Stdout:   &out,
+				Stderr:   &errBuf,
+				Class:    prog.Class(),
+				Charge:   s.charge(wp, deadline, cancel),
+				Deadline: deadline,
+				Cancel:   cancel,
+				Lookup:   s.registry.Lookup,
 			}
 			results[i], errs[i] = splitscan.RunChunk(wctx, plan, cuts, i)
 		})
@@ -188,14 +192,16 @@ func (s *Subsystem) execSplit(p *sim.Proc, prog apps.Program, plan splitscan.Pla
 	}
 	if err == nil {
 		mctx := &apps.Context{
-			Proc:   p,
-			FS:     s.fsView,
-			Stdin:  bytes.NewReader(nil),
-			Stdout: &stdout,
-			Stderr: &stderr,
-			Class:  prog.Class(),
-			Charge: s.charge(p),
-			Lookup: s.registry.Lookup,
+			Proc:     p,
+			FS:       s.fsView,
+			Stdin:    bytes.NewReader(nil),
+			Stdout:   &stdout,
+			Stderr:   &stderr,
+			Class:    prog.Class(),
+			Charge:   s.charge(p, deadline, cancel),
+			Deadline: deadline,
+			Cancel:   cancel,
+			Lookup:   s.registry.Lookup,
 		}
 		err = plan.Kernel.Merge(mctx, results)
 	}
@@ -216,8 +222,6 @@ func (s *Subsystem) execSplit(p *sim.Proc, prog apps.Program, plan splitscan.Pla
 	res.ExitCode = apps.ExitCode(err)
 	if err != nil {
 		res.Err = err
-		s.failed++
-	} else {
-		s.completed++
 	}
+	s.noteOutcome(err)
 }

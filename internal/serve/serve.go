@@ -20,6 +20,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -38,6 +39,12 @@ const (
 	ShedQueue = "queue" // per-tenant backlog at MaxQueuedPerTenant
 	ShedCores = "cores" // global admitted-but-unfinished at MaxOutstanding
 	ShedDRAM  = "dram"  // reservation would exceed DRAMBudget
+	// ShedBrownout sheds when the pool's healthy-capacity estimate has
+	// dropped (gray failures quarantined devices) and the admitted load
+	// already fills what remains. The background lane browns out first: it
+	// absorbs double the capacity loss before the interactive lane sheds at
+	// all, so a gray device degrades batch work before user latency.
+	ShedBrownout = "brownout"
 )
 
 // defaultTaskMem mirrors the ISPS default task reservation, so admission
@@ -104,6 +111,13 @@ type TenantSpec struct {
 	// zero means the tenant has none. Completions above it, and failures,
 	// count as violations.
 	SLO time.Duration
+	// Deadline, when non-zero, is the per-request latency bound measured
+	// from arrival: each command carries arrival+Deadline as its absolute
+	// deadline, enforced host-side (a request whose deadline lapses while
+	// queued fast-fails without dispatching) and device-side (a running
+	// task aborts cooperatively, freeing its core and DRAM). Unlike SLO —
+	// which only scores — a deadline stops work.
+	Deadline time.Duration
 }
 
 // Limits are the admission-control thresholds.
@@ -198,6 +212,7 @@ type tenantState struct {
 	cFinished   *obs.Counter
 	cFailed     *obs.Counter
 	cViolations *obs.Counter
+	cLapsed     *obs.Counter // deadlines that lapsed while queued
 	hLatency    *obs.Histogram
 	hWait       *obs.Histogram
 	queueTL     *obs.Timeline
@@ -294,12 +309,14 @@ func New(eng *sim.Engine, pool *cluster.Pool, o *obs.Obs, cfg Config) *Server {
 			cFinished:   counterHandle(o, pre+"finished"),
 			cFailed:     counterHandle(o, pre+"failed"),
 			cViolations: counterHandle(o, pre+"slo_violations"),
+			cLapsed:     counterHandle(o, pre+"deadline_lapsed"),
 			hLatency:    histHandle(o, pre+"latency"),
 			hWait:       histHandle(o, pre+"wait"),
 			shedBy: map[string]*obs.Counter{
-				ShedQueue: counterHandle(o, pre+"shed_"+ShedQueue),
-				ShedCores: counterHandle(o, pre+"shed_"+ShedCores),
-				ShedDRAM:  counterHandle(o, pre+"shed_"+ShedDRAM),
+				ShedQueue:    counterHandle(o, pre+"shed_"+ShedQueue),
+				ShedCores:    counterHandle(o, pre+"shed_"+ShedCores),
+				ShedDRAM:     counterHandle(o, pre+"shed_"+ShedDRAM),
+				ShedBrownout: counterHandle(o, pre+"shed_"+ShedBrownout),
 			},
 			// Capacity = the shed threshold, so a window's fraction is
 			// mean depth over the depth that triggers shedding.
@@ -524,6 +541,9 @@ func (s *Server) buildRequest(p *sim.Proc, ts *tenantState) *request {
 	if mem <= 0 {
 		mem = defaultTaskMem
 	}
+	if d := ts.spec.Deadline; d > 0 {
+		cmd.Deadline = p.Now().Add(d)
+	}
 	return &request{ts: ts, seq: seq, cmd: cmd, cost: cost, mem: mem, arrived: p.Now()}
 }
 
@@ -535,10 +555,38 @@ func (s *Server) shedReason(ts *tenantState, mem int64) string {
 	if s.outstanding >= s.cfg.Limits.MaxOutstanding {
 		return ShedCores
 	}
+	if limit := s.brownoutLimit(ts.spec.Class); limit < s.cfg.Limits.MaxOutstanding && s.outstanding >= limit {
+		return ShedBrownout
+	}
 	if b := s.cfg.Limits.DRAMBudget; b > 0 && s.dramReserved+mem > b {
 		return ShedDRAM
 	}
 	return ""
+}
+
+// brownoutLimit scales the outstanding budget by the pool's healthy
+// fraction. Interactive keeps ceil(MaxOutstanding × frac); background gives
+// up twice the capacity loss, so it empties first. Both floor at one
+// device's worth of workers — brownout degrades, it never blacks out.
+func (s *Server) brownoutLimit(c Class) int {
+	frac := s.pool.HealthyFraction()
+	max := s.cfg.Limits.MaxOutstanding
+	if frac >= 1 {
+		return max
+	}
+	floor := s.cfg.Limits.PerDeviceWorkers
+	eff := int(math.Ceil(float64(max) * frac))
+	if eff < floor {
+		eff = floor
+	}
+	if c == Interactive {
+		return eff
+	}
+	bg := max - 2*(max-eff)
+	if bg < floor {
+		bg = floor
+	}
+	return bg
 }
 
 // nextRequest pops the highest-priority queued request: the interactive
@@ -571,12 +619,23 @@ func (s *Server) worker(p *sim.Proc) {
 		if ts.queueTL != nil && wait > 0 {
 			ts.queueTL.Add(req.arrived, wait)
 		}
+		if dl := req.cmd.Deadline; dl > 0 && p.Now() >= dl {
+			// The deadline lapsed while the request sat queued: fail it
+			// typed, without spending a dispatch slot or a device core on a
+			// race the clock already decided.
+			ts.cLapsed.Add(1)
+			s.obs.Instant(p, "serve", "deadline_lapsed", "tenant", ts.spec.Name)
+			s.finish(p, req, -1, nil, fmt.Errorf("%w: lapsed in queue", cluster.ErrDeadlineExceeded))
+			continue
+		}
 		dev, err := s.cfg.Balancer.Pick(p, s.pool)
 		if err != nil {
 			s.finish(p, req, -1, nil, err)
 			continue
 		}
-		resp, _, err := s.pool.RunOn(p, dev, req.cmd)
+		// RunHedged degrades to the plain retry path while the pool's hedge
+		// policy is off or its latency quantile is warming up.
+		resp, _, err := s.pool.RunHedged(p, dev, req.cmd)
 		s.finish(p, req, dev, resp, err)
 	}
 }
