@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	compstor-bench [-run all|fig1|fig6|fig7|fig8|tables|ablations|degraded|recovery|pipeline|scaleup|serving|tail]
+//	compstor-bench [-run all|fig1|fig6|fig7|fig8|tables|ablations|degraded|recovery|pipeline|scaleup|serving|tail|engine]
 //	               [-books N] [-mean BYTES] [-devices 1,2,4,8] [-v]
 //	               [-outdir DIR] [-trace out.json] [-metrics out.json]
 //	               [-cpuprofile out.pprof] [-memprofile out.pprof]
+//	               [-wallprofile N]
+//	compstor-bench -compare baseline.json new.json [-tol metric=frac,...]
 //
 // Results are normalised (MB/s, J/GB) so the paper's shapes carry over to
 // the scaled corpus; EXPERIMENTS.md records paper-vs-measured values.
@@ -16,24 +18,134 @@
 // utilization timelines). -metrics writes the combined snapshot of the
 // whole invocation; -trace enables sim-time span tracing and writes a
 // Chrome trace-event file loadable in Perfetto (ui.perfetto.dev).
+//
+// -run engine measures the simulator itself (events/sec, allocs/event, sim
+// time advanced per wall second) and writes BENCH_engine.json; -compare
+// checks such a file against a baseline under per-metric tolerance bands
+// and exits 1 on a regression. -wallprofile N captures host wall-clock on
+// spans and prints the top-N span labels by gross wall time (and, with
+// -trace, adds a wall_us argument per span — the host-CPU view).
+//
+// Profiles and partial artefacts are flushed on SIGINT and on experiment
+// panics, so an interrupted run still yields a usable -cpuprofile and
+// BENCH JSON.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 
 	"compstor/internal/experiments"
 	"compstor/internal/obs"
 )
 
+// artifacts owns every output the binary may need to flush early: on
+// SIGINT or on an experiment panic, flush() stops the CPU profile and
+// writes the heap profile, trace, combined metrics, and a partial
+// BENCH_<name>.json for the experiment that was running. Happy-path
+// completion calls the same code exactly once. mu guards the mutable
+// bookkeeping against the signal goroutine; the obs data itself is only
+// read best-effort on an early flush (the simulator may be mid-event).
+type artifacts struct {
+	root        *obs.Obs
+	runName     string
+	outDir      string
+	cpuFile     *os.File
+	memPath     string
+	tracePath   string
+	metricsPath string
+
+	mu sync.Mutex
+	// current experiment mid-run, "" when idle; written as a partial
+	// snapshot on early flush.
+	currentName  string
+	currentScope *obs.Obs
+
+	flushed bool
+}
+
+// setCurrent records (or clears, with "") the experiment mid-run.
+func (a *artifacts) setCurrent(name string, scope *obs.Obs) {
+	a.mu.Lock()
+	a.currentName, a.currentScope = name, scope
+	a.mu.Unlock()
+}
+
+func (a *artifacts) fail(what string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", what, err)
+	os.Exit(1)
+}
+
+func (a *artifacts) writeJSON(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// flush writes everything that has been requested. strict controls error
+// handling: the happy path exits non-zero on a write failure, the
+// interrupt/panic path reports and keeps going (partial data beats none).
+func (a *artifacts) flush(strict bool) {
+	a.mu.Lock()
+	if a.flushed {
+		a.mu.Unlock()
+		return
+	}
+	a.flushed = true
+	name, scope := a.currentName, a.currentScope
+	a.mu.Unlock()
+	report := func(what string, err error) {
+		if err == nil {
+			return
+		}
+		if strict {
+			a.fail(what, err)
+		}
+		fmt.Fprintf(os.Stderr, "%s (partial): %v\n", what, err)
+	}
+	if a.cpuFile != nil {
+		pprof.StopCPUProfile()
+		report("cpuprofile", a.cpuFile.Close())
+		a.cpuFile = nil
+	}
+	if name != "" && scope != nil {
+		// The experiment was cut short: persist what its scope has so far.
+		path := filepath.Join(a.outDir, "BENCH_"+name+".json")
+		snap := scope.Snapshot(name)
+		report(path, a.writeJSON(path, snap.WriteJSON))
+	}
+	if a.metricsPath != "" {
+		snap := a.root.Snapshot(a.runName)
+		report("metrics", a.writeJSON(a.metricsPath, snap.WriteJSON))
+	}
+	if a.tracePath != "" {
+		report("trace", a.writeJSON(a.tracePath, a.root.WriteTrace))
+	}
+	if a.memPath != "" {
+		runtime.GC()
+		report("memprofile", a.writeJSON(a.memPath, pprof.WriteHeapProfile))
+	}
+}
+
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, fig1, fig6, fig7, fig8, tables, ablations, degraded, recovery, pipeline, scaleup, serving, tail")
+	run := flag.String("run", "all", "experiment to run: all, fig1, fig6, fig7, fig8, tables, ablations, degraded, recovery, pipeline, scaleup, serving, tail, engine")
 	books := flag.Int("books", 0, "number of corpus files (0 = paper-scale default of 348)")
 	mean := flag.Int("mean", 0, "mean book size in bytes (0 = default)")
 	devices := flag.String("devices", "", "comma-separated device counts for the scaling figures")
@@ -41,9 +153,16 @@ func main() {
 	outDir := flag.String("outdir", ".", "directory for BENCH_<name>.json snapshots")
 	tracePath := flag.String("trace", "", "enable span tracing and write Chrome trace-event JSON here")
 	metricsPath := flag.String("metrics", "", "write the combined metrics snapshot JSON here")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile here")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile here (samples carry an 'experiment' pprof label)")
 	memProfile := flag.String("memprofile", "", "write a heap profile here")
+	wallProfile := flag.Int("wallprofile", 0, "capture wall-clock on spans and print the top-N wall profile (0 = off)")
+	compare := flag.String("compare", "", "BASELINE engine json: compare the positional NEW json against it and exit 1 on regression")
+	tolerances := flag.String("tol", "", "comma-separated metric=fraction tolerance overrides for -compare (see DefaultEngineTolerances)")
 	flag.Parse()
+
+	if *compare != "" {
+		os.Exit(compareMain(*compare, flag.Arg(0), *tolerances))
+	}
 
 	opt := experiments.PaperScaleOptions()
 	if *books > 0 {
@@ -52,40 +171,70 @@ func main() {
 	if *mean > 0 {
 		opt.MeanBookBytes = *mean
 	}
+	var deviceCounts []int
 	if *devices != "" {
-		var counts []int
 		for _, s := range strings.Split(*devices, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || n <= 0 {
 				fmt.Fprintf(os.Stderr, "bad -devices element %q\n", s)
 				os.Exit(2)
 			}
-			counts = append(counts, n)
+			deviceCounts = append(deviceCounts, n)
 		}
-		opt.DeviceCounts = counts
+		opt.DeviceCounts = deviceCounts
 	}
 	if *verbose {
 		opt.Log = os.Stderr
-	}
-
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
 	}
 
 	root := obs.New()
 	if *tracePath != "" {
 		root.EnableTrace()
 	}
+	if *wallProfile > 0 {
+		root.EnableTrace()
+		root.EnableWallProfile()
+	}
+
+	art := &artifacts{
+		root:        root,
+		runName:     *run,
+		outDir:      *outDir,
+		memPath:     *memProfile,
+		tracePath:   *tracePath,
+		metricsPath: *metricsPath,
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			art.fail("cpuprofile", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			art.fail("cpuprofile", err)
+		}
+		art.cpuFile = f
+	}
+
+	// SIGINT/SIGTERM: flush profiles and partial artefacts, then exit with
+	// the conventional interrupted status. Best effort by design — the
+	// simulator may be mid-event on the main goroutine.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "\n%v: flushing profiles and partial artefacts...\n", sig)
+		art.flush(false)
+		os.Exit(130)
+	}()
+	// Experiment panics (model bugs, impossible configs): keep the
+	// diagnostics but flush first so the failure comes with its profile.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "experiment failed: %v\nflushing profiles and partial artefacts...\n", r)
+			art.flush(false)
+			panic(r)
+		}
+	}()
 
 	w := os.Stdout
 	ran := false
@@ -100,22 +249,12 @@ func main() {
 	// finish snapshots one experiment's scope: BENCH_<name>.json plus a
 	// utilization chart on stdout when any timeline recorded data.
 	finish := func(name string, scope *obs.Obs) {
+		art.setCurrent("", nil)
 		snap := scope.Snapshot(name)
 		snap.RenderUtilization(w, name+" — mean utilization %")
 		path := filepath.Join(*outDir, "BENCH_"+name+".json")
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
-			os.Exit(1)
-		}
-		if err := snap.WriteJSON(f); err == nil {
-			err = f.Close()
-		} else {
-			f.Close()
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
-			os.Exit(1)
+		if err := art.writeJSON(path, snap.WriteJSON); err != nil {
+			art.fail(path, err)
 		}
 		fmt.Fprintln(w)
 		sep()
@@ -123,151 +262,176 @@ func main() {
 	scoped := func(name string) experiments.Options {
 		o := opt
 		o.Obs = root.Scope(name)
+		art.setCurrent(name, o.Obs)
 		return o
+	}
+	// labeled tags the experiment's samples in the CPU profile, so pprof
+	// can attribute host time per experiment (`pprof -tagfocus`).
+	labeled := func(name string, body func()) {
+		pprof.Do(context.Background(), pprof.Labels("experiment", name), func(context.Context) {
+			body()
+		})
 	}
 
 	if want("tables") || *run == "table1" || *run == "table2" || *run == "table3" || *run == "table4" {
 		ran = true
 		o := scoped("tables")
-		if *run != "table2" && *run != "table3" && *run != "table4" {
-			experiments.Table1(w)
-			fmt.Fprintln(w)
-		}
-		if *run == "all" || *run == "tables" || *run == "table2" {
-			experiments.Table2(w)
-			fmt.Fprintln(w)
-		}
-		if *run == "all" || *run == "tables" || *run == "table3" {
-			experiments.Table3(o, w)
-			fmt.Fprintln(w)
-		}
-		if *run == "all" || *run == "tables" || *run == "table4" {
-			experiments.Table4(w)
-			fmt.Fprintln(w)
-		}
+		labeled("tables", func() {
+			if *run != "table2" && *run != "table3" && *run != "table4" {
+				experiments.Table1(w)
+				fmt.Fprintln(w)
+			}
+			if *run == "all" || *run == "tables" || *run == "table2" {
+				experiments.Table2(w)
+				fmt.Fprintln(w)
+			}
+			if *run == "all" || *run == "tables" || *run == "table3" {
+				experiments.Table3(o, w)
+				fmt.Fprintln(w)
+			}
+			if *run == "all" || *run == "tables" || *run == "table4" {
+				experiments.Table4(w)
+				fmt.Fprintln(w)
+			}
+		})
 		finish("tables", o.Obs)
 	}
 	if want("fig1") {
 		o := scoped("fig1")
-		experiments.Fig1(o).Render(w)
+		labeled("fig1", func() { experiments.Fig1(o).Render(w) })
 		fmt.Fprintln(w)
 		finish("fig1", o.Obs)
 	}
 	if want("fig6") {
 		o := scoped("fig6")
-		experiments.RenderFig6(w, experiments.Fig6(o, nil))
+		labeled("fig6", func() { experiments.RenderFig6(w, experiments.Fig6(o, nil)) })
 		fmt.Fprintln(w)
 		finish("fig6", o.Obs)
 	}
 	if want("fig7") {
 		o := scoped("fig7")
-		experiments.RenderFig7(w, experiments.Fig7(o))
+		labeled("fig7", func() { experiments.RenderFig7(w, experiments.Fig7(o)) })
 		fmt.Fprintln(w)
 		finish("fig7", o.Obs)
 	}
 	if want("fig8") {
 		o := scoped("fig8")
-		experiments.RenderFig8(w, experiments.Fig8(o))
+		labeled("fig8", func() { experiments.RenderFig8(w, experiments.Fig8(o)) })
 		fmt.Fprintln(w)
 		finish("fig8", o.Obs)
 	}
 	if want("degraded") {
 		o := scoped("degraded")
-		experiments.RenderDegraded(w, experiments.Degraded(o))
+		labeled("degraded", func() { experiments.RenderDegraded(w, experiments.Degraded(o)) })
 		fmt.Fprintln(w)
 		finish("degraded", o.Obs)
 	}
 	if want("recovery") {
 		o := scoped("recovery")
-		experiments.RenderRecovery(w,
-			experiments.RecoveryIntervals(o),
-			experiments.RecoveryScanScaling(o))
+		labeled("recovery", func() {
+			experiments.RenderRecovery(w,
+				experiments.RecoveryIntervals(o),
+				experiments.RecoveryScanScaling(o))
+		})
 		fmt.Fprintln(w)
 		finish("recovery", o.Obs)
 	}
 	if want("pipeline") {
 		o := scoped("pipeline")
-		experiments.RenderPipeline(w, experiments.Pipeline(o))
+		labeled("pipeline", func() { experiments.RenderPipeline(w, experiments.Pipeline(o)) })
 		fmt.Fprintln(w)
 		finish("pipeline", o.Obs)
 	}
 	if want("scaleup") {
 		o := scoped("scaleup")
-		experiments.RenderScaleup(w, experiments.Scaleup(o))
+		labeled("scaleup", func() { experiments.RenderScaleup(w, experiments.Scaleup(o)) })
 		fmt.Fprintln(w)
 		finish("scaleup", o.Obs)
 	}
 	if want("serving") {
 		o := scoped("serving")
-		experiments.RenderServing(w, experiments.Serving(o))
+		labeled("serving", func() { experiments.RenderServing(w, experiments.Serving(o)) })
 		fmt.Fprintln(w)
 		finish("serving", o.Obs)
 	}
 	if want("tail") {
 		o := scoped("tail")
-		experiments.RenderTail(w, experiments.Tail(o))
+		labeled("tail", func() { experiments.RenderTail(w, experiments.Tail(o)) })
 		fmt.Fprintln(w)
 		finish("tail", o.Obs)
 	}
 	if want("ablations") {
 		o := scoped("ablations")
-		experiments.AblationInterference(o).Render(w)
-		fmt.Fprintln(w)
-		experiments.AblationStriping(o).Render(w)
-		fmt.Fprintln(w)
-		experiments.AblationDirectPath(o).Render(w)
+		labeled("ablations", func() {
+			experiments.AblationInterference(o).Render(w)
+			fmt.Fprintln(w)
+			experiments.AblationStriping(o).Render(w)
+			fmt.Fprintln(w)
+			experiments.AblationDirectPath(o).Render(w)
+		})
 		fmt.Fprintln(w)
 		finish("ablations", o.Obs)
+	}
+	if want("engine") {
+		o := scoped("engine")
+		var er experiments.EngineResult
+		labeled("engine", func() { er = experiments.Engine(o, deviceCounts) })
+		experiments.RenderEngine(w, er)
+		// BENCH_engine.json is the EngineResult itself (wall numbers
+		// included) — the regression baseline, not a metrics snapshot. The
+		// deterministic engine accounting still reaches the obs snapshot
+		// via the "engines" section (-metrics).
+		art.setCurrent("", nil)
+		path := filepath.Join(*outDir, "BENCH_engine.json")
+		if err := art.writeJSON(path, er.WriteJSON); err != nil {
+			art.fail(path, err)
+		}
+		fmt.Fprintln(w)
+		sep()
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
 		os.Exit(2)
 	}
 
-	if *metricsPath != "" {
-		f, err := os.Create(*metricsPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
-			os.Exit(1)
-		}
-		err = root.Snapshot(*run).WriteJSON(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
-			os.Exit(1)
-		}
+	if *wallProfile > 0 {
+		obs.RenderWallProfile(w,
+			fmt.Sprintf("Wall profile — top %d span labels by gross host time", *wallProfile),
+			root.WallProfile(*wallProfile))
 	}
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-			os.Exit(1)
-		}
-		err = root.WriteTrace(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-			os.Exit(1)
-		}
+	art.flush(true)
+}
+
+// compareMain implements -compare: check NEW against BASELINE under the
+// tolerance bands and report every violated metric.
+func compareMain(basePath, newPath, tolSpec string) int {
+	if newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: compstor-bench -compare baseline.json new.json [-tol metric=frac,...]")
+		return 2
 	}
-	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-			os.Exit(1)
-		}
-		runtime.GC()
-		err = pprof.WriteHeapProfile(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-			os.Exit(1)
-		}
+	tol, err := experiments.ParseTolerances(tolSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-tol: %v\n", err)
+		return 2
 	}
+	base, err := experiments.ReadEngineResult(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "baseline: %v\n", err)
+		return 2
+	}
+	next, err := experiments.ReadEngineResult(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "new: %v\n", err)
+		return 2
+	}
+	violations := experiments.CompareEngine(base, next, tol)
+	if len(violations) == 0 {
+		fmt.Printf("engine perf OK: %d runs within tolerance of %s\n", len(base.Runs), basePath)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "engine perf REGRESSION: %d violation(s) vs %s\n", len(violations), basePath)
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "  %s\n", v)
+	}
+	return 1
 }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compstor/internal/experiments"
+)
+
+func writeResult(t *testing.T, dir, name string, r experiments.EngineResult) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareMainExitCodes drives the -compare entry point end to end: the
+// acceptance case is that an injected >=20% events/sec regression exits
+// non-zero under the default tolerance bands.
+func TestCompareMainExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := experiments.EngineResult{
+		Schema: experiments.EngineSchemaVersion,
+		Runs: []experiments.EngineRun{{
+			Experiment: "scan", Devices: 4,
+			SimEvents: 10000, WallNS: 1e9,
+			EventsPerSec: 100000, AllocsPerEvent: 3.0,
+		}},
+	}
+	slow := base
+	slow.Runs = append([]experiments.EngineRun(nil), base.Runs...)
+	slow.Runs[0].EventsPerSec = 78000 // -22%, outside the default 15% band
+
+	basePath := writeResult(t, dir, "base.json", base)
+	slowPath := writeResult(t, dir, "slow.json", slow)
+
+	if code := compareMain(basePath, basePath, ""); code != 0 {
+		t.Fatalf("self-compare exited %d, want 0", code)
+	}
+	if code := compareMain(basePath, slowPath, ""); code != 1 {
+		t.Fatalf("22%% events/sec regression exited %d, want 1", code)
+	}
+	// A widened band (the CI cross-machine setting) lets the same file pass.
+	if code := compareMain(basePath, slowPath, "events_per_sec=0.6"); code != 0 {
+		t.Fatalf("regression inside widened band exited %d, want 0", code)
+	}
+	// Usage and input errors are distinguishable from regressions.
+	if code := compareMain(basePath, "", ""); code != 2 {
+		t.Fatalf("missing new-file arg exited %d, want 2", code)
+	}
+	if code := compareMain(filepath.Join(dir, "absent.json"), slowPath, ""); code != 2 {
+		t.Fatalf("unreadable baseline exited %d, want 2", code)
+	}
+	if code := compareMain(basePath, slowPath, "bogus=1"); code != 2 {
+		t.Fatalf("bad -tol exited %d, want 2", code)
+	}
+}

@@ -262,23 +262,23 @@ func Install(sys *core.System, plan *Plan) *Injector {
 
 		dev := fmt.Sprint(i)
 		if f.PowerCutAt > 0 {
-			eng.At(sim.Time(f.PowerCutAt), func() {
+			eng.AtLabeled(sim.Time(f.PowerCutAt), "chaos", func() {
 				nand.PowerOff()
 				inj.stats.PowerCuts++
 				o.InstantAt(eng.Now(), "chaos", "power_cut", "device", dev)
 			})
 		}
 		if f.FailAt > 0 {
-			eng.At(sim.Time(f.FailAt), func() {
+			eng.AtLabeled(sim.Time(f.FailAt), "chaos", func() {
 				o.InstantAt(eng.Now(), "chaos", "device_failed", "device", dev)
 			})
 		}
 		if f.FailSlowAt > 0 && f.FailSlowFactor > 1 {
-			eng.At(sim.Time(f.FailSlowAt), func() {
+			eng.AtLabeled(sim.Time(f.FailSlowAt), "chaos", func() {
 				o.InstantAt(eng.Now(), "chaos", "failslow_start", "device", dev)
 			})
 			if f.FailSlowFor > 0 {
-				eng.At(sim.Time(f.FailSlowAt+f.FailSlowFor), func() {
+				eng.AtLabeled(sim.Time(f.FailSlowAt+f.FailSlowFor), "chaos", func() {
 					o.InstantAt(eng.Now(), "chaos", "failslow_end", "device", dev)
 				})
 			}

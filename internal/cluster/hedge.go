@@ -134,7 +134,7 @@ func (pl *Pool) RunHedged(p *sim.Proc, dev int, cmd core.Command) (*core.Respons
 		})
 	}
 	launch(0, dev)
-	pl.eng.After(delay, func() { out.Put(hedgeOutcome{leg: -1}) })
+	pl.eng.AfterLabeled(delay, "hedge.timer", func() { out.Put(hedgeOutcome{leg: -1}) })
 
 	var (
 		attempts    int

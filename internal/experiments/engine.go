@@ -1,0 +1,445 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"compstor/internal/apps/appset"
+	"compstor/internal/chaos"
+	"compstor/internal/cluster"
+	"compstor/internal/core"
+	"compstor/internal/isps"
+	"compstor/internal/obs"
+	"compstor/internal/serve"
+	"compstor/internal/sim"
+	"compstor/internal/ssd"
+	"compstor/internal/trace"
+)
+
+// The engine suite measures the simulator itself (ROADMAP item 4): how
+// many events per wall second the scheduler sustains, how much it
+// allocates per event, and how fast virtual time advances per host second
+// — across the workload classes the scale stories depend on (sequential
+// scan, intra-device parallel scan, open-loop serving, tail-tolerant
+// serving under chaos) at growing device counts. Its artefact,
+// BENCH_engine.json, is the yardstick every engine-speed refactor is
+// judged by: `compstor-bench -compare old.json new.json` applies
+// per-metric tolerance bands and exits non-zero on a regression.
+//
+// Unlike every other BENCH artefact, BENCH_engine.json carries wall-clock
+// numbers and is therefore host-dependent — it is never byte-compared.
+// The deterministic sim-side accounting (event counts, proc switches,
+// heap depth) additionally lands in the obs snapshot's "engines" section,
+// which *is* byte-stable per seed.
+const (
+	// EngineSchemaVersion identifies the BENCH_engine.json layout.
+	EngineSchemaVersion = "compstor/bench-engine/v1"
+
+	engineArrivals    = 240 // open-loop arrivals per serving/tail run
+	engineProbeReqs   = 8   // sequential requests in the capacity probe
+	engineUtilization = 0.6 // offered load target, fraction of slot capacity
+)
+
+// engineDefaultDevices is the device-count axis when -devices is not given.
+var engineDefaultDevices = []int{4, 16, 64}
+
+// EngineRun is one (experiment, devices) measurement. SimEvents through
+// MaxHeapDepth are deterministic per seed; WallNS onward are host numbers.
+type EngineRun struct {
+	Experiment   string `json:"experiment"`
+	Devices      int    `json:"devices"`
+	SimEvents    int64  `json:"sim_events"`
+	SimNS        int64  `json:"sim_ns"`
+	ProcsStarted int64  `json:"procs_started"`
+	ProcSwitches int64  `json:"proc_switches"`
+	MaxHeapDepth int64  `json:"max_heap_depth"`
+
+	WallNS         int64   `json:"wall_ns"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	SimPerWall     float64 `json:"sim_per_wall"`
+	Allocs         int64   `json:"allocs"`
+	AllocBytes     int64   `json:"alloc_bytes"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	PeakGoroutines int     `json:"peak_goroutines"`
+}
+
+// Key identifies the run for baseline matching.
+func (r EngineRun) Key() string { return fmt.Sprintf("%s/n%d", r.Experiment, r.Devices) }
+
+// EngineHost records where the numbers were taken.
+type EngineHost struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// EngineResult is the whole engine-speed evaluation — the BENCH_engine.json
+// schema.
+type EngineResult struct {
+	Schema string      `json:"schema"`
+	Host   EngineHost  `json:"host"`
+	Runs   []EngineRun `json:"runs"`
+}
+
+// WriteJSON serialises the result as indented JSON.
+func (r EngineResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadEngineResult strict-decodes a BENCH_engine.json file.
+func ReadEngineResult(path string) (EngineResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return EngineResult{}, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var r EngineResult
+	if err := dec.Decode(&r); err != nil {
+		return EngineResult{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != EngineSchemaVersion {
+		return EngineResult{}, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, EngineSchemaVersion)
+	}
+	return r, nil
+}
+
+// engineCase is one workload class of the suite.
+type engineCase struct {
+	name string
+	run  func(o Options, scope *obs.Obs, n int, data []byte, lambda float64) *sim.Accounting
+}
+
+func engineCases() []engineCase {
+	return []engineCase{
+		{name: "scan", run: func(o Options, s *obs.Obs, n int, _ []byte, _ float64) *sim.Accounting {
+			return o.engineScan(s, n, false)
+		}},
+		{name: "parscan", run: func(o Options, s *obs.Obs, n int, _ []byte, _ float64) *sim.Accounting {
+			return o.engineScan(s, n, true)
+		}},
+		{name: "serving", run: func(o Options, s *obs.Obs, n int, data []byte, lambda float64) *sim.Accounting {
+			return o.engineServe(s, n, data, lambda, false)
+		}},
+		{name: "tail", run: func(o Options, s *obs.Obs, n int, data []byte, lambda float64) *sim.Accounting {
+			return o.engineServe(s, n, data, lambda, true)
+		}},
+	}
+}
+
+// engineScan shards the corpus over n devices and greps every file —
+// the sequential in-situ scan that drives the fig6/fig7 family. parscan
+// additionally turns on the read pipeline and split scan, the event-heavy
+// fast path (per-chunk workers, prefetch procs).
+func (o Options) engineScan(scope *obs.Obs, n int, parscan bool) *sim.Accounting {
+	// Keep every device busy even at CI-scale corpora: at least two files
+	// per device, same seed, so the sim side stays deterministic.
+	oo := o
+	if oo.Books < 2*n {
+		oo.Books = 2 * n
+	}
+	files := oo.corpus()
+	cfg := core.SystemConfig{
+		CompStors: n,
+		Registry:  appset.Base(),
+		Geometry:  o.Geometry,
+		Obs:       scope,
+	}
+	if parscan {
+		cfg.ReadPipeline = ssd.PipelineConfig{Enabled: true}
+		// One chunk per core with no size floor, so the split path engages
+		// even at CI-scale file sizes (the default 256 KiB floor would keep
+		// small corpora serial and make parscan measure the same thing as
+		// scan).
+		cfg.ParScan = isps.ParScanConfig{Enabled: true, MinChunkBytes: -1}
+	}
+	sys := core.NewSystem(cfg)
+	acct := sys.Eng.EnableAccounting(sim.AccountingConfig{Wall: true})
+	scope.WatchEngine(acct)
+	pool := cluster.NewPool(sys.Eng, sys.Devices)
+	pool.SetObs(scope)
+	sys.Go("driver", func(p *sim.Proc) {
+		staged, err := pool.Stage(p, cluster.Shard(files, n))
+		if err != nil {
+			panic(fmt.Sprintf("engine scan staging: %v", err))
+		}
+		results := pool.MapFiles(p, staged, func(name string) core.Command {
+			return core.Command{Exec: "grep", Args: []string{"-c", "the", name}}
+		})
+		for _, r := range results {
+			if r.Err != nil {
+				panic(fmt.Sprintf("engine scan: %v", r.Err))
+			}
+		}
+	})
+	sys.Run()
+	return acct
+}
+
+// engineServe drives the open-loop serving stack on n devices. tail mode
+// swaps in the single-tenant fail-slow scenario with the full
+// tail-tolerance stack (hedges, health scoring, retry budget, deadlines) —
+// the event-heaviest serving configuration.
+func (o Options) engineServe(scope *obs.Obs, n int, data []byte, lambda float64, tail bool) *sim.Accounting {
+	sys := core.NewSystem(core.SystemConfig{
+		CompStors: n,
+		Registry:  appset.Base(),
+		Geometry:  o.Geometry,
+		Obs:       scope,
+	})
+	acct := sys.Eng.EnableAccounting(sim.AccountingConfig{Wall: true})
+	scope.WatchEngine(acct)
+	pool := cluster.NewPool(sys.Eng, sys.Devices)
+	pool.SetObs(scope)
+
+	horizon := time.Duration(float64(engineArrivals) / lambda * 1e9)
+	// The SLO/deadline only score and backstop; scale them generously off
+	// the horizon so the run is never dominated by deadline churn.
+	slo := horizon / 20
+	var tenants []serve.TenantSpec
+	if tail {
+		pool.Hedge = cluster.DefaultHedgePolicy()
+		pool.Health = cluster.DefaultHealthPolicy()
+		pool.Health.Cooldown = horizon / 8
+		pool.Budget = cluster.DefaultRetryBudget()
+		pool.Retry.Jitter = true
+		pool.SetSeed(o.Seed)
+		tenants = []serve.TenantSpec{{
+			Name: "tail", Class: serve.Interactive, Weight: 1,
+			Arrival:   serve.Arrival{Kind: serve.Poisson, Rate: lambda},
+			Workloads: []serve.Workload{{Weight: 1, Cost: int64(len(data)), Make: func(int64) core.Command { return servingGrepCmd() }}},
+			SLO:       slo,
+			Deadline:  horizon / 4,
+		}}
+		plan := chaos.NewPlan(o.Seed+3).WithDevice(0, chaos.DeviceFaults{
+			FailSlowAt:     horizon / 4,
+			FailSlowFor:    horizon / 2,
+			FailSlowFactor: tailFailSlowFactor,
+		})
+		chaos.Install(sys, plan)
+	} else {
+		tenants = servingTenants(lambda, slo, int64(len(data)))
+	}
+	srv := serve.New(sys.Eng, pool, scope, serve.Config{
+		Seed:    o.Seed,
+		Horizon: horizon,
+		Tenants: tenants,
+		Limits:  serve.Limits{MaxQueuedPerTenant: 64, MaxOutstanding: 64 * n},
+	})
+	sys.Go("driver", func(p *sim.Proc) {
+		if err := pool.StageReplicated(p, []cluster.File{{Name: "serve.txt", Data: data}}); err != nil {
+			panic(fmt.Sprintf("engine serve staging: %v", err))
+		}
+		srv.Start()
+	})
+	sys.Run()
+	if u := srv.Unfinished(); u != 0 {
+		panic(fmt.Sprintf("engine serve: %d requests unfinished after drain", u))
+	}
+	return acct
+}
+
+// engineProbe measures the mean closed-loop service time of one grep on a
+// single device, so the serving runs can offer a load that scales with the
+// cluster instead of guessing a rate.
+func (o Options) engineProbe(data []byte) sim.Duration {
+	sys := core.NewSystem(core.SystemConfig{
+		CompStors: 1,
+		Registry:  appset.Base(),
+		Geometry:  o.Geometry,
+	})
+	pool := cluster.NewPool(sys.Eng, sys.Devices)
+	var total sim.Duration
+	sys.Go("driver", func(p *sim.Proc) {
+		if err := pool.StageReplicated(p, []cluster.File{{Name: "serve.txt", Data: data}}); err != nil {
+			panic(fmt.Sprintf("engine probe staging: %v", err))
+		}
+		var lb cluster.RoundRobin
+		start := p.Now()
+		for i := 0; i < engineProbeReqs; i++ {
+			if r := pool.Dispatch(p, &lb, servingGrepCmd()); r.Err != nil {
+				panic(fmt.Sprintf("engine probe: %v", r.Err))
+			}
+		}
+		total = p.Now().Sub(start)
+	})
+	sys.Run()
+	return total / engineProbeReqs
+}
+
+// Engine runs the engine-speed suite. devices overrides the default
+// 4/16/64 axis (the bench binary passes -devices through here).
+func Engine(o Options, devices []int) EngineResult {
+	if len(devices) == 0 {
+		devices = engineDefaultDevices
+	}
+	res := EngineResult{
+		Schema: EngineSchemaVersion,
+		Host: EngineHost{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+		},
+	}
+	data := o.servingData()
+	service := o.engineProbe(data).Seconds()
+	for _, c := range engineCases() {
+		for _, n := range devices {
+			// Offered rate that keeps ~60% of the cluster's dispatch slots
+			// busy at the probed service time.
+			lambda := engineUtilization * float64(4*n) / service
+			o.logf("engine: %s on %d device(s)...", c.name, n)
+			scope := o.Obs.Scope(fmt.Sprintf("%s.n%d", c.name, n))
+			acct := c.run(o, scope, n, data, lambda)
+			ws := acct.WallStats()
+			res.Runs = append(res.Runs, EngineRun{
+				Experiment:   c.name,
+				Devices:      n,
+				SimEvents:    acct.Events(),
+				SimNS:        int64(acct.SimElapsed()),
+				ProcsStarted: acct.ProcsStarted(),
+				ProcSwitches: acct.ProcSwitches(),
+				MaxHeapDepth: int64(acct.MaxHeapDepth()),
+
+				WallNS:         ws.WallNS,
+				EventsPerSec:   ws.EventsPerSec(),
+				SimPerWall:     ws.SimPerWall(),
+				Allocs:         int64(ws.Mallocs),
+				AllocBytes:     int64(ws.AllocBytes),
+				AllocsPerEvent: ws.AllocsPerEvent(),
+				PeakGoroutines: ws.PeakGoroutines,
+			})
+		}
+	}
+	return res
+}
+
+// RenderEngine writes the engine-speed report.
+func RenderEngine(w io.Writer, r EngineResult) {
+	fmt.Fprintf(w, "Engine speed: %s %s/%s, GOMAXPROCS %d — events/sec and allocs/event are the regression-gated metrics\n\n",
+		r.Host.GoVersion, r.Host.GOOS, r.Host.GOARCH, r.Host.GOMAXPROCS)
+	t := trace.NewTable("Simulator engine throughput by workload and device count",
+		"experiment", "devices", "sim events", "events/sec", "sim s/wall s", "allocs/event", "proc switches", "max heap", "wall")
+	for _, run := range r.Runs {
+		t.AddRow(run.Experiment, run.Devices, run.SimEvents,
+			fmt.Sprintf("%.0f", run.EventsPerSec),
+			fmt.Sprintf("%.2f", run.SimPerWall),
+			fmt.Sprintf("%.1f", run.AllocsPerEvent),
+			run.ProcSwitches, run.MaxHeapDepth,
+			time.Duration(run.WallNS).Round(time.Millisecond).String())
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "wall-clock columns are host-dependent: compare with `compstor-bench -compare`, never byte-diff")
+}
+
+// Engine comparison: per-metric tolerance bands. A metric regresses when
+// the new value crosses its band in the *bad* direction (slower, more
+// allocations, more events); improvements never fail.
+
+// EngineTolerances maps metric name → allowed fractional regression.
+type EngineTolerances map[string]float64
+
+// DefaultEngineTolerances returns the bands used when -tol is not given:
+//
+//   - events_per_sec: 0.15 — >15% fewer events per wall second fails. The
+//     headline gate; on a shared CI runner pass a wider band (see ci.yml).
+//   - wall_ns: 0.25 — >25% more wall time fails.
+//   - allocs_per_event: 0.10 — allocation efficiency is nearly
+//     machine-independent, so the band is tight.
+//   - sim_events: 0.05 — the deterministic event count moving >5% means
+//     the model itself changed; update the baseline deliberately.
+func DefaultEngineTolerances() EngineTolerances {
+	return EngineTolerances{
+		"events_per_sec":   0.15,
+		"wall_ns":          0.25,
+		"allocs_per_event": 0.10,
+		"sim_events":       0.05,
+	}
+}
+
+// ParseTolerances parses "metric=frac,metric=frac" (the -tol flag),
+// overriding defaults per metric. Unknown metrics are rejected.
+func ParseTolerances(s string) (EngineTolerances, error) {
+	tol := DefaultEngineTolerances()
+	if s == "" {
+		return tol, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad tolerance %q (want metric=fraction)", part)
+		}
+		if _, known := tol[k]; !known {
+			return nil, fmt.Errorf("unknown tolerance metric %q", k)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			return nil, fmt.Errorf("bad tolerance fraction %q for %s", v, k)
+		}
+		tol[k] = f
+	}
+	return tol, nil
+}
+
+// CompareEngine checks new against base under the tolerance bands and
+// returns one violation string per breached metric (empty = pass). Runs
+// are matched by (experiment, devices); a run present in the baseline but
+// missing from new is itself a violation.
+func CompareEngine(base, new EngineResult, tol EngineTolerances) []string {
+	if tol == nil {
+		tol = DefaultEngineTolerances()
+	}
+	newByKey := make(map[string]EngineRun, len(new.Runs))
+	for _, r := range new.Runs {
+		newByKey[r.Key()] = r
+	}
+	var violations []string
+	for _, b := range base.Runs {
+		n, ok := newByKey[b.Key()]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: present in baseline, missing from new result", b.Key()))
+			continue
+		}
+		// higherBad: metric regresses upward. lowerBad: regresses downward.
+		check := func(metric string, baseV, newV float64, higherBad bool) {
+			band, ok := tol[metric]
+			if !ok || baseV == 0 {
+				return
+			}
+			if higherBad {
+				if newV > baseV*(1+band) {
+					violations = append(violations, fmt.Sprintf(
+						"%s: %s %.4g -> %.4g (+%.1f%%, band +%.0f%%)",
+						b.Key(), metric, baseV, newV, (newV/baseV-1)*100, band*100))
+				}
+			} else if newV < baseV*(1-band) {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %s %.4g -> %.4g (-%.1f%%, band -%.0f%%)",
+					b.Key(), metric, baseV, newV, (1-newV/baseV)*100, band*100))
+			}
+		}
+		check("events_per_sec", b.EventsPerSec, n.EventsPerSec, false)
+		check("wall_ns", float64(b.WallNS), float64(n.WallNS), true)
+		check("allocs_per_event", b.AllocsPerEvent, n.AllocsPerEvent, true)
+		// The deterministic event count gates both directions: moving at
+		// all means the model changed, not just got slower.
+		check("sim_events", float64(b.SimEvents), float64(n.SimEvents), true)
+		check("sim_events", float64(b.SimEvents), float64(n.SimEvents), false)
+	}
+	sort.Strings(violations)
+	return violations
+}

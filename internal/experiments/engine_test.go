@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"compstor/internal/obs"
+)
+
+// engineTinyResult runs the engine suite once per test binary: 4 workload
+// classes at 2 device counts, the minimum shape the artefact promises.
+var engineTinyResult *EngineResult
+
+func engineTiny(t *testing.T) EngineResult {
+	t.Helper()
+	if engineTinyResult == nil {
+		o := tinyOptions()
+		o.Books = 6
+		o.MeanBookBytes = 4 << 10
+		o.Obs = obs.New()
+		r := Engine(o, []int{2, 4})
+		engineTinyResult = &r
+	}
+	return *engineTinyResult
+}
+
+func TestEngineSuiteShapeAndRoundTrip(t *testing.T) {
+	r := engineTiny(t)
+	if r.Schema != EngineSchemaVersion {
+		t.Fatalf("schema = %q", r.Schema)
+	}
+	if r.Host.GoVersion == "" || r.Host.GOMAXPROCS <= 0 {
+		t.Fatalf("host not recorded: %+v", r.Host)
+	}
+	if len(r.Runs) != 8 { // 4 experiments x 2 device counts
+		t.Fatalf("got %d runs, want 8", len(r.Runs))
+	}
+	seen := map[string]bool{}
+	for _, run := range r.Runs {
+		if seen[run.Key()] {
+			t.Fatalf("duplicate run key %s", run.Key())
+		}
+		seen[run.Key()] = true
+		if run.SimEvents <= 0 || run.SimNS <= 0 || run.ProcsStarted <= 0 || run.MaxHeapDepth <= 0 {
+			t.Errorf("%s: sim-side fields not populated: %+v", run.Key(), run)
+		}
+		if run.WallNS <= 0 || run.EventsPerSec <= 0 || run.AllocsPerEvent <= 0 || run.Allocs <= 0 {
+			t.Errorf("%s: wall-side fields not populated: %+v", run.Key(), run)
+		}
+	}
+	for _, exp := range []string{"scan", "parscan", "serving", "tail"} {
+		for _, n := range []string{"/n2", "/n4"} {
+			if !seen[exp+n] {
+				t.Errorf("missing run %s%s", exp, n)
+			}
+		}
+	}
+
+	// WriteJSON -> ReadEngineResult round-trips strictly.
+	path := filepath.Join(t.TempDir(), "BENCH_engine.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := ReadEngineResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Runs) != len(r.Runs) || back.Runs[0] != r.Runs[0] {
+		t.Fatalf("round trip changed result")
+	}
+
+	// A wrong schema version is rejected.
+	bad := r
+	bad.Schema = "compstor/bench-engine/v0"
+	f, err = os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := ReadEngineResult(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+func TestEngineSuiteSimSideDeterminism(t *testing.T) {
+	// The sim-side columns are pure functions of the seed: a second run
+	// must reproduce them exactly (the wall columns will differ).
+	o := tinyOptions()
+	o.Books = 6
+	o.MeanBookBytes = 4 << 10
+	a := Engine(o, []int{2})
+	b := Engine(o, []int{2})
+	if len(a.Runs) != len(b.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(a.Runs), len(b.Runs))
+	}
+	for i := range a.Runs {
+		x, y := a.Runs[i], b.Runs[i]
+		if x.SimEvents != y.SimEvents || x.SimNS != y.SimNS ||
+			x.ProcsStarted != y.ProcsStarted || x.ProcSwitches != y.ProcSwitches ||
+			x.MaxHeapDepth != y.MaxHeapDepth {
+			t.Errorf("%s: sim-side fields differ between runs:\n %+v\n %+v", x.Key(), x, y)
+		}
+	}
+}
+
+func TestEngineSnapshotSectionFromSuite(t *testing.T) {
+	// The suite registers every engine with its scope, so the root obs
+	// snapshot carries one engines entry per (experiment, devices) point
+	// whose deterministic fields mirror the result's sim side.
+	o := tinyOptions()
+	o.Books = 6
+	o.MeanBookBytes = 4 << 10
+	o.Obs = obs.New()
+	res := Engine(o, []int{2})
+	s := o.Obs.Snapshot("engine")
+	if len(s.Engines) != len(res.Runs) {
+		t.Fatalf("snapshot has %d engines, result %d runs", len(s.Engines), len(res.Runs))
+	}
+	for i, es := range s.Engines {
+		run := res.Runs[i]
+		wantName := run.Experiment + "/n2"
+		gotName := strings.Replace(es.Name, ".n", "/n", 1)
+		if gotName != wantName {
+			t.Errorf("engines[%d].name = %q, want %q", i, es.Name, wantName)
+		}
+		if es.Events != run.SimEvents || es.ProcSwitches != run.ProcSwitches || es.SimNS != run.SimNS {
+			t.Errorf("%s: snapshot fields diverge from result: %+v vs %+v", es.Name, es, run)
+		}
+		if len(es.ByLabel) == 0 {
+			t.Errorf("%s: no per-label accounting", es.Name)
+		}
+	}
+}
+
+func TestCompareEngineRegressionGate(t *testing.T) {
+	base := EngineResult{
+		Schema: EngineSchemaVersion,
+		Runs: []EngineRun{{
+			Experiment: "scan", Devices: 4,
+			SimEvents: 10000, WallNS: 1e9,
+			EventsPerSec: 100000, AllocsPerEvent: 3.0,
+		}},
+	}
+	clone := func(mut func(*EngineRun)) EngineResult {
+		r := base
+		r.Runs = append([]EngineRun(nil), base.Runs...)
+		mut(&r.Runs[0])
+		return r
+	}
+
+	// Identical results pass.
+	if v := CompareEngine(base, base, nil); len(v) != 0 {
+		t.Fatalf("identical results violate: %v", v)
+	}
+	// The acceptance case: a 20% events/sec drop breaches the default 15%
+	// band and must gate (compstor-bench -compare exits non-zero on it).
+	slow := clone(func(r *EngineRun) { r.EventsPerSec = 80000 })
+	if v := CompareEngine(base, slow, nil); len(v) == 0 {
+		t.Fatal("20% events/sec regression passed the default gate")
+	} else if !strings.Contains(v[0], "events_per_sec") {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+	// Within-band drift passes.
+	drift := clone(func(r *EngineRun) {
+		r.EventsPerSec = 90000 // -10%, band 15%
+		r.WallNS = 11e8        // +10%, band 25%
+	})
+	if v := CompareEngine(base, drift, nil); len(v) != 0 {
+		t.Fatalf("within-band drift violates: %v", v)
+	}
+	// Improvements never fail, however large.
+	fast := clone(func(r *EngineRun) {
+		r.EventsPerSec = 300000
+		r.WallNS = 1e8
+		r.AllocsPerEvent = 0.5
+	})
+	if v := CompareEngine(base, fast, nil); len(v) != 0 {
+		t.Fatalf("improvement violates: %v", v)
+	}
+	// Each remaining metric gates in its bad direction.
+	for _, c := range []struct {
+		name string
+		mut  func(*EngineRun)
+	}{
+		{"wall_ns", func(r *EngineRun) { r.WallNS = 14e8 }},                 // +40% > 25%
+		{"allocs_per_event", func(r *EngineRun) { r.AllocsPerEvent = 3.5 }}, // +17% > 10%
+		{"sim_events", func(r *EngineRun) { r.SimEvents = 11000 }},          // +10% > 5%
+		{"sim_events", func(r *EngineRun) { r.SimEvents = 9000 }},           // -10% > 5%
+	} {
+		if v := CompareEngine(base, clone(c.mut), nil); len(v) == 0 {
+			t.Errorf("%s regression passed", c.name)
+		} else if !strings.Contains(v[0], c.name) {
+			t.Errorf("%s: unexpected violation %v", c.name, v)
+		}
+	}
+	// A run missing from the new result is a violation.
+	if v := CompareEngine(base, EngineResult{Schema: EngineSchemaVersion}, nil); len(v) != 1 ||
+		!strings.Contains(v[0], "missing") {
+		t.Fatalf("missing run not flagged: %v", v)
+	}
+	// A wider -tol band lets the same drop pass.
+	wide := EngineTolerances{"events_per_sec": 0.5}
+	if v := CompareEngine(base, slow, wide); len(v) != 0 {
+		t.Fatalf("20%% drop violates a 50%% band: %v", v)
+	}
+}
+
+func TestParseTolerances(t *testing.T) {
+	tol, err := ParseTolerances("")
+	if err != nil || tol["events_per_sec"] != 0.15 {
+		t.Fatalf("empty spec: %v %v", tol, err)
+	}
+	tol, err = ParseTolerances("events_per_sec=0.6, wall_ns=1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol["events_per_sec"] != 0.6 || tol["wall_ns"] != 1.0 || tol["allocs_per_event"] != 0.10 {
+		t.Fatalf("overrides not applied: %v", tol)
+	}
+	for _, bad := range []string{"nope=0.5", "events_per_sec", "events_per_sec=x", "events_per_sec=-1"} {
+		if _, err := ParseTolerances(bad); err == nil {
+			t.Errorf("ParseTolerances(%q) accepted", bad)
+		}
+	}
+}

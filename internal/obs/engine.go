@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"strings"
+
+	"compstor/internal/sim"
+)
+
+// watchedEngine ties one engine's scheduler accounting to the scope that
+// registered it, so snapshots can group engines by experiment point.
+type watchedEngine struct {
+	prefix string
+	acct   *sim.Accounting
+}
+
+// WatchEngine registers an engine's scheduler accounting under this scope.
+// Snapshots taken at or above the scope gain an "engines" section named
+// after the scope (see EngineSnap). Only the deterministic sim-side fields
+// are exported: wall-clock and allocation numbers are host-dependent and
+// deliberately kept out of snapshot artefacts, which are diffed
+// byte-for-byte in CI (read them via sim.Accounting.WallStats instead).
+func (o *Obs) WatchEngine(a *sim.Accounting) {
+	if o == nil || a == nil {
+		return
+	}
+	o.shared.engines = append(o.shared.engines, watchedEngine{prefix: o.prefix, acct: a})
+}
+
+// EngineSnap is one engine's deterministic scheduler accounting: events
+// dispatched (total and per source label), process churn, and the
+// event-heap depth timeline. All fields are pure functions of the seeded
+// event sequence — no wall-clock field belongs here.
+type EngineSnap struct {
+	Name          string            `json:"name"`
+	Events        int64             `json:"events"`
+	ByLabel       []EngineLabelSnap `json:"by_label"`
+	ProcsStarted  int64             `json:"procs_started"`
+	ProcSwitches  int64             `json:"proc_switches"`
+	MaxHeapDepth  int64             `json:"max_heap_depth"`
+	DepthWindowNS int64             `json:"depth_window_ns"`
+	DepthMax      []int64           `json:"depth_max"`
+	SimNS         int64             `json:"sim_ns"`
+}
+
+// EngineLabelSnap is one event-source label's dispatch count.
+type EngineLabelSnap struct {
+	Label  string `json:"label"`
+	Events int64  `json:"events"`
+}
+
+// engineSnaps builds the engines section for a snapshot taken at prefix.
+func (sh *shared) engineSnaps(prefix string) []EngineSnap {
+	var out []EngineSnap
+	for _, we := range sh.engines {
+		if !strings.HasPrefix(we.prefix, prefix) {
+			continue
+		}
+		name := strings.TrimSuffix(we.prefix[len(prefix):], ".")
+		if name == "" {
+			name = "engine"
+		}
+		a := we.acct
+		window, depth := a.DepthTimeline()
+		es := EngineSnap{
+			Name:          name,
+			Events:        a.Events(),
+			ByLabel:       []EngineLabelSnap{},
+			ProcsStarted:  a.ProcsStarted(),
+			ProcSwitches:  a.ProcSwitches(),
+			MaxHeapDepth:  int64(a.MaxHeapDepth()),
+			DepthWindowNS: int64(window),
+			DepthMax:      depth,
+			SimNS:         int64(a.SimElapsed()),
+		}
+		for _, lc := range a.ByLabel() {
+			es.ByLabel = append(es.ByLabel, EngineLabelSnap{Label: lc.Label, Events: lc.Events})
+		}
+		out = append(out, es)
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"compstor/internal/sim"
+)
+
+func TestCounterMerge(t *testing.T) {
+	var a, b Counter
+	a.Add(10)
+	b.Add(32)
+	a.Merge(&b)
+	if a.Value() != 42 {
+		t.Fatalf("merged value = %d, want 42", a.Value())
+	}
+	if b.Value() != 32 {
+		t.Fatalf("merge mutated source: %d", b.Value())
+	}
+	// Nil-safety both ways.
+	var nilC *Counter
+	nilC.Merge(&a)
+	a.Merge(nil)
+	if a.Value() != 42 {
+		t.Fatalf("nil merge changed value: %d", a.Value())
+	}
+}
+
+func TestHistogramMergeCommutative(t *testing.T) {
+	obs1 := []sim.Duration{100, 200, 300, 5000}
+	obs2 := []sim.Duration{50, 75, 900000}
+
+	fill := func(ds []sim.Duration) *Histogram {
+		h := &Histogram{}
+		for _, d := range ds {
+			h.Observe(d)
+		}
+		return h
+	}
+	ab := fill(obs1)
+	ab.Merge(fill(obs2))
+	ba := fill(obs2)
+	ba.Merge(fill(obs1))
+	if *ab != *ba {
+		t.Fatalf("merge not commutative:\n a+b = %+v\n b+a = %+v", ab, ba)
+	}
+	if ab.Count() != int64(len(obs1)+len(obs2)) {
+		t.Fatalf("merged count = %d, want %d", ab.Count(), len(obs1)+len(obs2))
+	}
+	var sum sim.Duration
+	for _, d := range append(append([]sim.Duration{}, obs1...), obs2...) {
+		sum += d
+	}
+	if ab.Sum() != sum {
+		t.Fatalf("merged sum = %d, want %d", ab.Sum(), sum)
+	}
+	if ab.Min() != 50 || ab.Max() != 900000 {
+		t.Fatalf("merged extremes = [%d, %d], want [50, 900000]", ab.Min(), ab.Max())
+	}
+}
+
+func TestHistogramMergeQuantileBounds(t *testing.T) {
+	// Quantiles of a merged histogram must stay within the union of the
+	// inputs' ranges, for any quantile.
+	lo := &Histogram{}
+	hi := &Histogram{}
+	for i := 0; i < 100; i++ {
+		lo.Observe(sim.Duration(1000 + i))
+		hi.Observe(sim.Duration(1e9 + int64(i)*1e6))
+	}
+	m := &Histogram{}
+	m.Merge(lo)
+	m.Merge(hi)
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		v := m.Quantile(q)
+		if v < m.Min() || v > m.Max() {
+			t.Fatalf("Quantile(%g) = %d outside [%d, %d]", q, v, m.Min(), m.Max())
+		}
+	}
+	// Merging into an empty histogram preserves the source exactly.
+	cp := &Histogram{}
+	cp.Merge(lo)
+	if *cp != *lo {
+		t.Fatalf("merge into empty differs: %+v vs %+v", cp, lo)
+	}
+	// Merging an empty histogram is a no-op (min must not clamp to 0).
+	before := *m
+	m.Merge(&Histogram{})
+	if *m != before {
+		t.Fatalf("merging empty changed histogram")
+	}
+}
+
+func TestWallProfile(t *testing.T) {
+	e := sim.NewEngine()
+	o := New()
+	o.EnableTrace()
+	if o.WallProfileEnabled() {
+		t.Fatal("wall profile on before enable")
+	}
+	o.EnableWallProfile()
+	if !o.WallProfileEnabled() {
+		t.Fatal("wall profile off after enable")
+	}
+	e.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			sp := o.Begin(p, "w", "work")
+			p.Wait(time.Millisecond)
+			sp.End()
+		}
+		sp := o.Begin(p, "w", "idle")
+		p.Wait(2 * time.Millisecond)
+		sp.End()
+	})
+	e.Run()
+
+	prof := o.WallProfile(0)
+	if len(prof) != 2 {
+		t.Fatalf("profile has %d entries, want 2: %+v", len(prof), prof)
+	}
+	byName := map[string]WallProfileEntry{}
+	for _, p := range prof {
+		byName[p.Name] = p
+		if p.WallNS < 0 {
+			t.Fatalf("%s: negative wall %d", p.Name, p.WallNS)
+		}
+	}
+	if w := byName["work"]; w.Count != 3 || w.SimNS != int64(3*time.Millisecond) {
+		t.Fatalf("work entry = %+v, want count 3, sim 3ms", w)
+	}
+	if w := byName["idle"]; w.Count != 1 || w.SimNS != int64(2*time.Millisecond) {
+		t.Fatalf("idle entry = %+v, want count 1, sim 2ms", w)
+	}
+	if top := o.WallProfile(1); len(top) != 1 {
+		t.Fatalf("WallProfile(1) returned %d entries", len(top))
+	}
+	var buf bytes.Buffer
+	RenderWallProfile(&buf, "t", prof)
+	if !strings.Contains(buf.String(), "work") || !strings.Contains(buf.String(), "gross wall") {
+		t.Fatalf("render missing expected columns:\n%s", buf.String())
+	}
+}
+
+// engineWorkload runs a small deterministic mix of procs and callbacks and
+// returns the snapshot of an Obs watching the engine's accounting.
+func engineWorkload(wall bool) Snapshot {
+	e := sim.NewEngine()
+	o := New()
+	scope := o.Scope("exp")
+	acct := e.EnableAccounting(sim.AccountingConfig{Wall: wall})
+	scope.WatchEngine(acct)
+	for i := 0; i < 4; i++ {
+		e.Go("worker3", func(p *sim.Proc) {
+			for j := 0; j < 8; j++ {
+				p.Wait(time.Duration(j+1) * time.Millisecond)
+			}
+		})
+	}
+	e.AtLabeled(sim.Time(5e6), "chaos", func() {})
+	e.Run()
+	return o.Snapshot("root")
+}
+
+func TestEngineSnapshotSection(t *testing.T) {
+	snap := engineWorkload(false)
+	if len(snap.Engines) != 1 {
+		t.Fatalf("engines section has %d entries, want 1", len(snap.Engines))
+	}
+	es := snap.Engines[0]
+	if es.Name != "exp" {
+		t.Fatalf("engine name = %q, want %q", es.Name, "exp")
+	}
+	// 4 procs × (1 start + 8 wakeups) + 1 chaos callback.
+	if want := int64(4*9 + 1); es.Events != want {
+		t.Fatalf("events = %d, want %d", es.Events, want)
+	}
+	if es.ProcsStarted != 4 || es.ProcSwitches != 36 {
+		t.Fatalf("procs = %d switches = %d, want 4/36", es.ProcsStarted, es.ProcSwitches)
+	}
+	labels := map[string]int64{}
+	for _, l := range es.ByLabel {
+		labels[l.Label] = l.Events
+	}
+	if labels["worker"] != 36 || labels["chaos"] != 1 {
+		t.Fatalf("labels = %v, want worker:36 chaos:1", labels)
+	}
+	if es.SimNS != int64(36*time.Millisecond) {
+		t.Fatalf("sim_ns = %d, want 36ms", es.SimNS)
+	}
+	if es.MaxHeapDepth < 1 || es.DepthWindowNS <= 0 || len(es.DepthMax) == 0 {
+		t.Fatalf("depth fields not populated: %+v", es)
+	}
+
+	// The section round-trips strictly: no unknown fields in either
+	// direction, schema unchanged.
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	var back Snapshot
+	if err := dec.Decode(&back); err != nil {
+		t.Fatalf("strict decode: %v", err)
+	}
+	if back.Schema != SchemaVersion {
+		t.Fatalf("schema = %q, want %q", back.Schema, SchemaVersion)
+	}
+}
+
+func TestEngineSnapshotDeterminism(t *testing.T) {
+	// Identical runs serialise to identical bytes — including with wall
+	// capture enabled, because wall-clock fields are deliberately excluded
+	// from the snapshot (they differ between the two runs' hosts-side
+	// timings, so any leak flips this test).
+	for _, wall := range []bool{false, true} {
+		var a, b bytes.Buffer
+		if err := engineWorkload(wall).WriteJSON(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := engineWorkload(wall).WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("wall=%v: snapshots differ between identical runs", wall)
+		}
+	}
+}
+
+func TestEngineSnapshotExcludesWallFields(t *testing.T) {
+	var buf bytes.Buffer
+	if err := engineWorkload(true).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	js := strings.ToLower(buf.String())
+	for _, banned := range []string{"wall", "alloc", "goroutine", "events_per_sec"} {
+		if strings.Contains(js, banned) {
+			t.Fatalf("snapshot JSON leaks host-dependent field %q:\n%s", banned, buf.String())
+		}
+	}
+}
+
+func TestEngineSnapshotOmittedWithoutWatch(t *testing.T) {
+	// No WatchEngine → no "engines" key at all, keeping pre-existing
+	// artefacts byte-identical to before the section existed.
+	o := New()
+	var buf bytes.Buffer
+	if err := o.Snapshot("x").WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "engines") {
+		t.Fatalf("empty snapshot contains engines key:\n%s", buf.String())
+	}
+}

@@ -51,6 +51,7 @@ type shared struct {
 	reg     *Registry
 	tracer  *Tracer
 	tls     *timelineStore
+	engines []watchedEngine
 	nextPid int
 }
 

@@ -1,6 +1,10 @@
 package obs
 
-import "compstor/internal/sim"
+import (
+	"time"
+
+	"compstor/internal/sim"
+)
 
 // Ctx identifies an open span so causality can cross a mailbox or queue:
 // the submitting side stores its Ctx alongside the message, the serving
@@ -34,6 +38,7 @@ type spanRec struct {
 	name   string
 	begin  sim.Time
 	end    sim.Time
+	wallNS int64 // gross wall-clock between begin and end; 0 unless wall capture is on
 }
 
 // instantRec is one zero-duration event.
@@ -56,6 +61,8 @@ type threadKey struct {
 // default; Obs.EnableTrace flips it on. All state is engine-context only.
 type Tracer struct {
 	enabled  bool
+	wall     bool      // capture wall clock on spans (host-dependent output)
+	wallBase time.Time // wall epoch so span wall offsets fit an int64
 	nextID   int64
 	spans    []spanRec
 	instants []instantRec
@@ -114,15 +121,16 @@ func (t *Tracer) tid(pid int, track string) int {
 // End already called) is a no-op, which is also what makes
 // end-without-begin harmless.
 type Span struct {
-	t      *Tracer
-	p      *sim.Proc
-	prev   any
-	id     int64
-	parent int64
-	pid    int
-	tid    int
-	name   string
-	begin  sim.Time
+	t         *Tracer
+	p         *sim.Proc
+	prev      any
+	id        int64
+	parent    int64
+	pid       int
+	tid       int
+	name      string
+	begin     sim.Time
+	wallBegin int64
 }
 
 func (t *Tracer) begin(p *sim.Proc, parent Ctx, pid int, track, name string) *Span {
@@ -135,6 +143,9 @@ func (t *Tracer) begin(p *sim.Proc, parent Ctx, pid int, track, name string) *Sp
 		pid:    pid,
 		tid:    t.tid(pid, track),
 		name:   name,
+	}
+	if t.wall {
+		s.wallBegin = time.Since(t.wallBase).Nanoseconds()
 	}
 	if p != nil {
 		s.begin = p.Now()
@@ -165,6 +176,10 @@ func (s *Span) End() {
 		end = s.p.Now()
 		s.p.SetObsCtx(s.prev)
 	}
+	var wallNS int64
+	if s.t.wall {
+		wallNS = time.Since(s.t.wallBase).Nanoseconds() - s.wallBegin
+	}
 	s.t.spans = append(s.t.spans, spanRec{
 		id:     s.id,
 		parent: s.parent,
@@ -173,6 +188,7 @@ func (s *Span) End() {
 		name:   s.name,
 		begin:  s.begin,
 		end:    end,
+		wallNS: wallNS,
 	})
 	s.t.order = append(s.t.order, traceRef{idx: len(s.t.spans) - 1})
 	s.t = nil

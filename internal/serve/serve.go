@@ -410,7 +410,7 @@ func (s *Server) Stats(name string) TenantStats {
 // a runaway simulation.
 func (s *Server) Watchdog(deadline sim.Time) *bool {
 	expired := new(bool)
-	s.eng.At(deadline, func() {
+	s.eng.AtLabeled(deadline, "serve.watchdog", func() {
 		if s.Unfinished() > 0 {
 			*expired = true
 			s.eng.Stop()

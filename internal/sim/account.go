@@ -1,0 +1,305 @@
+package sim
+
+import (
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Accounting collects scheduler statistics for an Engine: events dispatched
+// (total and per source label), process switches and starts, event-heap
+// depth over virtual time, and — optionally — the wall-clock side (wall
+// nanoseconds per label, allocation and goroutine deltas from the Go
+// runtime, and virtual time advanced per wall second).
+//
+// The sim-side counters are pure functions of the event sequence, so with a
+// fixed seed they are byte-identically reproducible; everything reachable
+// from WallStats and the WallNS fields is host-dependent and must never be
+// written into artefacts that are diffed byte-for-byte (see package obs).
+//
+// Accounting is engine-context only, like everything else in this package.
+// With accounting disabled the engine pays one nil check per dispatched
+// event; BenchmarkEngineAccounting tracks the enabled overhead.
+type Accounting struct {
+	eng      *Engine
+	simStart Time
+
+	events       int64
+	byLabel      map[string]*labelStats
+	procsStarted int64
+	procSwitches int64
+	maxDepth     int
+
+	depthWindow Duration
+	depthMax    []int64
+
+	wall           bool
+	wallStart      time.Time
+	memStart       runtime.MemStats
+	peakGoroutines int
+}
+
+type labelStats struct {
+	events int64
+	wallNS int64
+}
+
+// AccountingConfig tunes EnableAccounting.
+type AccountingConfig struct {
+	// DepthWindow is the virtual-time bucket width of the heap-depth
+	// timeline (0 selects 1ms). The timeline coarsens by doubling the
+	// window when a run outlives the bucket budget, like obs timelines.
+	DepthWindow Duration
+	// Wall additionally captures wall-clock per label, allocation deltas
+	// (runtime.MemStats), and a sampled goroutine peak. Wall capture is
+	// host-dependent: never compare its numbers byte-for-byte.
+	Wall bool
+}
+
+// maxDepthWindows bounds the depth timeline's memory.
+const maxDepthWindows = 512
+
+// goroutineSampleMask samples runtime.NumGoroutine every 8192 events when
+// wall capture is on.
+const goroutineSampleMask = 8192 - 1
+
+// EnableAccounting attaches a fresh Accounting to the engine and returns
+// it. Counters start at zero from the current virtual time; enabling twice
+// replaces the previous accounting.
+func (e *Engine) EnableAccounting(cfg AccountingConfig) *Accounting {
+	a := &Accounting{
+		eng:         e,
+		simStart:    e.now,
+		byLabel:     make(map[string]*labelStats),
+		depthWindow: cfg.DepthWindow,
+		wall:        cfg.Wall,
+	}
+	if a.depthWindow <= 0 {
+		a.depthWindow = Duration(1e6) // 1ms
+	}
+	if a.wall {
+		a.wallStart = time.Now()
+		runtime.ReadMemStats(&a.memStart)
+		a.peakGoroutines = runtime.NumGoroutine()
+	}
+	e.acct = a
+	return a
+}
+
+// Accounting returns the engine's accounting, nil when disabled.
+func (e *Engine) Accounting() *Accounting { return e.acct }
+
+// dispatch records one event execution and runs it, timing the callback
+// when wall capture is on. Unlabeled events are pooled under "callback".
+func (a *Accounting) dispatch(src string, depth int, now Time, fn func()) {
+	a.events++
+	if src == "" {
+		src = "callback"
+	}
+	ls := a.byLabel[src]
+	if ls == nil {
+		ls = &labelStats{}
+		a.byLabel[src] = ls
+	}
+	ls.events++
+	if depth > a.maxDepth {
+		a.maxDepth = depth
+	}
+	a.noteDepth(now, depth)
+	if !a.wall {
+		fn()
+		return
+	}
+	if a.events&goroutineSampleMask == 0 {
+		if g := runtime.NumGoroutine(); g > a.peakGoroutines {
+			a.peakGoroutines = g
+		}
+	}
+	t0 := time.Now()
+	fn()
+	ls.wallNS += time.Since(t0).Nanoseconds()
+}
+
+// noteDepth folds one heap-depth sample into the virtual-time timeline,
+// keeping the per-window maximum.
+func (a *Accounting) noteDepth(now Time, depth int) {
+	i := int(int64(now) / int64(a.depthWindow))
+	for i >= maxDepthWindows {
+		half := make([]int64, (len(a.depthMax)+1)/2)
+		for j, v := range a.depthMax {
+			if v > half[j/2] {
+				half[j/2] = v
+			}
+		}
+		a.depthMax = half
+		a.depthWindow *= 2
+		i = int(int64(now) / int64(a.depthWindow))
+	}
+	for i >= len(a.depthMax) {
+		a.depthMax = append(a.depthMax, 0)
+	}
+	if int64(depth) > a.depthMax[i] {
+		a.depthMax[i] = int64(depth)
+	}
+}
+
+// Events returns the number of events dispatched since enable.
+func (a *Accounting) Events() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.events
+}
+
+// ProcsStarted returns the number of processes created since enable.
+func (a *Accounting) ProcsStarted() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.procsStarted
+}
+
+// ProcSwitches returns the number of engine→process goroutine handoffs
+// since enable (each Proc resumption is one).
+func (a *Accounting) ProcSwitches() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.procSwitches
+}
+
+// MaxHeapDepth returns the deepest event heap observed at any dispatch.
+func (a *Accounting) MaxHeapDepth() int {
+	if a == nil {
+		return 0
+	}
+	return a.maxDepth
+}
+
+// SimElapsed returns the virtual time advanced since enable.
+func (a *Accounting) SimElapsed() Duration {
+	if a == nil {
+		return 0
+	}
+	return a.eng.now.Sub(a.simStart)
+}
+
+// DepthTimeline returns the heap-depth timeline: the bucket width and the
+// per-bucket maximum depth. The returned slice is a copy.
+func (a *Accounting) DepthTimeline() (window Duration, depthMax []int64) {
+	if a == nil {
+		return 0, nil
+	}
+	return a.depthWindow, append([]int64(nil), a.depthMax...)
+}
+
+// LabelCount is one event-source label's share of the dispatch work. WallNS
+// is zero unless wall capture is enabled.
+type LabelCount struct {
+	Label  string
+	Events int64
+	WallNS int64
+}
+
+// ByLabel returns per-label dispatch counts sorted by label name (a
+// deterministic order).
+func (a *Accounting) ByLabel() []LabelCount {
+	if a == nil {
+		return nil
+	}
+	out := make([]LabelCount, 0, len(a.byLabel))
+	for label, ls := range a.byLabel {
+		out = append(out, LabelCount{Label: label, Events: ls.events, WallNS: ls.wallNS})
+	}
+	sortLabelCounts(out)
+	return out
+}
+
+func sortLabelCounts(s []LabelCount) {
+	// Insertion sort keeps this dependency-free; label sets are small.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Label < s[j-1].Label; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// WallStats is the host-side view of a run: wall clock, allocation deltas,
+// and goroutine counts. Everything here is machine-dependent.
+type WallStats struct {
+	WallNS         int64  // wall nanoseconds since enable
+	SimNS          int64  // virtual nanoseconds advanced since enable
+	Events         int64  // events dispatched since enable
+	Mallocs        uint64 // heap allocations since enable (MemStats.Mallocs delta)
+	AllocBytes     uint64 // bytes allocated since enable (MemStats.TotalAlloc delta)
+	Goroutines     int    // goroutine count at capture
+	PeakGoroutines int    // sampled peak since enable
+}
+
+// EventsPerSec returns dispatched events per wall second.
+func (ws WallStats) EventsPerSec() float64 {
+	if ws.WallNS <= 0 {
+		return 0
+	}
+	return float64(ws.Events) / (float64(ws.WallNS) / 1e9)
+}
+
+// AllocsPerEvent returns heap allocations per dispatched event.
+func (ws WallStats) AllocsPerEvent() float64 {
+	if ws.Events <= 0 {
+		return 0
+	}
+	return float64(ws.Mallocs) / float64(ws.Events)
+}
+
+// SimPerWall returns virtual seconds advanced per wall second — the
+// engine-speed headline.
+func (ws WallStats) SimPerWall() float64 {
+	if ws.WallNS <= 0 {
+		return 0
+	}
+	return float64(ws.SimNS) / float64(ws.WallNS)
+}
+
+// WallStats captures the host-side deltas now. Zero value unless the
+// accounting was enabled with Wall.
+func (a *Accounting) WallStats() WallStats {
+	if a == nil || !a.wall {
+		return WallStats{}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	g := runtime.NumGoroutine()
+	if g > a.peakGoroutines {
+		a.peakGoroutines = g
+	}
+	return WallStats{
+		WallNS:         time.Since(a.wallStart).Nanoseconds(),
+		SimNS:          int64(a.SimElapsed()),
+		Events:         a.events,
+		Mallocs:        ms.Mallocs - a.memStart.Mallocs,
+		AllocBytes:     ms.TotalAlloc - a.memStart.TotalAlloc,
+		Goroutines:     g,
+		PeakGoroutines: a.peakGoroutines,
+	}
+}
+
+// accountLabel normalises a process name into a low-cardinality label by
+// dropping digits: "cal7" and "cal12" both account as "cal". An all-digit
+// name becomes "proc".
+func accountLabel(name string) string {
+	if !strings.ContainsAny(name, "0123456789") {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name))
+	for _, r := range name {
+		if r < '0' || r > '9' {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "proc"
+	}
+	return b.String()
+}

@@ -59,3 +59,33 @@ func BenchmarkLinkTransfers(b *testing.B) {
 	b.ResetTimer()
 	e.Run()
 }
+
+// BenchmarkEngineAccounting measures the dispatch-loop cost of scheduler
+// accounting: off (the nil-check-only baseline), on (event + label + depth
+// counters), and on with wall capture (two time.Now calls and periodic
+// goroutine sampling per event). Compare ns/op across the three to read the
+// overhead; TestAccountingOverhead gates it loosely.
+func BenchmarkEngineAccounting(b *testing.B) {
+	bench := func(cfg *AccountingConfig) func(*testing.B) {
+		return func(b *testing.B) {
+			e := NewEngine()
+			if cfg != nil {
+				e.EnableAccounting(*cfg)
+			}
+			n := 0
+			var tick func()
+			tick = func() {
+				n++
+				if n < b.N {
+					e.After(time.Microsecond, tick)
+				}
+			}
+			e.After(time.Microsecond, tick)
+			b.ResetTimer()
+			e.Run()
+		}
+	}
+	b.Run("off", bench(nil))
+	b.Run("on", bench(&AccountingConfig{}))
+	b.Run("on-wall", bench(&AccountingConfig{Wall: true}))
+}

@@ -45,6 +45,7 @@ const MaxTime = Time(math.MaxInt64)
 type event struct {
 	at  Time
 	seq uint64
+	src string // accounting label of the scheduling site ("" = callback)
 	fn  func()
 }
 
@@ -76,6 +77,7 @@ type Engine struct {
 	pending eventHeap
 	running bool
 	stopped bool
+	acct    *Accounting // nil unless EnableAccounting was called
 }
 
 // NewEngine returns an engine with its clock at time zero and no pending
@@ -90,11 +92,27 @@ func (e *Engine) Now() Time { return e.now }
 // At schedules fn to run at virtual time t. Scheduling into the past
 // panics: the causality violation always indicates a model bug.
 func (e *Engine) At(t Time, fn func()) {
+	e.at(t, "", fn)
+}
+
+// AtLabeled is At with an accounting label attributing the event to its
+// source (a model subsystem like "chaos" or a proc family like "worker").
+// With accounting off the label is carried but unused.
+func (e *Engine) AtLabeled(t Time, label string, fn func()) {
+	e.at(t, label, fn)
+}
+
+// AfterLabeled is After with an accounting label.
+func (e *Engine) AfterLabeled(d time.Duration, label string, fn func()) {
+	e.at(e.now.Add(d), label, fn)
+}
+
+func (e *Engine) at(t Time, src string, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.pending, &event{at: t, seq: e.seq, fn: fn})
+	heap.Push(&e.pending, &event{at: t, seq: e.seq, src: src, fn: fn})
 }
 
 // After schedules fn to run d after the current virtual time. Negative
@@ -109,9 +127,14 @@ func (e *Engine) Step() bool {
 	if len(e.pending) == 0 {
 		return false
 	}
+	depth := len(e.pending)
 	ev := heap.Pop(&e.pending).(*event)
 	e.now = ev.at
-	ev.fn()
+	if a := e.acct; a != nil {
+		a.dispatch(ev.src, depth, e.now, ev.fn)
+	} else {
+		ev.fn()
+	}
 	return true
 }
 

@@ -11,6 +11,7 @@ import "fmt"
 type Proc struct {
 	eng    *Engine
 	name   string
+	label  string // accounting label (name with digits stripped)
 	resume chan struct{}
 	yield  chan struct{}
 	done   bool
@@ -19,13 +20,17 @@ type Proc struct {
 
 // Go starts a new simulated process executing body. The process begins at
 // the current virtual time (after already-scheduled events at that time).
-// The name is used in diagnostics only.
+// The name is used in diagnostics and scheduler accounting only.
 func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
 	p := &Proc{
 		eng:    e,
 		name:   name,
+		label:  accountLabel(name),
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
+	}
+	if e.acct != nil {
+		e.acct.procsStarted++
 	}
 	go func() {
 		<-p.resume
@@ -33,7 +38,7 @@ func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
 		p.done = true
 		p.yield <- struct{}{}
 	}()
-	e.After(0, p.step)
+	e.at(e.now, p.label, p.step)
 	return p
 }
 
@@ -66,6 +71,9 @@ func (p *Proc) step() {
 	if p.done {
 		panic(fmt.Sprintf("sim: process %q resumed after completion", p.name))
 	}
+	if a := p.eng.acct; a != nil {
+		a.procSwitches++
+	}
 	p.resume <- struct{}{}
 	<-p.yield
 }
@@ -82,7 +90,7 @@ func (p *Proc) park() {
 // must be called from engine context (an event callback or another process)
 // while p is parked.
 func (p *Proc) unpark() {
-	p.eng.After(0, p.step)
+	p.eng.at(p.eng.now, p.label, p.step)
 }
 
 // Wait advances the process's virtual time by d. Other events and processes
@@ -91,7 +99,7 @@ func (p *Proc) Wait(d Duration) {
 	if d < 0 {
 		panic("sim: negative wait")
 	}
-	p.eng.After(d, p.step)
+	p.eng.at(p.eng.now.Add(d), p.label, p.step)
 	p.park()
 }
 
@@ -102,7 +110,7 @@ func (p *Proc) WaitUntil(t Time) {
 	if t < now {
 		t = now
 	}
-	p.eng.At(t, p.step)
+	p.eng.at(t, p.label, p.step)
 	p.park()
 }
 
