@@ -7,7 +7,7 @@
 //	               [-books N] [-mean BYTES] [-devices 1,2,4,8] [-v]
 //	               [-outdir DIR] [-trace out.json] [-metrics out.json]
 //	               [-cpuprofile out.pprof] [-memprofile out.pprof]
-//	               [-wallprofile N]
+//	               [-wallprofile N] [-parallel N]
 //	compstor-bench -compare baseline.json new.json [-tol metric=frac,...]
 //
 // Results are normalised (MB/s, J/GB) so the paper's shapes carry over to
@@ -25,6 +25,12 @@
 // and exits 1 on a regression. -wallprofile N captures host wall-clock on
 // spans and prints the top-N span labels by gross wall time (and, with
 // -trace, adds a wall_us argument per span — the host-CPU view).
+// -parallel N fans the engine suite's independent cells across up to N
+// goroutines; every deterministic column and BENCH artefact is identical
+// to a serial run (cells record into forked Obs, absorbed in cell order),
+// but the wall-clock columns then price contended time, so never -compare
+// a parallel run against a serial baseline. Incompatible with -trace and
+// -wallprofile.
 //
 // Profiles and partial artefacts are flushed on SIGINT and on experiment
 // panics, so an interrupted run still yields a usable -cpuprofile and
@@ -156,6 +162,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile here (samples carry an 'experiment' pprof label)")
 	memProfile := flag.String("memprofile", "", "write a heap profile here")
 	wallProfile := flag.Int("wallprofile", 0, "capture wall-clock on spans and print the top-N wall profile (0 = off)")
+	parallel := flag.Int("parallel", 0, "run independent engine-suite cells on up to N goroutines (0/1 = serial; wall-clock columns then price contended time)")
 	compare := flag.String("compare", "", "BASELINE engine json: compare the positional NEW json against it and exit 1 on regression")
 	tolerances := flag.String("tol", "", "comma-separated metric=fraction tolerance overrides for -compare (see DefaultEngineTolerances)")
 	flag.Parse()
@@ -185,6 +192,15 @@ func main() {
 	}
 	if *verbose {
 		opt.Log = os.Stderr
+	}
+	if *parallel > 1 {
+		// Forked Obs cannot carry spans (ids have no deterministic merge),
+		// and a wall profile of contended cells would mislead.
+		if *tracePath != "" || *wallProfile > 0 {
+			fmt.Fprintln(os.Stderr, "-parallel is incompatible with -trace and -wallprofile; run serially to profile")
+			os.Exit(2)
+		}
+		opt.Parallel = *parallel
 	}
 
 	root := obs.New()

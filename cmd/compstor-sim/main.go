@@ -97,6 +97,7 @@ func runScript(script string, books, mean int) {
 		}
 	})
 	sys.Run()
+	sys.Close()
 	r := m.Response
 	fmt.Printf("$ %s\n", script)
 	os.Stdout.Write(r.Stdout)

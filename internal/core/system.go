@@ -170,6 +170,10 @@ func NewSystem(cfg SystemConfig) *System {
 			sys.Host.Mount(sys.Devices[0].Drive.HostView())
 		}
 	}
+	// Seed the proc pool for the workload's steady-state fan-out (page I/O
+	// workers, stage/map procs), so testbed construction — not the measured
+	// run — pays the goroutine and channel creation.
+	sys.Eng.Prewarm(16*cfg.CompStors + 32)
 	return sys
 }
 
@@ -179,6 +183,14 @@ func (s *System) Device(i int) *DeviceUnit { return s.Devices[i] }
 // Run drives the simulation to completion and returns the final virtual
 // time.
 func (s *System) Run() sim.Time { return s.Eng.Run() }
+
+// Close force-terminates every simulated process and joins the pooled
+// worker goroutines backing them (sim.Engine.Shutdown). Call it after the
+// last Run: daemon processes (NVMe front-ends, agents) otherwise stay
+// parked forever and their goroutines accumulate across testbeds. The
+// system cannot be used afterwards; reading model state for reports is
+// still fine.
+func (s *System) Close() { s.Eng.Shutdown() }
 
 // Go forks a simulated process on the system's engine.
 func (s *System) Go(name string, body func(p *sim.Proc)) { s.Eng.Go(name, body) }

@@ -87,6 +87,7 @@ func (o Options) degradedRun(devices int, w Workload, files []cluster.File, plan
 		run.dead = pool.DeadDevices()
 	})
 	sys.Run()
+	sys.Close()
 	return run
 }
 

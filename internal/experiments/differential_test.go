@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"compstor/internal/obs"
+	"compstor/internal/sim"
+)
+
+// The differential determinism suite: every experiment must produce
+// byte-identical results and observability snapshots whether the engine's
+// switch-free fast paths are on (the default) or forced off (the classic
+// queue+handoff dispatch of the pre-fast-path engine). Only proc_switches
+// and inline_waits — the counts of goroutine handoffs removed by the fast
+// path and of waits that took it — may differ, so both are masked before
+// comparison.
+
+// diffSnapshot runs fn under the given fast-path mode on a fresh Obs and
+// returns (result JSON, snapshot JSON) with proc_switches masked.
+func diffSnapshot(t *testing.T, fast bool, fn func(o Options) any) ([]byte, []byte) {
+	t.Helper()
+	sim.SetDefaultFastPaths(fast)
+	defer sim.SetDefaultFastPaths(true)
+	o := tinyOptions()
+	o.Obs = obs.New()
+	result := fn(o)
+	snap := o.Obs.Snapshot("differential")
+	for i := range snap.Engines {
+		snap.Engines[i].ProcSwitches = 0
+		snap.Engines[i].InlineWaits = 0
+	}
+	rj, err := json.MarshalIndent(result, "", " ")
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	var sj bytes.Buffer
+	if err := snap.WriteJSON(&sj); err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+	return rj, sj.Bytes()
+}
+
+func assertFastSlowIdentical(t *testing.T, name string, fn func(o Options) any) {
+	t.Helper()
+	fastRes, fastSnap := diffSnapshot(t, true, fn)
+	slowRes, slowSnap := diffSnapshot(t, false, fn)
+	if !bytes.Equal(fastRes, slowRes) {
+		t.Errorf("%s: results differ between fast and slow paths\nfast: %s\nslow: %s", name, fastRes, slowRes)
+	}
+	if !bytes.Equal(fastSnap, slowSnap) {
+		t.Errorf("%s: snapshots differ between fast and slow paths\nfast: %s\nslow: %s", name, fastSnap, slowSnap)
+	}
+}
+
+func TestDifferentialFig7(t *testing.T) {
+	assertFastSlowIdentical(t, "fig7", func(o Options) any {
+		o.Books = 6
+		o.DeviceCounts = []int{1, 2}
+		return Fig7(o)
+	})
+}
+
+func TestDifferentialDegraded(t *testing.T) {
+	assertFastSlowIdentical(t, "degraded", func(o Options) any {
+		o.Books = 6
+		o.DeviceCounts = []int{2}
+		return Degraded(o)
+	})
+}
+
+func TestDifferentialServing(t *testing.T) {
+	assertFastSlowIdentical(t, "serving", func(o Options) any {
+		o.Books = 2
+		data := o.servingData()
+		service := o.engineProbe(data).Seconds()
+		lambda := engineUtilization * float64(4*2) / service
+		acct := o.engineServe(o.Obs.Scope("serve"), 2, data, lambda, false)
+		return map[string]int64{"events": acct.Events(), "sim_ns": int64(acct.SimElapsed())}
+	})
+}
+
+func TestDifferentialTail(t *testing.T) {
+	assertFastSlowIdentical(t, "tail", func(o Options) any {
+		o.Books = 2
+		data := o.servingData()
+		service := o.engineProbe(data).Seconds()
+		lambda := engineUtilization * float64(4*2) / service
+		acct := o.engineServe(o.Obs.Scope("tail"), 2, data, lambda, true)
+		return map[string]int64{"events": acct.Events(), "sim_ns": int64(acct.SimElapsed())}
+	})
+}
+
+func TestDifferentialParscan(t *testing.T) {
+	assertFastSlowIdentical(t, "parscan", func(o Options) any {
+		o.Books = 4
+		acct := o.engineScan(o.Obs.Scope("scan"), 2, true)
+		return map[string]int64{"events": acct.Events(), "sim_ns": int64(acct.SimElapsed())}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"compstor/internal/apps/appset"
@@ -58,7 +59,9 @@ type EngineRun struct {
 	SimEvents    int64  `json:"sim_events"`
 	SimNS        int64  `json:"sim_ns"`
 	ProcsStarted int64  `json:"procs_started"`
+	ProcsReused  int64  `json:"procs_reused"`
 	ProcSwitches int64  `json:"proc_switches"`
+	InlineWaits  int64  `json:"inline_waits"`
 	MaxHeapDepth int64  `json:"max_heap_depth"`
 
 	WallNS         int64   `json:"wall_ns"`
@@ -166,6 +169,10 @@ func (o Options) engineScan(scope *obs.Obs, n int, parscan bool) *sim.Accounting
 		cfg.ParScan = isps.ParScanConfig{Enabled: true, MinChunkBytes: -1}
 	}
 	sys := core.NewSystem(cfg)
+	// Collect construction garbage (corpus generation, flash arrays, daemon
+	// procs) before the measured window opens, so the wall clock prices the
+	// engine and the workload, not the GC debt of building the testbed.
+	runtime.GC()
 	acct := sys.Eng.EnableAccounting(sim.AccountingConfig{Wall: true})
 	scope.WatchEngine(acct)
 	pool := cluster.NewPool(sys.Eng, sys.Devices)
@@ -185,6 +192,7 @@ func (o Options) engineScan(scope *obs.Obs, n int, parscan bool) *sim.Accounting
 		}
 	})
 	sys.Run()
+	sys.Close()
 	return acct
 }
 
@@ -199,6 +207,10 @@ func (o Options) engineServe(scope *obs.Obs, n int, data []byte, lambda float64,
 		Geometry:  o.Geometry,
 		Obs:       scope,
 	})
+	// Collect construction garbage (corpus generation, flash arrays, daemon
+	// procs) before the measured window opens, so the wall clock prices the
+	// engine and the workload, not the GC debt of building the testbed.
+	runtime.GC()
 	acct := sys.Eng.EnableAccounting(sim.AccountingConfig{Wall: true})
 	scope.WatchEngine(acct)
 	pool := cluster.NewPool(sys.Eng, sys.Devices)
@@ -248,6 +260,7 @@ func (o Options) engineServe(scope *obs.Obs, n int, data []byte, lambda float64,
 	if u := srv.Unfinished(); u != 0 {
 		panic(fmt.Sprintf("engine serve: %d requests unfinished after drain", u))
 	}
+	sys.Close()
 	return acct
 }
 
@@ -276,11 +289,23 @@ func (o Options) engineProbe(data []byte) sim.Duration {
 		total = p.Now().Sub(start)
 	})
 	sys.Run()
+	sys.Close()
 	return total / engineProbeReqs
 }
 
+// engineCell is one (workload, device count) measurement point of the
+// suite's cross product.
+type engineCell struct {
+	c engineCase
+	n int
+}
+
 // Engine runs the engine-speed suite. devices overrides the default
-// 4/16/64 axis (the bench binary passes -devices through here).
+// 4/16/64 axis (the bench binary passes -devices through here). With
+// o.Parallel > 1 the cells run concurrently (see Options.Parallel): every
+// deterministic column is identical to a serial run, but the wall-clock
+// columns price contended time and must not be compared against serial
+// baselines.
 func Engine(o Options, devices []int) EngineResult {
 	if len(devices) == 0 {
 		devices = engineDefaultDevices
@@ -296,34 +321,81 @@ func Engine(o Options, devices []int) EngineResult {
 		},
 	}
 	data := o.servingData()
+	// The capacity probe runs serially in either mode: every serving cell's
+	// offered load derives from its single service-time measurement.
 	service := o.engineProbe(data).Seconds()
+	var cells []engineCell
 	for _, c := range engineCases() {
 		for _, n := range devices {
-			// Offered rate that keeps ~60% of the cluster's dispatch slots
-			// busy at the probed service time.
-			lambda := engineUtilization * float64(4*n) / service
-			o.logf("engine: %s on %d device(s)...", c.name, n)
-			scope := o.Obs.Scope(fmt.Sprintf("%s.n%d", c.name, n))
-			acct := c.run(o, scope, n, data, lambda)
-			ws := acct.WallStats()
-			res.Runs = append(res.Runs, EngineRun{
-				Experiment:   c.name,
-				Devices:      n,
-				SimEvents:    acct.Events(),
-				SimNS:        int64(acct.SimElapsed()),
-				ProcsStarted: acct.ProcsStarted(),
-				ProcSwitches: acct.ProcSwitches(),
-				MaxHeapDepth: int64(acct.MaxHeapDepth()),
-
-				WallNS:         ws.WallNS,
-				EventsPerSec:   ws.EventsPerSec(),
-				SimPerWall:     ws.SimPerWall(),
-				Allocs:         int64(ws.Mallocs),
-				AllocBytes:     int64(ws.AllocBytes),
-				AllocsPerEvent: ws.AllocsPerEvent(),
-				PeakGoroutines: ws.PeakGoroutines,
-			})
+			cells = append(cells, engineCell{c: c, n: n})
 		}
+	}
+	accts := make([]*sim.Accounting, len(cells))
+	walls := make([]sim.WallStats, len(cells))
+	runCell := func(o Options, i int) {
+		cl := cells[i]
+		// Offered rate that keeps ~60% of the cluster's dispatch slots
+		// busy at the probed service time.
+		lambda := engineUtilization * float64(4*cl.n) / service
+		scope := o.Obs.Scope(fmt.Sprintf("%s.n%d", cl.c.name, cl.n))
+		accts[i] = cl.c.run(o, scope, cl.n, data, lambda)
+		// WallStats reads live deltas (time since enable, process-wide
+		// malloc counters), so it must be captured the moment the cell
+		// finishes — not after later cells have run.
+		walls[i] = accts[i].WallStats()
+	}
+	if o.Parallel > 1 {
+		forks := make([]*obs.Obs, len(cells))
+		sem := make(chan struct{}, o.Parallel)
+		var wg sync.WaitGroup
+		for i := range cells {
+			o.logf("engine: %s on %d device(s) (parallel)...", cells[i].c.name, cells[i].n)
+			forks[i] = o.Obs.Fork()
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				oo := o
+				oo.Obs = forks[i]
+				oo.Log = nil // cell goroutines must not interleave on the shared log
+				runCell(oo, i)
+			}(i)
+		}
+		wg.Wait()
+		// Absorb in cell order so the parent snapshot is byte-identical to a
+		// serial run regardless of completion order.
+		for _, f := range forks {
+			o.Obs.Absorb(f)
+		}
+	} else {
+		for i := range cells {
+			o.logf("engine: %s on %d device(s)...", cells[i].c.name, cells[i].n)
+			runCell(o, i)
+		}
+	}
+	for i, cl := range cells {
+		acct := accts[i]
+		ws := walls[i]
+		res.Runs = append(res.Runs, EngineRun{
+			Experiment:   cl.c.name,
+			Devices:      cl.n,
+			SimEvents:    acct.Events(),
+			SimNS:        int64(acct.SimElapsed()),
+			ProcsStarted: acct.ProcsStarted(),
+			ProcsReused:  acct.ProcsReused(),
+			ProcSwitches: acct.ProcSwitches(),
+			InlineWaits:  acct.InlineWaits(),
+			MaxHeapDepth: int64(acct.MaxHeapDepth()),
+
+			WallNS:         ws.WallNS,
+			EventsPerSec:   ws.EventsPerSec(),
+			SimPerWall:     ws.SimPerWall(),
+			Allocs:         int64(ws.Mallocs),
+			AllocBytes:     int64(ws.AllocBytes),
+			AllocsPerEvent: ws.AllocsPerEvent(),
+			PeakGoroutines: ws.PeakGoroutines,
+		})
 	}
 	return res
 }
@@ -333,13 +405,13 @@ func RenderEngine(w io.Writer, r EngineResult) {
 	fmt.Fprintf(w, "Engine speed: %s %s/%s, GOMAXPROCS %d — events/sec and allocs/event are the regression-gated metrics\n\n",
 		r.Host.GoVersion, r.Host.GOOS, r.Host.GOARCH, r.Host.GOMAXPROCS)
 	t := trace.NewTable("Simulator engine throughput by workload and device count",
-		"experiment", "devices", "sim events", "events/sec", "sim s/wall s", "allocs/event", "proc switches", "max heap", "wall")
+		"experiment", "devices", "sim events", "events/sec", "sim s/wall s", "allocs/event", "proc switches", "inline waits", "max heap", "wall")
 	for _, run := range r.Runs {
 		t.AddRow(run.Experiment, run.Devices, run.SimEvents,
 			fmt.Sprintf("%.0f", run.EventsPerSec),
 			fmt.Sprintf("%.2f", run.SimPerWall),
 			fmt.Sprintf("%.1f", run.AllocsPerEvent),
-			run.ProcSwitches, run.MaxHeapDepth,
+			run.ProcSwitches, run.InlineWaits, run.MaxHeapDepth,
 			time.Duration(run.WallNS).Round(time.Millisecond).String())
 	}
 	t.Render(w)

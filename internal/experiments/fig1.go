@@ -119,6 +119,7 @@ func Fig1(o Options) Fig1Result {
 	r.MeasuredDevices = devices
 	r.MeasuredHostBW = scan(true)
 	r.MeasuredInSituBW = scan(false)
+	sys.Close()
 	if r.MeasuredHostBW > 0 {
 		r.MeasuredFactor = r.MeasuredInSituBW / r.MeasuredHostBW
 	}

@@ -123,6 +123,7 @@ func (o Options) fig7Point(devices int, w Workload) Fig7Point {
 		wg.Wait(p)
 	})
 	sys.Run()
+	sys.Close()
 
 	pt.HostMBps = mbps(hostBytes, hostElapsed)
 	pt.DevMBps = mbps(devBytes, devElapsed)

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"compstor/internal/obs"
+)
+
+// TestEngineParallelMatchesSerial: the parallel driver must change only
+// wall-clock columns. Every deterministic EngineRun field and the whole
+// absorbed obs snapshot must be byte-identical to a serial run. Run under
+// -race in CI, this doubles as the data-race gate on the cell fan-out.
+func TestEngineParallelMatchesSerial(t *testing.T) {
+	run := func(parallel int) (EngineResult, []byte) {
+		o := tinyOptions()
+		o.Books = 4
+		o.Parallel = parallel
+		o.Obs = obs.New()
+		res := Engine(o, []int{1, 2})
+		var snap bytes.Buffer
+		if err := o.Obs.Snapshot("engine").WriteJSON(&snap); err != nil {
+			t.Fatal(err)
+		}
+		return res, snap.Bytes()
+	}
+	serial, serialSnap := run(0)
+	par, parSnap := run(4)
+
+	if len(serial.Runs) != len(par.Runs) {
+		t.Fatalf("run counts differ: serial %d, parallel %d", len(serial.Runs), len(par.Runs))
+	}
+	for i, s := range serial.Runs {
+		p := par.Runs[i]
+		// Blank the host-dependent columns; everything left must match.
+		s.WallNS, p.WallNS = 0, 0
+		s.EventsPerSec, p.EventsPerSec = 0, 0
+		s.SimPerWall, p.SimPerWall = 0, 0
+		s.Allocs, p.Allocs = 0, 0
+		s.AllocBytes, p.AllocBytes = 0, 0
+		s.AllocsPerEvent, p.AllocsPerEvent = 0, 0
+		s.PeakGoroutines, p.PeakGoroutines = 0, 0
+		if s != p {
+			t.Errorf("run %s: deterministic fields differ\nserial:   %+v\nparallel: %+v", s.Key(), s, p)
+		}
+	}
+	if !bytes.Equal(serialSnap, parSnap) {
+		t.Errorf("obs snapshots differ between serial and parallel runs\nserial:   %s\nparallel: %s", serialSnap, parSnap)
+	}
+}

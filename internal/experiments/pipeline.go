@@ -106,6 +106,7 @@ func (o Options) pipelineRun(name string, cmd core.Command, data []byte, pipelin
 		stdout = string(resp.Stdout)
 	})
 	sys.Run()
+	sys.Close()
 	st, _ := sys.Device(0).Drive.ReadCacheStats()
 	return stdout, elapsed, st
 }

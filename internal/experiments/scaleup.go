@@ -125,6 +125,7 @@ func (o Options) scaleupRun(name string, cmd core.Command, data []byte, pipeline
 		stdout = string(resp.Stdout)
 	})
 	sys.Run()
+	sys.Close()
 	return stdout, elapsed, sys.Device(0).Drive.ISPS().ParScanStats()
 }
 

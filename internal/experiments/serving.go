@@ -210,6 +210,7 @@ func (o Options) servingCalibrate(data []byte) (rps float64, p99 time.Duration) 
 		elapsed = p.Now().Sub(start)
 	})
 	sys.Run()
+	sys.Close()
 	return float64(servingCalibrationReq) / elapsed.Seconds(), hist.Quantile(0.99)
 }
 
@@ -256,6 +257,7 @@ func (o Options) servingRun(name string, load, lambda float64, horizon time.Dura
 	if n := srv.Unfinished(); n != 0 {
 		panic(fmt.Sprintf("serving %s: %d requests unfinished after drain", name, n))
 	}
+	sys.Close()
 
 	pt := ServingPoint{
 		Name: name, Load: load, Chaos: chaosName,

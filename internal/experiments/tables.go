@@ -76,6 +76,7 @@ func Table3(o Options, w io.Writer) []Table3Step {
 		ftlReadsAfter = unit.Drive.FTL().Stats().HostReads
 	})
 	sys.Run()
+	sys.Close()
 
 	r := m.Response
 	steps := []Table3Step{

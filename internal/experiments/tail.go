@@ -158,6 +158,7 @@ func (o Options) tailCalibrate(data []byte) (rps float64, p99 time.Duration) {
 		elapsed = p.Now().Sub(start)
 	})
 	sys.Run()
+	sys.Close()
 	return float64(tailCalibrationReq) / elapsed.Seconds(), hist.Quantile(0.99)
 }
 
@@ -207,6 +208,7 @@ func (o Options) tailRun(name string, tolerant bool, lambda float64,
 	if n := srv.Unfinished(); n != 0 {
 		panic(fmt.Sprintf("tail %s: %d requests unfinished after drain", name, n))
 	}
+	sys.Close()
 
 	st := srv.Stats("tail")
 	hs := pool.HedgeStats()
@@ -285,6 +287,7 @@ func (o Options) tailStorm(name string, budgeted bool, data []byte) TailStormPoi
 		wg.Wait(p)
 	})
 	sys.Run()
+	sys.Close()
 	pt.Retries = pt.Attempts - pt.Requests
 	return pt
 }

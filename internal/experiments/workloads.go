@@ -140,6 +140,7 @@ func (o Options) poolRun(n int, w Workload) poolRunResult {
 		}
 	})
 	sys.Run()
+	sys.Close()
 	return res
 }
 
@@ -198,6 +199,7 @@ func (o Options) hostRun(w Workload) hostRunResult {
 		res.elapsed = res.endAt.Sub(res.startAt)
 	})
 	sys.Run()
+	sys.Close()
 	return res
 }
 

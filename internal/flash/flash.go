@@ -378,11 +378,15 @@ func (d *Device) ReadPageOOB(p *sim.Proc, a Addr) ([]byte, OOB, error) {
 	idx := d.pageIndex(a)
 	die := d.die(a)
 	die.Acquire(p)
-	p.Wait(d.timing.ReadPage)
-	die.AddBusy(d.timing.ReadPage)
-	die.Release()
-	d.chargeDie(d.timing.ReadPage)
-	d.chanBus[a.Channel].Transfer(p, int64(d.geo.PageSize))
+	// The sense wait, die hand-back, and bus transfer collapse into one
+	// engine-side continuation: the bookkeeping runs at exactly the instants
+	// it did as separate waits, but without waking the proc in between.
+	p.WaitFn(d.timing.ReadPage, func() sim.Time {
+		die.AddBusy(d.timing.ReadPage)
+		die.Release()
+		d.chargeDie(d.timing.ReadPage)
+		return d.chanBus[a.Channel].TransferTime(int64(d.geo.PageSize))
+	})
 	if d.cutDuring(start) {
 		return nil, OOB{}, fmt.Errorf("%w: read %v", ErrPowerLoss, a)
 	}
@@ -421,11 +425,12 @@ func (d *Device) ReadOOB(p *sim.Proc, a Addr) (oob OOB, ok bool, err error) {
 	}
 	die := d.die(a)
 	die.Acquire(p)
-	p.Wait(d.timing.ReadPage)
-	die.AddBusy(d.timing.ReadPage)
-	die.Release()
-	d.chargeDie(d.timing.ReadPage)
-	d.chanBus[a.Channel].Transfer(p, OOBBytes)
+	p.WaitFn(d.timing.ReadPage, func() sim.Time {
+		die.AddBusy(d.timing.ReadPage)
+		die.Release()
+		d.chargeDie(d.timing.ReadPage)
+		return d.chanBus[a.Channel].TransferTime(OOBBytes)
+	})
 	if d.cutDuring(start) {
 		return OOB{}, false, fmt.Errorf("%w: oob read %v", ErrPowerLoss, a)
 	}
@@ -473,10 +478,12 @@ func (d *Device) ProgramPageOOB(p *sim.Proc, a Addr, data []byte, oob OOB) error
 	d.chanBus[a.Channel].Transfer(p, int64(d.geo.PageSize))
 	die := d.die(a)
 	die.Acquire(p)
-	p.Wait(d.timing.ProgramPage)
-	die.AddBusy(d.timing.ProgramPage)
-	die.Release()
-	d.chargeDie(d.timing.ProgramPage)
+	p.WaitFn(d.timing.ProgramPage, func() sim.Time {
+		die.AddBusy(d.timing.ProgramPage)
+		die.Release()
+		d.chargeDie(d.timing.ProgramPage)
+		return d.eng.Now()
+	})
 	if d.cutDuring(start) {
 		torn := make([]byte, len(data))
 		copy(torn, data)
@@ -528,10 +535,12 @@ func (d *Device) EraseBlock(p *sim.Proc, a Addr) error {
 	}
 	die := d.die(a)
 	die.Acquire(p)
-	p.Wait(d.timing.EraseBlock)
-	die.AddBusy(d.timing.EraseBlock)
-	die.Release()
-	d.chargeDie(d.timing.EraseBlock)
+	p.WaitFn(d.timing.EraseBlock, func() sim.Time {
+		die.AddBusy(d.timing.EraseBlock)
+		die.Release()
+		d.chargeDie(d.timing.EraseBlock)
+		return d.eng.Now()
+	})
 	if d.cutDuring(start) {
 		return fmt.Errorf("%w: erase %v", ErrPowerLoss, a)
 	}

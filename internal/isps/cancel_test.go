@@ -35,6 +35,7 @@ func runGrep(t *testing.T, deadline sim.Time, cancel *apps.CancelToken, arm func
 		arm(eng)
 	}
 	eng.Run()
+	eng.Shutdown() // release pooled proc workers so the leak check sees a clean slate
 	return res, eng.Now(), sub
 }
 

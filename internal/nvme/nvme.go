@@ -180,6 +180,12 @@ type Controller struct {
 
 	faultHook func(p *sim.Proc, cmd *Command) error
 
+	// freeResp recycles completion mailboxes across Submits. A mailbox is
+	// in the list only between commands (Submit holds it for exactly one
+	// Put/Recv round trip), and everything runs in engine context, so no
+	// locking is needed.
+	freeResp []*sim.Mailbox[*Completion]
+
 	obs   *obs.Obs
 	hists [8]*obs.Histogram // per-opcode host-observed latency
 }
@@ -410,7 +416,13 @@ func (d *Driver) Submit(p *sim.Proc, cmd *Command) *Completion {
 	c.qd.Acquire(p, 1)
 	defer c.qd.Release(1)
 	cmd.obsCtx = obs.CtxOf(p)
-	cmd.resp = sim.NewMailbox[*Completion]()
+	if n := len(c.freeResp); n > 0 {
+		cmd.resp = c.freeResp[n-1]
+		c.freeResp[n-1] = nil
+		c.freeResp = c.freeResp[:n-1]
+	} else {
+		cmd.resp = sim.NewMailbox[*Completion]()
+	}
 	cmd.submitted = p.Now()
 	// Doorbell write.
 	c.port.Message(p)
@@ -420,6 +432,10 @@ func (d *Driver) Submit(p *sim.Proc, cmd *Command) *Completion {
 		c.sq.Put(cmd)
 	}
 	comp, _ := cmd.resp.Recv(p)
+	// The round trip is over: the mailbox is empty again and nothing else
+	// holds it, so it can serve the next command.
+	c.freeResp = append(c.freeResp, cmd.resp)
+	cmd.resp = nil
 	return comp
 }
 

@@ -35,7 +35,9 @@ type EngineSnap struct {
 	Events        int64             `json:"events"`
 	ByLabel       []EngineLabelSnap `json:"by_label"`
 	ProcsStarted  int64             `json:"procs_started"`
+	ProcsReused   int64             `json:"procs_reused,omitempty"`
 	ProcSwitches  int64             `json:"proc_switches"`
+	InlineWaits   int64             `json:"inline_waits,omitempty"`
 	MaxHeapDepth  int64             `json:"max_heap_depth"`
 	DepthWindowNS int64             `json:"depth_window_ns"`
 	DepthMax      []int64           `json:"depth_max"`
@@ -66,7 +68,9 @@ func (sh *shared) engineSnaps(prefix string) []EngineSnap {
 			Events:        a.Events(),
 			ByLabel:       []EngineLabelSnap{},
 			ProcsStarted:  a.ProcsStarted(),
+			ProcsReused:   a.ProcsReused(),
 			ProcSwitches:  a.ProcSwitches(),
+			InlineWaits:   a.InlineWaits(),
 			MaxHeapDepth:  int64(a.MaxHeapDepth()),
 			DepthWindowNS: int64(window),
 			DepthMax:      depth,

@@ -1,0 +1,86 @@
+package obs
+
+// Fork and Absorb support the parallel experiment driver: independent
+// simulation cells run concurrently, each recording into a private forked
+// Obs, and the driver folds the forks back into the parent once their
+// engines have drained. The single-goroutine invariant (see the package
+// doc) is preserved piecewise — each fork is touched by exactly one
+// goroutine while its cell runs, and Absorb is called from the driver
+// goroutine after the cell's engine is done.
+
+// Fork returns an independent root-like Obs carrying this scope's name
+// prefix but recording into private registry, timeline, and engine state.
+// Scopes, counters, histograms, and watchers derived from the fork behave
+// exactly as if derived from the receiver, except that nothing is visible
+// to the parent until Absorb.
+//
+// Tracing cannot be forked: spans carry globally ordered ids and pids that
+// have no deterministic merge, so Fork panics if tracing is enabled.
+// Nil-safe: a nil receiver forks to nil.
+func (o *Obs) Fork() *Obs {
+	if o == nil {
+		return nil
+	}
+	if o.shared.tracer.enabled {
+		panic("obs: Fork with tracing enabled (traces cannot be merged deterministically; run serially with -trace)")
+	}
+	sh := &shared{
+		reg:     NewRegistry(),
+		tracer:  newTracer(),
+		tls:     newTimelineStore(),
+		nextPid: o.shared.nextPid,
+	}
+	return &Obs{shared: sh, prefix: o.prefix, pid: o.pid}
+}
+
+// Absorb folds a fork's recorded state into the receiver. Objects are
+// adopted by pointer where the parent has no entry of the same name — so
+// late reads through collectors and counter funcs registered in the fork
+// still see the absorbed objects — and merged value-wise on collision:
+// counters and histograms Merge (add), gauges take the fork's last write,
+// counter funcs and timelines keep the parent's entry. Call it once per
+// fork, from the goroutine that owns the receiver, only after the fork's
+// engine has finished running; absorb forks in a fixed order (cell index)
+// to keep snapshots deterministic. Nil-safe in both positions.
+func (o *Obs) Absorb(f *Obs) {
+	if o == nil || f == nil || o.shared == f.shared {
+		return
+	}
+	pr, fr := o.shared.reg, f.shared.reg
+	for name, c := range fr.counters {
+		if have := pr.counters[name]; have != nil {
+			have.Merge(c)
+		} else {
+			pr.counters[name] = c
+		}
+	}
+	for name, g := range fr.gauges {
+		if have := pr.gauges[name]; have != nil {
+			have.Set(g.Value())
+		} else {
+			pr.gauges[name] = g
+		}
+	}
+	for name, h := range fr.hists {
+		if have := pr.hists[name]; have != nil {
+			have.Merge(h)
+		} else {
+			pr.hists[name] = h
+		}
+	}
+	for name, fn := range fr.funcs {
+		if _, ok := pr.funcs[name]; !ok {
+			pr.funcs[name] = fn
+		}
+	}
+	pr.collectors = append(pr.collectors, fr.collectors...)
+	for name, tl := range f.shared.tls.byName {
+		if _, ok := o.shared.tls.byName[name]; !ok {
+			o.shared.tls.byName[name] = tl
+		}
+	}
+	o.shared.engines = append(o.shared.engines, f.shared.engines...)
+	if f.shared.nextPid > o.shared.nextPid {
+		o.shared.nextPid = f.shared.nextPid
+	}
+}

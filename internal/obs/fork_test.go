@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestForkAbsorbEqualsSerial: recording two disjoint scopes through forks
+// and absorbing must produce the same snapshot as recording them directly.
+func TestForkAbsorbEqualsSerial(t *testing.T) {
+	record := func(o *Obs, scope string, n int64) {
+		s := o.Scope(scope)
+		s.Counter("reqs").Add(n)
+		s.Gauge("load").Set(float64(n) / 2)
+		s.Histogram("lat").Observe(time.Duration(n) * time.Millisecond)
+		s.CounterFunc("pulled", func() int64 { return n * 10 })
+	}
+
+	serial := New()
+	record(serial, "cell0", 3)
+	record(serial, "cell1", 7)
+
+	parent := New()
+	f0 := parent.Fork()
+	f1 := parent.Fork()
+	record(f0, "cell0", 3)
+	record(f1, "cell1", 7)
+	parent.Absorb(f0)
+	parent.Absorb(f1)
+
+	var a, b bytes.Buffer
+	if err := serial.Snapshot("x").WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Snapshot("x").WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("forked snapshot differs from serial:\nserial: %s\nforked: %s", a.Bytes(), b.Bytes())
+	}
+}
+
+// TestAbsorbMergesCollisions: same-name metrics across parent and fork
+// combine — counters and histograms add, gauges last-write-wins.
+func TestAbsorbMergesCollisions(t *testing.T) {
+	parent := New()
+	parent.Counter("n").Add(5)
+	parent.Gauge("g").Set(1)
+	parent.Histogram("h").Observe(time.Millisecond)
+
+	f := parent.Fork()
+	f.Counter("n").Add(7)
+	f.Gauge("g").Set(2)
+	f.Histogram("h").Observe(3 * time.Millisecond)
+	parent.Absorb(f)
+
+	if v := parent.Counter("n").Value(); v != 12 {
+		t.Errorf("counter merged to %d, want 12", v)
+	}
+	if v := parent.Gauge("g").Value(); v != 2 {
+		t.Errorf("gauge merged to %g, want 2 (fork wins)", v)
+	}
+	h := parent.Histogram("h")
+	if h.Count() != 2 || h.Max() != 3*time.Millisecond {
+		t.Errorf("histogram merged to count=%d max=%v, want 2 / 3ms", h.Count(), h.Max())
+	}
+}
+
+// TestForkPointerAdoption: a counter handle registered in a fork must stay
+// live after Absorb — the parent's registry holds the same object.
+func TestForkPointerAdoption(t *testing.T) {
+	parent := New()
+	f := parent.Fork()
+	c := f.Counter("late")
+	c.Add(1)
+	parent.Absorb(f)
+	c.Add(1) // post-absorb update through the fork-era handle
+	if v := parent.Counter("late").Value(); v != 2 {
+		t.Errorf("adopted counter reads %d, want 2", v)
+	}
+}
+
+// TestForkPanicsWithTracing: span ids cannot merge, so forking a tracing
+// root must refuse loudly.
+func TestForkPanicsWithTracing(t *testing.T) {
+	o := New()
+	o.EnableTrace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fork with tracing enabled did not panic")
+		}
+	}()
+	o.Fork()
+}
+
+// TestForkNilSafe: nil receivers fork and absorb as no-ops, like every
+// other obs entry point.
+func TestForkNilSafe(t *testing.T) {
+	var o *Obs
+	f := o.Fork()
+	if f != nil {
+		t.Fatalf("nil fork = %v, want nil", f)
+	}
+	o.Absorb(f)       // no-op
+	New().Absorb(nil) // no-op
+}

@@ -7,15 +7,19 @@ import (
 )
 
 // Accounting collects scheduler statistics for an Engine: events dispatched
-// (total and per source label), process switches and starts, event-heap
-// depth over virtual time, and — optionally — the wall-clock side (wall
-// nanoseconds per label, allocation and goroutine deltas from the Go
-// runtime, and virtual time advanced per wall second).
+// (total and per source label), process switches, starts and pool reuses,
+// inline-completed waits, event-queue depth over virtual time, and —
+// optionally — the wall-clock side (wall nanoseconds per label, allocation
+// and goroutine deltas from the Go runtime, and virtual time advanced per
+// wall second).
 //
 // The sim-side counters are pure functions of the event sequence, so with a
 // fixed seed they are byte-identically reproducible; everything reachable
 // from WallStats and the WallNS fields is host-dependent and must never be
 // written into artefacts that are diffed byte-for-byte (see package obs).
+// Inline waits consume a seq and count as dispatched events (see
+// Engine.inlineAdvance), so Events is invariant under the fast path and
+// stays comparable across engine versions.
 //
 // Accounting is engine-context only, like everything else in this package.
 // With accounting disabled the engine pays one nil check per dispatched
@@ -25,9 +29,11 @@ type Accounting struct {
 	simStart Time
 
 	events       int64
-	byLabel      map[string]*labelStats
+	byID         []labelStats // indexed by interned label id
 	procsStarted int64
+	procsReused  int64
 	procSwitches int64
+	inlineWaits  int64
 	maxDepth     int
 
 	depthWindow Duration
@@ -46,7 +52,7 @@ type labelStats struct {
 
 // AccountingConfig tunes EnableAccounting.
 type AccountingConfig struct {
-	// DepthWindow is the virtual-time bucket width of the heap-depth
+	// DepthWindow is the virtual-time bucket width of the queue-depth
 	// timeline (0 selects 1ms). The timeline coarsens by doubling the
 	// window when a run outlives the bucket budget, like obs timelines.
 	DepthWindow Duration
@@ -70,7 +76,7 @@ func (e *Engine) EnableAccounting(cfg AccountingConfig) *Accounting {
 	a := &Accounting{
 		eng:         e,
 		simStart:    e.now,
-		byLabel:     make(map[string]*labelStats),
+		byID:        make([]labelStats, len(e.labels)),
 		depthWindow: cfg.DepthWindow,
 		wall:        cfg.Wall,
 	}
@@ -89,25 +95,28 @@ func (e *Engine) EnableAccounting(cfg AccountingConfig) *Accounting {
 // Accounting returns the engine's accounting, nil when disabled.
 func (e *Engine) Accounting() *Accounting { return e.acct }
 
+// grow extends byID to cover label id.
+func (a *Accounting) grow(id int) {
+	for id >= len(a.byID) {
+		a.byID = append(a.byID, labelStats{})
+	}
+}
+
 // dispatch records one event execution and runs it, timing the callback
-// when wall capture is on. Unlabeled events are pooled under "callback".
-func (a *Accounting) dispatch(src string, depth int, now Time, fn func()) {
+// when wall capture is on.
+func (a *Accounting) dispatch(ev event, depth int, now Time) {
 	a.events++
-	if src == "" {
-		src = "callback"
+	id := int(ev.lbl)
+	if id >= len(a.byID) {
+		a.grow(id)
 	}
-	ls := a.byLabel[src]
-	if ls == nil {
-		ls = &labelStats{}
-		a.byLabel[src] = ls
-	}
-	ls.events++
+	a.byID[id].events++
 	if depth > a.maxDepth {
 		a.maxDepth = depth
 	}
 	a.noteDepth(now, depth)
 	if !a.wall {
-		fn()
+		a.eng.exec(ev)
 		return
 	}
 	if a.events&goroutineSampleMask == 0 {
@@ -116,11 +125,35 @@ func (a *Accounting) dispatch(src string, depth int, now Time, fn func()) {
 		}
 	}
 	t0 := time.Now()
-	fn()
-	ls.wallNS += time.Since(t0).Nanoseconds()
+	a.eng.exec(ev)
+	// Re-index: nested inline events may have grown byID during exec.
+	a.byID[id].wallNS += time.Since(t0).Nanoseconds()
 }
 
-// noteDepth folds one heap-depth sample into the virtual-time timeline,
+// inlineEvent records a wait completed on the engine-side fast path. The
+// sim-deterministic counters advance exactly as if the wake-up event had
+// been queued and dispatched; only the wall timing attribution differs (the
+// proc's own frame keeps running, so there is no callback to time).
+func (a *Accounting) inlineEvent(lbl uint32, depth int, now Time) {
+	a.events++
+	a.inlineWaits++
+	id := int(lbl)
+	if id >= len(a.byID) {
+		a.grow(id)
+	}
+	a.byID[id].events++
+	if depth > a.maxDepth {
+		a.maxDepth = depth
+	}
+	a.noteDepth(now, depth)
+	if a.wall && a.events&goroutineSampleMask == 0 {
+		if g := runtime.NumGoroutine(); g > a.peakGoroutines {
+			a.peakGoroutines = g
+		}
+	}
+}
+
+// noteDepth folds one queue-depth sample into the virtual-time timeline,
 // keeping the per-window maximum.
 func (a *Accounting) noteDepth(now Time, depth int) {
 	i := int(int64(now) / int64(a.depthWindow))
@@ -143,7 +176,8 @@ func (a *Accounting) noteDepth(now Time, depth int) {
 	}
 }
 
-// Events returns the number of events dispatched since enable.
+// Events returns the number of events dispatched since enable (inline
+// fast-path waits included).
 func (a *Accounting) Events() int64 {
 	if a == nil {
 		return 0
@@ -159,8 +193,17 @@ func (a *Accounting) ProcsStarted() int64 {
 	return a.procsStarted
 }
 
+// ProcsReused returns how many of those processes were bound to a pooled
+// worker goroutine instead of spawning a new one.
+func (a *Accounting) ProcsReused() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.procsReused
+}
+
 // ProcSwitches returns the number of engine→process goroutine handoffs
-// since enable (each Proc resumption is one).
+// since enable (each Proc resumption is one). Inline waits do not switch.
 func (a *Accounting) ProcSwitches() int64 {
 	if a == nil {
 		return 0
@@ -168,7 +211,16 @@ func (a *Accounting) ProcSwitches() int64 {
 	return a.procSwitches
 }
 
-// MaxHeapDepth returns the deepest event heap observed at any dispatch.
+// InlineWaits returns the number of waits completed on the engine-side fast
+// path (no queue insertion, no goroutine handoff).
+func (a *Accounting) InlineWaits() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.inlineWaits
+}
+
+// MaxHeapDepth returns the deepest event queue observed at any dispatch.
 func (a *Accounting) MaxHeapDepth() int {
 	if a == nil {
 		return 0
@@ -184,7 +236,7 @@ func (a *Accounting) SimElapsed() Duration {
 	return a.eng.now.Sub(a.simStart)
 }
 
-// DepthTimeline returns the heap-depth timeline: the bucket width and the
+// DepthTimeline returns the queue-depth timeline: the bucket width and the
 // per-bucket maximum depth. The returned slice is a copy.
 func (a *Accounting) DepthTimeline() (window Duration, depthMax []int64) {
 	if a == nil {
@@ -202,14 +254,30 @@ type LabelCount struct {
 }
 
 // ByLabel returns per-label dispatch counts sorted by label name (a
-// deterministic order).
+// deterministic order). Unlabeled events report as "callback"; a literal
+// "callback" label merges with them, as it did when labels were strings.
 func (a *Accounting) ByLabel() []LabelCount {
 	if a == nil {
 		return nil
 	}
-	out := make([]LabelCount, 0, len(a.byLabel))
-	for label, ls := range a.byLabel {
-		out = append(out, LabelCount{Label: label, Events: ls.events, WallNS: ls.wallNS})
+	out := make([]LabelCount, 0, len(a.byID))
+	for id, ls := range a.byID {
+		if ls.events == 0 && ls.wallNS == 0 {
+			continue
+		}
+		name := a.eng.labelName(uint32(id))
+		merged := false
+		for i := range out {
+			if out[i].Label == name {
+				out[i].Events += ls.events
+				out[i].WallNS += ls.wallNS
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, LabelCount{Label: name, Events: ls.events, WallNS: ls.wallNS})
+		}
 	}
 	sortLabelCounts(out)
 	return out

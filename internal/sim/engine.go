@@ -2,9 +2,10 @@
 //
 // The kernel has two layers:
 //
-//   - A low-level event layer: an Engine owns a virtual clock and a priority
-//     queue of timestamped callbacks. Events with equal timestamps fire in
-//     scheduling order, so a run is fully deterministic.
+//   - A low-level event layer: an Engine owns a virtual clock and a two-tier
+//     calendar queue of timestamped callbacks (see sched.go). Events with
+//     equal timestamps fire in scheduling order, so a run is fully
+//     deterministic.
 //   - A process layer (see Proc): goroutine-backed simulated processes in the
 //     style of SimPy. Exactly one process or event callback runs at a time,
 //     so model code needs no locking.
@@ -15,9 +16,9 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -42,77 +43,105 @@ func (t Time) String() string { return time.Duration(t).String() }
 // MaxTime is the largest representable virtual timestamp.
 const MaxTime = Time(math.MaxInt64)
 
-type event struct {
-	at  Time
-	seq uint64
-	src string // accounting label of the scheduling site ("" = callback)
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // Engine is a discrete-event simulation engine. The zero value is not ready
 // for use; create one with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	pending eventHeap
-	running bool
-	stopped bool
-	acct    *Accounting // nil unless EnableAccounting was called
+	now         Time
+	seq         uint64
+	q           schedQ
+	running     bool
+	stopped     bool
+	runDeadline Time
+	acct        *Accounting // nil unless EnableAccounting was called
+
+	// Label interning: events carry a uint32 id instead of a string. Id 0 is
+	// reserved for the unlabeled callback.
+	labels  []string
+	labelID map[string]uint32
+
+	// Worker pool backing Proc goroutines (see proc.go). Workers whose proc
+	// completed return to freeW and are rebound by the next Go, so the
+	// goroutine and channel pair are reused instead of re-created.
+	freeW   []*worker
+	allW    []*worker
+	wg      sync.WaitGroup
+	killing bool // Shutdown in progress: parked procs unwind, schedules drop
+	closed  bool // Shutdown finished: the engine is inert
+
+	fastOff bool // SetFastPaths(false): force the queue+handoff slow path
 }
+
+// SetFastPaths toggles the switch-free wait fast path. It is on by default;
+// turning it off forces every wait through the event queue and the worker
+// handoff, the exact dispatch pattern of the pre-fast-path engine. The two
+// modes are byte-identical in virtual time, seq numbering, and accounting —
+// the differential determinism tests assert this — so the knob exists only
+// for those tests and for bisecting suspected fast-path bugs.
+func (e *Engine) SetFastPaths(enabled bool) { e.fastOff = !enabled }
+
+// defaultFastOff seeds new engines' fast-path setting; see
+// SetDefaultFastPaths.
+var defaultFastOff bool
+
+// SetDefaultFastPaths sets the fast-path mode inherited by engines created
+// afterwards. It exists for the differential determinism tests, which build
+// whole testbeds (engine included) deep inside experiment helpers and need
+// the slow path from construction on. Not safe to flip while engines run.
+func SetDefaultFastPaths(enabled bool) { defaultFastOff = !enabled }
 
 // NewEngine returns an engine with its clock at time zero and no pending
 // events.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{
+		labels:  []string{""},
+		labelID: make(map[string]uint32, 8),
+		fastOff: defaultFastOff,
+	}
+	e.q.init()
+	return e
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// intern maps a label string to its stable id, assigning one on first use.
+func (e *Engine) intern(label string) uint32 {
+	if label == "" {
+		return 0
+	}
+	if id, ok := e.labelID[label]; ok {
+		return id
+	}
+	id := uint32(len(e.labels))
+	e.labels = append(e.labels, label)
+	e.labelID[label] = id
+	return id
+}
+
+// labelName resolves an interned id for reporting.
+func (e *Engine) labelName(id uint32) string {
+	if id == 0 {
+		return "callback"
+	}
+	return e.labels[id]
+}
+
 // At schedules fn to run at virtual time t. Scheduling into the past
 // panics: the causality violation always indicates a model bug.
 func (e *Engine) At(t Time, fn func()) {
-	e.at(t, "", fn)
+	e.schedule(t, 0, nil, fn)
 }
 
 // AtLabeled is At with an accounting label attributing the event to its
 // source (a model subsystem like "chaos" or a proc family like "worker").
 // With accounting off the label is carried but unused.
 func (e *Engine) AtLabeled(t Time, label string, fn func()) {
-	e.at(t, label, fn)
+	e.schedule(t, e.intern(label), nil, fn)
 }
 
 // AfterLabeled is After with an accounting label.
 func (e *Engine) AfterLabeled(d time.Duration, label string, fn func()) {
-	e.at(e.now.Add(d), label, fn)
-}
-
-func (e *Engine) at(t Time, src string, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
-	}
-	e.seq++
-	heap.Push(&e.pending, &event{at: t, seq: e.seq, src: src, fn: fn})
+	e.schedule(e.now.Add(d), e.intern(label), nil, fn)
 }
 
 // After schedules fn to run d after the current virtual time. Negative
@@ -121,21 +150,70 @@ func (e *Engine) After(d time.Duration, fn func()) {
 	e.At(e.now.Add(d), fn)
 }
 
+func (e *Engine) schedule(t Time, lbl uint32, p *Proc, fn func()) {
+	if e.killing {
+		// Shutdown unwind: cleanup code may still unpark or reschedule, but
+		// nothing will ever run again, so the event is dropped.
+		return
+	}
+	if e.closed {
+		panic("sim: event scheduled after Shutdown")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
+	}
+	e.seq++
+	e.q.insert(event{at: t, seq: e.seq, lbl: lbl, p: p, fn: fn}, e.now)
+}
+
 // Step executes the single earliest pending event and reports whether one
 // was executed.
 func (e *Engine) Step() bool {
-	if len(e.pending) == 0 {
+	if !e.q.fill(e.now) {
 		return false
 	}
-	depth := len(e.pending)
-	ev := heap.Pop(&e.pending).(*event)
+	e.dispatchNext()
+	return true
+}
+
+// dispatchNext pops and runs the next event. The queue must be non-empty
+// (filled). Depth is sampled before the pop, matching the old heap engine.
+func (e *Engine) dispatchNext() {
+	depth := e.q.len()
+	ev := e.q.popReady()
 	e.now = ev.at
 	if a := e.acct; a != nil {
-		a.dispatch(ev.src, depth, e.now, ev.fn)
+		a.dispatch(ev, depth, e.now)
 	} else {
-		ev.fn()
+		e.exec(ev)
 	}
-	return true
+}
+
+// exec runs one popped event: a plain callback, a process resumption, or a
+// process's pending engine-side continuation (WaitFn).
+func (e *Engine) exec(ev event) {
+	if ev.p == nil {
+		ev.fn()
+		return
+	}
+	p := ev.p
+	if fn := p.pendingFn; fn != nil {
+		p.pendingFn = nil
+		done := fn()
+		switch {
+		case done == e.now:
+			// The continuation finished at this instant: the proc resumes
+			// inside the same event, exactly where the old switch-based code
+			// would have been after its Wait.
+			e.stepProc(p)
+		case done > e.now:
+			e.schedule(done, p.lbl, p, nil)
+		default:
+			panic("sim: WaitFn continuation returned a past time")
+		}
+		return
+	}
+	e.stepProc(p)
 }
 
 // Run executes events until the queue drains or Stop is called. It returns
@@ -151,13 +229,69 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	if e.running {
 		panic("sim: Engine.Run called re-entrantly")
 	}
+	if e.closed {
+		panic("sim: Run after Shutdown")
+	}
 	e.running = true
 	e.stopped = false
+	e.runDeadline = deadline
 	defer func() { e.running = false }()
-	for !e.stopped && len(e.pending) > 0 && e.pending[0].at <= deadline {
-		e.Step()
+	for !e.stopped {
+		t, ok := e.q.nextTime(e.now)
+		if !ok || t > deadline {
+			break
+		}
+		e.dispatchNext()
 	}
 	return e.now
+}
+
+// canInline reports whether a process delay ending at t can complete without
+// touching the event queue: the engine must be inside Run with the deadline
+// covering t, no stop requested, the proc must carry no tracing context (an
+// open span pins the old dispatch pattern), and no pending event may fire at
+// or before t. Under those conditions advancing the clock directly is
+// indistinguishable from scheduling a wake-up event and dispatching it next.
+func (e *Engine) canInline(p *Proc, t Time) bool {
+	if e.fastOff || !e.running || e.stopped || t > e.runDeadline || p.obsCtx != nil {
+		return false
+	}
+	min, ok := e.q.minTime(e.now)
+	return !ok || min > t
+}
+
+// inlineAdvance completes a wait as an engine-side fast path: the wake-up
+// event's seq is still consumed and the event still counts in accounting
+// (depth as if it were queued), so sim_events and every subsequent seq are
+// byte-identical to the non-inline execution — only the two goroutine
+// handoffs disappear.
+func (e *Engine) inlineAdvance(p *Proc, t Time) {
+	e.seq++
+	depth := e.q.len() + 1
+	e.now = t
+	if a := e.acct; a != nil {
+		a.inlineEvent(p.lbl, depth, t)
+	}
+}
+
+// Prewarm adds n idle workers to the proc pool, so the first n
+// concurrently live procs start without creating a goroutine or channel
+// pair mid-run. This is purely host-side: no event is scheduled and no seq
+// or accounting state is touched, so a prewarmed engine dispatches
+// byte-identically to a cold one (procs running on a prewarmed worker do
+// count as reused). Call it after construction, before any measured window
+// opens; the workers are joined by Shutdown like every other.
+func (e *Engine) Prewarm(n int) {
+	if e.closed || e.killing {
+		panic("sim: Prewarm after Shutdown")
+	}
+	for i := 0; i < n; i++ {
+		w := &worker{eng: e, resume: make(chan struct{}), yield: make(chan struct{})}
+		e.allW = append(e.allW, w)
+		e.wg.Add(1)
+		go w.loop()
+		e.freeW = append(e.freeW, w)
+	}
 }
 
 // Stop makes the innermost Run/RunUntil return after the current event
@@ -165,7 +299,30 @@ func (e *Engine) RunUntil(deadline Time) Time {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports the number of events still queued.
-func (e *Engine) Pending() int { return len(e.pending) }
+func (e *Engine) Pending() int { return e.q.len() }
+
+// Shutdown force-terminates every simulated process and joins the pooled
+// worker goroutines. Parked procs unwind via a panic that runs their defers;
+// events scheduled during the unwind are dropped. It must not be called
+// while Run is active; afterwards the engine is inert (Go, Run, and
+// scheduling panic). Idempotent.
+func (e *Engine) Shutdown() {
+	if e.running {
+		panic("sim: Shutdown during Run")
+	}
+	if e.closed {
+		return
+	}
+	e.killing = true
+	for _, w := range e.allW {
+		w.resume <- struct{}{}
+		<-w.yield
+	}
+	e.wg.Wait()
+	e.allW, e.freeW = nil, nil
+	e.killing = false
+	e.closed = true
+}
 
 // DurationFor returns the time needed to move n bytes at bytesPerSec,
 // rounded up to a whole nanosecond so that repeated transfers never take

@@ -53,11 +53,19 @@ func (l *Link) SetBusyHook(fn func(start Time, d Duration)) { l.onBusy = fn }
 // delay + serialisation time + latency. Zero-byte transfers incur only the
 // latency.
 func (l *Link) Transfer(p *Proc, n int64) {
+	p.WaitUntil(l.TransferTime(n))
+}
+
+// TransferTime books an n-byte transfer arriving now and returns its
+// completion time without blocking. It is the engine-context form of
+// Transfer, for callers (e.g. Proc.WaitFn continuations) that fold the
+// pipe's occupancy into a larger wait. The pipe's state advances exactly as
+// if a process had called Transfer at this instant.
+func (l *Link) TransferTime(n int64) Time {
 	if n < 0 {
 		panic("sim: negative transfer size")
 	}
-	now := l.eng.Now()
-	start := now
+	start := l.eng.Now()
 	if l.freeAt > start {
 		start = l.freeAt
 	}
@@ -73,7 +81,7 @@ func (l *Link) Transfer(p *Proc, n int64) {
 	if l.onBusy != nil && ser > 0 {
 		l.onBusy(start, ser)
 	}
-	p.WaitUntil(done)
+	return done
 }
 
 // Delay blocks the process for the link's propagation latency only, as for

@@ -2,43 +2,104 @@ package sim
 
 import "fmt"
 
-// Proc is a simulated process: a goroutine whose execution is interleaved
+// Proc is a simulated process: model code whose execution is interleaved
 // with the engine so that exactly one process (or event callback) runs at a
 // time. Model code inside a process advances virtual time with Wait, blocks
 // on resources with Acquire/Transfer/Recv, and never needs locks.
 //
+// A Proc is backed by a pooled worker goroutine (see worker below). Pure
+// delays on untraced procs complete inline on the engine side without waking
+// the goroutine at all; the worker is only involved when the proc genuinely
+// has to give way to another event.
+//
 // A Proc must only call its blocking methods from its own body function.
 type Proc struct {
+	eng       *Engine
+	name      string
+	lbl       uint32 // interned accounting label (name with digits stripped)
+	w         *worker
+	body      func(p *Proc)
+	pendingFn func() Time // engine-side continuation armed by WaitFn
+	done      bool
+	obsCtx    any
+}
+
+// worker is a pooled goroutine + channel pair executing proc bodies. When a
+// body returns, the worker parks on its resume channel and the engine
+// rebinds it to the next Go instead of spawning a fresh goroutine — this is
+// what keeps peak_goroutines near the number of concurrently live procs.
+type worker struct {
 	eng    *Engine
-	name   string
-	label  string // accounting label (name with digits stripped)
 	resume chan struct{}
 	yield  chan struct{}
-	done   bool
-	obsCtx any
+	p      *Proc
+}
+
+// killedProc is the panic payload Shutdown uses to unwind parked procs. It
+// is the only panic the worker recovers; real model panics propagate.
+type killedProc struct{}
+
+func (w *worker) loop() {
+	defer w.eng.wg.Done()
+	for {
+		<-w.resume
+		if w.eng.killing || w.p == nil {
+			// Shutdown woke an idle worker (or one whose proc never started).
+			w.yield <- struct{}{}
+			return
+		}
+		p := w.p
+		killed := w.runBody(p)
+		p.done = true
+		w.yield <- struct{}{}
+		if killed {
+			return
+		}
+	}
+}
+
+func (w *worker) runBody(p *Proc) (killed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killedProc); ok {
+				killed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	p.body(p)
+	return false
 }
 
 // Go starts a new simulated process executing body. The process begins at
 // the current virtual time (after already-scheduled events at that time).
 // The name is used in diagnostics and scheduler accounting only.
 func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
-	p := &Proc{
-		eng:    e,
-		name:   name,
-		label:  accountLabel(name),
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+	if e.closed {
+		panic("sim: Go after Shutdown")
 	}
-	if e.acct != nil {
-		e.acct.procsStarted++
+	p := &Proc{eng: e, name: name, lbl: e.intern(accountLabel(name)), body: body}
+	if a := e.acct; a != nil {
+		a.procsStarted++
 	}
-	go func() {
-		<-p.resume
-		body(p)
-		p.done = true
-		p.yield <- struct{}{}
-	}()
-	e.at(e.now, p.label, p.step)
+	var w *worker
+	if n := len(e.freeW); n > 0 {
+		w = e.freeW[n-1]
+		e.freeW[n-1] = nil
+		e.freeW = e.freeW[:n-1]
+		if a := e.acct; a != nil {
+			a.procsReused++
+		}
+	} else {
+		w = &worker{eng: e, resume: make(chan struct{}), yield: make(chan struct{})}
+		e.allW = append(e.allW, w)
+		e.wg.Add(1)
+		go w.loop()
+	}
+	w.p = p
+	p.w = w
+	e.schedule(e.now, p.lbl, p, nil)
 	return p
 }
 
@@ -65,32 +126,44 @@ func (p *Proc) ObsCtx() any { return p.obsCtx }
 // parent's context onto the workers so child spans parent correctly.
 func (p *Proc) SetObsCtx(v any) { p.obsCtx = v }
 
-// step hands control to the process goroutine and waits for it to block or
-// finish. It runs on the engine side, inside an event callback.
-func (p *Proc) step() {
+// stepProc hands control to the process's worker goroutine and waits for it
+// to block or finish. It runs on the engine side, inside an event dispatch.
+func (e *Engine) stepProc(p *Proc) {
 	if p.done {
 		panic(fmt.Sprintf("sim: process %q resumed after completion", p.name))
 	}
-	if a := p.eng.acct; a != nil {
+	if a := e.acct; a != nil {
 		a.procSwitches++
 	}
-	p.resume <- struct{}{}
-	<-p.yield
+	w := p.w
+	w.resume <- struct{}{}
+	<-w.yield
+	if p.done {
+		// Body returned: unbind and recycle the worker for the next Go.
+		w.p = nil
+		p.w = nil
+		p.body = nil
+		e.freeW = append(e.freeW, w)
+	}
 }
 
 // park yields control back to the engine without scheduling a resumption.
-// Something else must later call p.unpark (or schedule p.step) or the
+// Something else must later call p.unpark (or schedule a resume) or the
 // process sleeps forever.
 func (p *Proc) park() {
-	p.yield <- struct{}{}
-	<-p.resume
+	w := p.w
+	w.yield <- struct{}{}
+	<-w.resume
+	if w.eng.killing {
+		panic(killedProc{})
+	}
 }
 
 // unpark schedules the process to resume at the current virtual time. It
 // must be called from engine context (an event callback or another process)
 // while p is parked.
 func (p *Proc) unpark() {
-	p.eng.at(p.eng.now, p.label, p.step)
+	p.eng.schedule(p.eng.now, p.lbl, p, nil)
 }
 
 // Wait advances the process's virtual time by d. Other events and processes
@@ -99,18 +172,60 @@ func (p *Proc) Wait(d Duration) {
 	if d < 0 {
 		panic("sim: negative wait")
 	}
-	p.eng.at(p.eng.now.Add(d), p.label, p.step)
-	p.park()
+	p.waitUntil(p.eng.now.Add(d))
 }
 
 // WaitUntil sleeps the process until virtual time t. If t is in the past it
 // returns immediately (yielding once).
 func (p *Proc) WaitUntil(t Time) {
-	now := p.eng.Now()
-	if t < now {
-		t = now
+	if t < p.eng.now {
+		t = p.eng.now
 	}
-	p.eng.at(t, p.label, p.step)
+	p.waitUntil(t)
+}
+
+func (p *Proc) waitUntil(t Time) {
+	e := p.eng
+	if e.canInline(p, t) {
+		e.inlineAdvance(p, t)
+		return
+	}
+	e.schedule(t, p.lbl, p, nil)
+	p.park()
+}
+
+// WaitFn advances the process by d, runs fn in engine context at that
+// instant, and continues at the Time fn returns (>= that instant; returning
+// it exactly resumes the proc within the same event). It exists for model
+// hot paths whose "work" between two waits is pure bookkeeping — the flash
+// die release + bus hand-off, for example — collapsing wait/compute/wait
+// into at most one goroutine switch (zero when both hops inline). fn must
+// not call blocking Proc methods.
+func (p *Proc) WaitFn(d Duration, fn func() Time) {
+	if d < 0 {
+		panic("sim: negative wait")
+	}
+	e := p.eng
+	t := e.now.Add(d)
+	if e.canInline(p, t) {
+		e.inlineAdvance(p, t)
+		done := fn()
+		switch {
+		case done == e.now:
+			return
+		case done < e.now:
+			panic("sim: WaitFn continuation returned a past time")
+		}
+		if e.canInline(p, done) {
+			e.inlineAdvance(p, done)
+			return
+		}
+		e.schedule(done, p.lbl, p, nil)
+		p.park()
+		return
+	}
+	p.pendingFn = fn
+	e.schedule(t, p.lbl, p, nil)
 	p.park()
 }
 

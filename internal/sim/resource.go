@@ -12,7 +12,7 @@ type Semaphore struct {
 	eng       *Engine
 	tokens    int
 	cap       int
-	waiters   []*semWaiter
+	waiters   []semWaiter // value-typed: no per-Acquire allocation
 	queueTime func(wait Duration)
 }
 
@@ -47,7 +47,7 @@ func (s *Semaphore) Acquire(p *Proc, n int) {
 		}
 		return
 	}
-	s.waiters = append(s.waiters, &semWaiter{p: p, n: n})
+	s.waiters = append(s.waiters, semWaiter{p: p, n: n})
 	t0 := s.eng.Now()
 	p.park()
 	if s.queueTime != nil {

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refHeap is the old engine's queue: a container/heap of events ordered by
+// (at, seq). The property tests replay identical workloads through it and
+// through schedQ and demand the exact same dispatch sequence.
+type refHeap []event
+
+func (h refHeap) Len() int           { return len(h) }
+func (h refHeap) Less(i, j int) bool { return evLess(h[i], h[j]) }
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *refHeap) Pop() any          { old := *h; n := len(old); ev := old[n-1]; *h = old[:n-1]; return ev }
+
+// drainCompare feeds the same randomized workload to schedQ and refHeap and
+// compares the full dispatch order. A fraction of pops triggers follow-up
+// inserts relative to the popped timestamp, exercising the same-instant
+// nowQ append, the wheel, and the spill heap from a moving clock.
+func drainCompare(t *testing.T, rng *rand.Rand, n int, spread int64, followUp bool) {
+	t.Helper()
+	var q schedQ
+	q.init()
+	var ref refHeap
+
+	seq := uint64(0)
+	add := func(at Time, now Time) {
+		seq++
+		ev := event{at: at, seq: seq}
+		q.insert(ev, now)
+		heap.Push(&ref, ev)
+	}
+
+	for i := 0; i < n; i++ {
+		add(Time(rng.Int63n(spread)), 0)
+	}
+
+	now := Time(0)
+	step := 0
+	for len(ref) > 0 {
+		if !q.fill(now) {
+			t.Fatalf("step %d: schedQ empty, reference has %d events", step, len(ref))
+		}
+		got := q.popReady()
+		want := heap.Pop(&ref).(event)
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("step %d: schedQ dispatched (at=%d, seq=%d), reference (at=%d, seq=%d)",
+				step, got.at, got.seq, want.at, want.seq)
+		}
+		if got.at < now {
+			t.Fatalf("step %d: clock moved backwards: %d -> %d", step, now, got.at)
+		}
+		now = got.at
+		if followUp && rng.Intn(4) == 0 {
+			// Model code scheduling from inside an event: same instant,
+			// near-future (wheel), and far-future (spill) timestamps.
+			switch rng.Intn(3) {
+			case 0:
+				add(now, now)
+			case 1:
+				add(now+Time(rng.Int63n(1<<14)+1), now)
+			case 2:
+				add(now+Time(rng.Int63n(1<<40)+int64(wheelBuckets)<<bucketShift), now)
+			}
+		}
+		step++
+	}
+	if q.len() != 0 {
+		t.Fatalf("reference drained but schedQ still holds %d events", q.len())
+	}
+}
+
+func TestSchedMatchesHeapOrder(t *testing.T) {
+	cases := []struct {
+		name     string
+		n        int
+		spread   int64
+		followUp bool
+	}{
+		{"dense-same-bucket", 500, 1 << 8, false},
+		{"wheel-horizon", 500, int64(wheelBuckets) << bucketShift, false},
+		{"spill-heavy", 500, 1 << 40, false},
+		{"mixed-with-inserts", 400, 1 << 30, true},
+		{"all-equal-timestamps", 300, 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for trial := 0; trial < 20; trial++ {
+				drainCompare(t, rand.New(rand.NewSource(int64(trial)*7919+1)), tc.n, tc.spread, tc.followUp)
+			}
+		})
+	}
+}
+
+// TestSchedEarlierInsertUnfills pins the unfill path: peeking (fill) at a
+// future instant and then inserting an earlier event must still dispatch in
+// global (at, seq) order.
+func TestSchedEarlierInsertUnfills(t *testing.T) {
+	var q schedQ
+	q.init()
+	q.insert(event{at: 100, seq: 1}, 0)
+	q.insert(event{at: 100, seq: 2}, 0)
+	if at, ok := q.nextTime(0); !ok || at != 100 {
+		t.Fatalf("nextTime = %d, %v; want 100, true", at, ok)
+	}
+	// nowQ now holds the instant 100; an earlier arrival must displace it.
+	q.insert(event{at: 50, seq: 3}, 0)
+	wantOrder := []struct {
+		at  Time
+		seq uint64
+	}{{50, 3}, {100, 1}, {100, 2}}
+	now := Time(0)
+	for i, want := range wantOrder {
+		if !q.fill(now) {
+			t.Fatalf("pop %d: queue empty", i)
+		}
+		got := q.popReady()
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("pop %d: got (at=%d, seq=%d), want (at=%d, seq=%d)", i, got.at, got.seq, want.at, want.seq)
+		}
+		now = got.at
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.len())
+	}
+}
+
+// FuzzSchedDispatchOrder drives schedQ against the reference heap with a
+// byte-string-derived workload, so the fuzzer can hunt for orderings the
+// table-driven cases miss.
+func FuzzSchedDispatchOrder(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, int64(1))
+	f.Add([]byte{255, 0, 255, 0, 128, 64, 32, 16}, int64(42))
+	f.Fuzz(func(t *testing.T, raw []byte, salt int64) {
+		if len(raw) == 0 || len(raw) > 4096 {
+			t.Skip()
+		}
+		var q schedQ
+		q.init()
+		var ref refHeap
+		seq := uint64(0)
+		now := Time(0)
+		// Each byte becomes an offset; every 5th byte scales into the spill
+		// range so both tiers stay exercised.
+		for i, b := range raw {
+			at := now + Time(int64(b)<<(uint(i%3)*7))
+			if i%5 == 4 {
+				at += Time(int64(wheelBuckets) << bucketShift)
+			}
+			seq++
+			ev := event{at: at, seq: seq}
+			q.insert(ev, now)
+			heap.Push(&ref, ev)
+			// Interleave pops so insertion happens from a moving clock.
+			if i%3 == int(salt%3+3)%3 && len(ref) > 0 {
+				if !q.fill(now) {
+					t.Fatal("schedQ empty with reference non-empty")
+				}
+				got := q.popReady()
+				want := heap.Pop(&ref).(event)
+				if got.at != want.at || got.seq != want.seq {
+					t.Fatalf("dispatch (at=%d, seq=%d), want (at=%d, seq=%d)", got.at, got.seq, want.at, want.seq)
+				}
+				now = got.at
+			}
+		}
+		for len(ref) > 0 {
+			if !q.fill(now) {
+				t.Fatal("schedQ drained early")
+			}
+			got := q.popReady()
+			want := heap.Pop(&ref).(event)
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("dispatch (at=%d, seq=%d), want (at=%d, seq=%d)", got.at, got.seq, want.at, want.seq)
+			}
+			now = got.at
+		}
+		if q.len() != 0 {
+			t.Fatalf("schedQ still holds %d events", q.len())
+		}
+	})
+}

@@ -115,6 +115,10 @@ type SSD struct {
 	cache    *readCache    // streaming read pipeline; nil when disabled
 	raBusy   *obs.Timeline // prefetch-window occupancy (nil without obs)
 
+	// ioNames are the forEachPage worker proc names, built once so the
+	// fan-out on every multi-page command spawns without formatting.
+	ioNames []string
+
 	vendor    func(p *sim.Proc, op nvme.Opcode, payload any) (any, int64, error)
 	faultHook func(p *sim.Proc, op nvme.Opcode) error
 }
@@ -140,6 +144,14 @@ func New(eng *sim.Engine, port *pcie.Port, cfg Config) *SSD {
 		dev:         flash.NewDevice(eng, cfg.Name+"/nand", cfg.Geometry, cfg.Timing),
 		ctrlCPU:     sim.NewResource(eng, cfg.CtrlCores),
 		cmdOverhead: cfg.CtrlCmdOverhead,
+	}
+	maxIO := cfg.Geometry.Channels * cfg.Geometry.DiesPerChan * 2
+	if maxIO > 128 {
+		maxIO = 128
+	}
+	s.ioNames = make([]string, maxIO)
+	for i := range s.ioNames {
+		s.ioNames[i] = fmt.Sprintf("%s/io%d", cfg.Name, i)
 	}
 	s.dev.SetObs(cfg.Obs)
 	s.ftl = ftl.New(s.dev, cfg.FTL)
@@ -410,10 +422,7 @@ func (s *SSD) forEachPage(p *sim.Proc, n int64, fn func(cp *sim.Proc, i int64) e
 	}
 	// Full die-level parallelism (capped), so the fan-out can keep every
 	// plane busy on write-heavy streams.
-	workers := int64(s.cfg.Geometry.Channels * s.cfg.Geometry.DiesPerChan * 2)
-	if workers > 128 {
-		workers = 128
-	}
+	workers := int64(len(s.ioNames))
 	if workers > n {
 		workers = n
 	}
@@ -423,7 +432,7 @@ func (s *SSD) forEachPage(p *sim.Proc, n int64, fn func(cp *sim.Proc, i int64) e
 	obsCtx := p.ObsCtx() // workers inherit the issuing command's span
 	for w := int64(0); w < workers; w++ {
 		w := w
-		s.eng.Go(fmt.Sprintf("%s/io%d", s.cfg.Name, w), func(cp *sim.Proc) {
+		s.eng.Go(s.ioNames[w], func(cp *sim.Proc) {
 			defer wg.Done()
 			cp.SetObsCtx(obsCtx)
 			for i := w; i < n; i += workers {
